@@ -1,0 +1,103 @@
+"""Ablation: rateless fountain coding vs the fixed-rate RS matrix.
+
+The fixed-rate RS matrix commits to its loss tolerance at encoding time
+(the parity-column fraction).  The LT fountain is *rateless*: to tolerate
+more molecule dropout you simply synthesize more droplets of the same
+file — no re-encoding, and the tolerated dropout grows in proportion to
+the droplet budget.
+
+The bench measures, for several droplet budgets, the highest molecule
+dropout rate at which each architecture still decodes reliably
+(>= 4 of 5 trials).  Shape assertions: the fountain's tolerated dropout
+grows monotonically with overhead and roughly tracks ``1 - 1.1/overhead``
+(peeling needs ~10% more droplets than blocks); the RS matrix at its fixed
+33% overhead tolerates what its per-unit erasure budget allows and no
+budget increase is possible without re-encoding.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import write_report
+from repro.analysis import format_table
+from repro.codec import DNADecoder, DNAEncoder, EncodingParameters, FountainCodec
+
+DATA = bytes((i * 131) % 256 for i in range(18000))
+DROPOUTS = tuple(round(0.05 * i, 2) for i in range(10))  # 0.00 .. 0.45
+TRIALS = 5
+FOUNTAIN_OVERHEADS = (1.2, 1.5, 2.0)
+RS_PARAMS = EncodingParameters(payload_bytes=30, data_columns=60, parity_columns=20)
+
+
+def _max_tolerated(decode_at) -> float:
+    """Highest dropout with >= 4/5 successful decodes (monotone scan)."""
+    tolerated = -1.0
+    for dropout in DROPOUTS:
+        if decode_at(dropout) >= TRIALS - 1:
+            tolerated = dropout
+        else:
+            break
+    return tolerated
+
+
+def run_ablation():
+    fountain = FountainCodec(block_bytes=30)
+    blocks = fountain.split_blocks(DATA)
+
+    results = {}
+    for overhead in FOUNTAIN_OVERHEADS:
+        droplets = fountain.encode(DATA, overhead=overhead)
+
+        def decode_at(dropout, droplets=droplets):
+            ok = 0
+            for trial in range(TRIALS):
+                rng = random.Random(hash((dropout, trial)) & 0xFFFFFFFF)
+                survivors = [d for d in droplets if rng.random() >= dropout]
+                try:
+                    ok += fountain.decode(survivors, len(blocks)) == DATA
+                except ValueError:
+                    pass
+            return ok
+
+        results[f"fountain x{overhead:.1f}"] = _max_tolerated(decode_at)
+
+    encoder = DNAEncoder(RS_PARAMS)
+    decoder = DNADecoder(RS_PARAMS)
+    pool = encoder.encode(DATA)
+
+    def rs_decode_at(dropout):
+        ok = 0
+        for trial in range(TRIALS):
+            rng = random.Random(hash((dropout, trial)) & 0xFFFFFFFF)
+            survivors = [s for s in pool.references if rng.random() >= dropout]
+            decoded, _ = decoder.decode(survivors, expected_units=pool.num_units)
+            ok += decoded == DATA
+        return ok
+
+    results["RS matrix x1.3 (fixed)"] = _max_tolerated(rs_decode_at)
+    return results
+
+
+def test_ablation_fountain_vs_fixed_rate(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        [name, f"{tolerated:.0%}" if tolerated >= 0 else "never"]
+        for name, tolerated in results.items()
+    ]
+    table = format_table(
+        ["architecture / molecule budget", "max reliable dropout"],
+        rows,
+        title="Ablation - rateless fountain vs fixed-rate RS under molecule dropout",
+    )
+    write_report("ablation_fountain", table)
+    benchmark.extra_info.update(results)
+
+    tolerances = [results[f"fountain x{o:.1f}"] for o in FOUNTAIN_OVERHEADS]
+    # Rateless scaling: more droplets -> strictly more tolerated dropout.
+    assert tolerances == sorted(tolerances)
+    assert tolerances[-1] > tolerances[0]
+    # A doubled droplet budget tolerates heavy loss outright.
+    assert tolerances[-1] >= 0.30
+    # Everyone decodes the clean pool.
+    assert all(tolerance >= 0.0 for tolerance in results.values())

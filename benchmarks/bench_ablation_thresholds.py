@@ -1,0 +1,79 @@
+"""Ablation: automatic vs fixed clustering thresholds.
+
+The automatic configuration (Section VI-B) should match a well-tuned fixed
+threshold pair on accuracy while avoiding the failure modes of badly-tuned
+ones: too-tight thresholds shatter clusters, too-loose ones either merge
+unrelated reads or burn edit-distance calls on hopeless pairs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import write_report
+from repro.analysis import format_table
+from repro.clustering import (
+    ClusteringConfig,
+    RashtchianClusterer,
+    clustering_accuracy,
+)
+from repro.dna.alphabet import random_sequence
+from repro.simulation import ConstantCoverage, IIDChannel, sequence_pool
+
+LENGTH = 116
+CLUSTERS = 120
+ERROR_RATE = 0.06
+
+
+def run_ablation():
+    rng = random.Random(0xAB7)
+    references = [random_sequence(LENGTH, rng) for _ in range(CLUSTERS)]
+    run = sequence_pool(
+        references,
+        IIDChannel.from_total_rate(ERROR_RATE),
+        ConstantCoverage(10),
+        rng,
+    )
+    truth = list(run.true_clusters().values())
+
+    variants = {
+        "auto": {},
+        "tight (2, 4)": {"theta_low": 2.0, "theta_high": 4.0},
+        "loose (30, 46)": {"theta_low": 30.0, "theta_high": 46.0},
+        "wide gray (2, 46)": {"theta_low": 2.0, "theta_high": 46.0},
+    }
+    outcomes = {}
+    for name, overrides in variants.items():
+        config = ClusteringConfig(seed=3, **overrides)
+        result = RashtchianClusterer(config).cluster(run.reads)
+        outcomes[name] = (
+            clustering_accuracy(result.clusters, truth),
+            result.edit_comparisons,
+            result.total_seconds,
+            len(result.clusters),
+        )
+    return outcomes
+
+
+def test_ablation_thresholds(benchmark):
+    outcomes = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        [name, f"{acc:.4f}", str(edits), f"{seconds:.1f}", str(count)]
+        for name, (acc, edits, seconds, count) in outcomes.items()
+    ]
+    table = format_table(
+        ["thresholds", "accuracy", "edit comparisons", "seconds", "clusters"],
+        rows,
+        title=(
+            "Ablation - automatic vs fixed clustering thresholds "
+            f"({CLUSTERS} clusters, error {ERROR_RATE:.0%})"
+        ),
+    )
+    write_report("ablation_thresholds", table)
+
+    auto_accuracy, auto_edits, _, _ = outcomes["auto"]
+    # Auto matches the generous hand-tuned gray zone on accuracy...
+    assert auto_accuracy >= outcomes["wide gray (2, 46)"][0] - 0.05
+    assert auto_accuracy >= 0.9
+    # ...while spending fewer edit-distance calls than the all-gray config.
+    assert auto_edits <= outcomes["wide gray (2, 46)"][1]

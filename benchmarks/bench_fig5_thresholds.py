@@ -1,0 +1,87 @@
+"""Figure 5: automatic threshold configuration for clustering.
+
+A handful of probe reads is compared against a larger sample; the resulting
+signature-distance histogram is dominated by the inter-cluster mode with a
+small intra-cluster population below it.  The automatic configuration
+places theta_low / theta_high under the inter mode (Section VI-B).
+
+Shape checks: thresholds are ordered, sit below the inter-mode center, and
+true intra-cluster distances overwhelmingly fall below theta_high while
+true inter-cluster distances overwhelmingly fall above theta_low.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.clustering.thresholds import (
+    estimate_thresholds,
+    sample_signature_distances,
+)
+from repro.dna.alphabet import random_sequence
+from repro.dna.qgram import QGramSignature, sample_grams
+from repro.simulation import ConstantCoverage, IIDChannel, sequence_pool
+
+
+def test_fig5_threshold_histogram(benchmark):
+    rng = random.Random(0xF165)
+    references = [random_sequence(110, rng) for _ in range(400)]
+    run = sequence_pool(
+        references, IIDChannel.from_total_rate(0.06), ConstantCoverage(10), rng
+    )
+    grams = sample_grams(96, 4, rng)
+    scheme = QGramSignature(grams)
+    signatures = [scheme.compute(read) for read in run.reads]
+
+    distances = sample_signature_distances(
+        signatures, QGramSignature.distance, probes=24, sample_size=600, rng=rng
+    )
+    estimate = benchmark.pedantic(
+        estimate_thresholds, args=(distances,), rounds=5, iterations=1
+    )
+
+    counts, edges = estimate.histogram(bins=30)
+    lines = [
+        "Figure 5 - signature-distance histogram and automatic thresholds",
+        f"theta_low = {estimate.theta_low:.1f}   theta_high = {estimate.theta_high:.1f}   "
+        f"inter mode center = {estimate.inter_center:.1f} (sigma {estimate.inter_sigma:.1f})",
+        "",
+    ]
+    peak = counts.max() or 1
+    for count, lo, hi in zip(counts, edges, edges[1:]):
+        bar = "#" * int(50 * count / peak)
+        marks = ""
+        if lo <= estimate.theta_low < hi:
+            marks += " <- theta_low"
+        if lo <= estimate.theta_high < hi:
+            marks += " <- theta_high"
+        lines.append(f"{lo:6.1f}-{hi:6.1f} | {count:5d} {bar}{marks}")
+    write_report("fig5_thresholds", "\n".join(lines))
+
+    benchmark.extra_info["theta_low"] = round(estimate.theta_low, 2)
+    benchmark.extra_info["theta_high"] = round(estimate.theta_high, 2)
+
+    assert 0 <= estimate.theta_low <= estimate.theta_high < estimate.inter_center
+
+    # Validate against ground truth: intra distances below theta_high,
+    # inter distances above theta_low.
+    truth = run.true_clusters()
+    intra = []
+    for members in list(truth.values())[:200]:
+        for a, b in zip(members, members[1:]):
+            intra.append(QGramSignature.distance(signatures[a], signatures[b]))
+    inter = []
+    inter_rng = random.Random(1)
+    while len(inter) < 2000:
+        i, j = inter_rng.randrange(len(run.reads)), inter_rng.randrange(len(run.reads))
+        if run.origins[i] != run.origins[j]:
+            inter.append(QGramSignature.distance(signatures[i], signatures[j]))
+    intra_below = np.mean([d <= estimate.theta_high for d in intra])
+    inter_above = np.mean([d > estimate.theta_low for d in inter])
+    benchmark.extra_info["intra_below_theta_high"] = round(float(intra_below), 3)
+    benchmark.extra_info["inter_above_theta_low"] = round(float(inter_above), 3)
+    assert intra_below > 0.9
+    assert inter_above > 0.999

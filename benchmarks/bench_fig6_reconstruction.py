@@ -1,0 +1,97 @@
+"""Figure 6: per-index error profiles of the three reconstructors.
+
+Paper shapes:
+
+* single-sided BMA's error rate grows toward the late indexes
+  (misalignment propagates left to right);
+* double-sided BMA halves the propagation distance and concentrates the
+  residual errors in the middle indexes;
+* the Needleman-Wunsch (POA) consensus outperforms both overall.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.analysis import per_index_error_profile
+from repro.analysis.error_profile import smooth_profile
+from repro.analysis.reporting import format_series, sparkline
+from repro.dna.alphabet import random_sequence
+from repro.reconstruction import (
+    BMAReconstructor,
+    DoubleSidedBMAReconstructor,
+    NWConsensusReconstructor,
+    TrellisMAPReconstructor,
+)
+from repro.simulation import WetlabReferenceChannel
+
+LENGTH = 110
+CLUSTERS = 200
+COVERAGE = 10
+
+
+def run_reconstructors():
+    rng = random.Random(0xF166)
+    channel = WetlabReferenceChannel()
+    references = [random_sequence(LENGTH, rng) for _ in range(CLUSTERS)]
+    clusters = [
+        [channel.transmit(reference, rng) for _ in range(COVERAGE)]
+        for reference in references
+    ]
+    reconstructors = {
+        "BMA": BMAReconstructor(),
+        "DoubleBMA": DoubleSidedBMAReconstructor(),
+        "NW": NWConsensusReconstructor(),
+        # Extension beyond the paper's three: trellis symbolwise-MAP
+        # refinement (Srinivasavaradhan et al.) on top of the NW consensus.
+        "NW+Trellis": TrellisMAPReconstructor(
+            p_ins=0.015, p_del=0.025, p_sub=0.02, initial=NWConsensusReconstructor()
+        ),
+    }
+    profiles = {}
+    for name, reconstructor in reconstructors.items():
+        outputs = [reconstructor.reconstruct(c, LENGTH) for c in clusters]
+        profiles[name] = per_index_error_profile(references, outputs)
+    return profiles
+
+
+def test_fig6_reconstruction_profiles(benchmark):
+    profiles = benchmark.pedantic(run_reconstructors, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 6 - per-index error rate by reconstructor "
+        f"({CLUSTERS} clusters, coverage {COVERAGE}, wetlab-reference channel)"
+    ]
+    for name, profile in profiles.items():
+        smoothed = smooth_profile(profile.rates, window=7)
+        lines.append(
+            f"\n{name}: mean={profile.mean_rate * 100:.2f}% "
+            f"perfect={profile.perfect}/{profile.strands}"
+        )
+        lines.append("  " + sparkline(smoothed, width=72))
+        lines.append(format_series(f"  {name.lower()}_err", smoothed, stride=10))
+    write_report("fig6_reconstruction_profiles", "\n".join(lines))
+
+    for name, profile in profiles.items():
+        benchmark.extra_info[f"{name}_mean"] = round(profile.mean_rate, 4)
+        benchmark.extra_info[f"{name}_perfect"] = profile.perfect
+
+    bma = profiles["BMA"].rates
+    double = profiles["DoubleBMA"].rates
+    third = LENGTH // 3
+
+    # BMA: late indexes worse than early ones.
+    assert np.mean(bma[-third:]) > np.mean(bma[:third])
+    # Double-sided BMA: middle peak above both edges.
+    edges = np.concatenate([double[: third // 2], double[-third // 2 :]])
+    middle = double[LENGTH // 2 - third // 2 : LENGTH // 2 + third // 2]
+    assert np.mean(middle) > np.mean(edges)
+    # NW outperforms prior work: lower error rate overall and strictly
+    # lower in the middle third, where double-sided BMA piles up errors.
+    assert profiles["NW"].mean_rate < profiles["BMA"].mean_rate
+    assert profiles["NW"].mean_rate < profiles["DoubleBMA"].mean_rate
+    nw_middle = profiles["NW"].rates[LENGTH // 2 - third // 2 : LENGTH // 2 + third // 2]
+    assert np.mean(nw_middle) < np.mean(middle)

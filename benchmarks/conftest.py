@@ -1,0 +1,87 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md §3
+for the experiment index).  Results are printed to stdout and written to
+``benchmarks/out/<name>.txt`` so they survive pytest's output capture.
+
+Heavier optional rows (the GRU seq2seq "RNN" simulator of Figure 4) are
+enabled with ``REPRO_RNN=1``; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import per_index_error_profile
+from repro.dna.alphabet import random_sequence
+from repro.reconstruction import DoubleSidedBMAReconstructor
+from repro.simulation import WetlabReferenceChannel
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Strand length shared by the simulator-fidelity experiments.
+FIG3_LENGTH = 110
+#: Clusters in the evaluation (test) set and reads per cluster.
+FIG3_CLUSTERS = 300
+FIG3_COVERAGE = 8
+#: Paired (clean, noisy) strands available for fitting data-driven models.
+FIG3_TRAIN_CLUSTERS = 800
+FIG3_TRAIN_READS = 3
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a rendered table/series under benchmarks/out/ and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def fig3_experiment():
+    """The shared setup of Figure 3 and Table I.
+
+    Generates the "real wetlab" paired training data and the held-out test
+    references, and returns a callable that evaluates a channel: simulate
+    clusters, reconstruct with double-sided BMA (as in the paper's Figure
+    3), and return the per-index error profile.
+    """
+    rng = random.Random(0xF163)
+    real = WetlabReferenceChannel()
+    train_pairs = []
+    for _ in range(FIG3_TRAIN_CLUSTERS):
+        clean = random_sequence(FIG3_LENGTH, rng)
+        for _ in range(FIG3_TRAIN_READS):
+            train_pairs.append((clean, real.transmit(clean, rng)))
+    references = [random_sequence(FIG3_LENGTH, rng) for _ in range(FIG3_CLUSTERS)]
+    reconstructor = DoubleSidedBMAReconstructor()
+
+    def evaluate(channel, seed: int = 0xE7A1):
+        eval_rng = random.Random(seed)
+        clusters = [
+            [channel.transmit(reference, eval_rng) for _ in range(FIG3_COVERAGE)]
+            for reference in references
+        ]
+        outputs = [
+            reconstructor.reconstruct(cluster, FIG3_LENGTH) for cluster in clusters
+        ]
+        return per_index_error_profile(references, outputs)
+
+    return {
+        "real_channel": real,
+        "train_pairs": train_pairs,
+        "references": references,
+        "evaluate": evaluate,
+    }
+
+
+@pytest.fixture(scope="session")
+def fig3_profiles(fig3_experiment):
+    """Per-simulator error profiles, computed once for Fig. 3 and Table I."""
+    from benchmarks.bench_fig3_simulator_profiles import build_profiles
+
+    return build_profiles(fig3_experiment)

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Reliability-aware storage: Baseline vs Gini vs DNAMapper layouts.
+
+Double-sided BMA reconstruction concentrates errors in the middle strand
+indexes (paper Figure 6), so in the baseline layout the *middle
+Reed-Solomon rows* carry almost all the risk.  This example stores a
+quality-tiered payload (think of an image's most-significant bit planes vs
+its least-significant ones) under all three layouts and damages the strands
+with the same middle-peaked error profile:
+
+* **baseline** — rows in natural order: the middle rows fail, and whatever
+  tier lives there is destroyed;
+* **gini** — codewords spread diagonally: every codeword sees the average
+  error rate, which the RS parity absorbs;
+* **dnamapper** — rows are ranked by a measured reliability profile and the
+  priority tiers are mapped accordingly: any residual damage lands in the
+  bulk tier, never the critical one.
+
+Data layout note: a molecule is a matrix *column*, so a tier must occupy a
+byte *row range within each molecule* to have a defined reliability.  The
+payload below interleaves the three tiers into every 30-byte chunk
+(critical bytes first), which is exactly how DNAMapper expects
+priority-ordered data.
+
+Run:  python examples/reliability_aware_storage.py
+"""
+
+import math
+import random
+
+from repro import (
+    BaselineLayout,
+    DNADecoder,
+    DNAEncoder,
+    DNAMapperLayout,
+    EncodingParameters,
+    GiniLayout,
+)
+from repro.codec.bits import bases_to_bytes, bytes_to_bases
+
+PAYLOAD_BYTES = 30
+TIER_ROWS = PAYLOAD_BYTES // 3  # rows 0-9 critical, 10-19 standard, 20-29 bulk
+TIER_NAMES = ("critical", "standard", "bulk")
+CHUNKS = 60
+PEAK = 0.18
+
+
+_HEADER_BYTES = 8  # the codec prepends a length header to the stream
+
+
+def tier_of(data_offset: int) -> int:
+    """Tier of a data byte, by the physical molecule row it will occupy.
+
+    The encoder's stream is ``header + data``, so data byte ``d`` lands on
+    row ``(d + header) % payload_bytes`` of its molecule.
+    """
+    row = (data_offset + _HEADER_BYTES) % PAYLOAD_BYTES
+    return min(2, row // TIER_ROWS)
+
+
+def make_tiered_payload() -> bytes:
+    """A payload whose tier structure aligns with physical molecule rows."""
+    payload = bytearray()
+    for offset in range(CHUNKS * PAYLOAD_BYTES - _HEADER_BYTES):
+        tier = tier_of(offset)
+        payload.append((offset * 31 + tier * 97) % 256)
+    return bytes(payload)
+
+
+def middle_peaked(row: int, rows: int) -> float:
+    center = (rows - 1) / 2
+    return PEAK * math.exp(-(((row - center) / (rows / 5)) ** 2))
+
+
+def measured_reliability(rows: int):
+    """What profiling reconstruction output (paper Fig. 6) would report."""
+    return [1.0 - middle_peaked(row, rows) for row in range(rows)]
+
+
+def corrupt(references, params, rng):
+    corrupted = []
+    index_nt = params.index_bytes * 4
+    for strand in references:
+        payload = bytearray(bases_to_bytes(strand[index_nt:]))
+        for row in range(len(payload)):
+            if rng.random() < middle_peaked(row, len(payload)):
+                payload[row] ^= rng.randrange(1, 256)
+        corrupted.append(strand[:index_nt] + bytes_to_bases(bytes(payload)))
+    return corrupted
+
+
+def tier_damage(original: bytes, recovered: bytes):
+    """Byte errors per tier (tier = the byte's physical molecule row)."""
+    recovered = recovered.ljust(len(original), b"\0")
+    damage = [0, 0, 0]
+    for offset, (a, b) in enumerate(zip(original, recovered)):
+        if a != b:
+            damage[tier_of(offset)] += 1
+    return damage
+
+
+def main() -> None:
+    data = make_tiered_payload()
+    layouts = {
+        "baseline": BaselineLayout(),
+        "gini": GiniLayout(),
+        "dnamapper": DNAMapperLayout(measured_reliability(PAYLOAD_BYTES)),
+    }
+    print(f"payload: {len(data)} bytes, tiers interleaved per chunk; "
+          f"middle-peaked damage (peak {PEAK:.0%})\n")
+    print(f"{'layout':>10s} | {'critical':>8s} | {'standard':>8s} | {'bulk':>8s} | outcome")
+    print("-" * 64)
+    for name, layout in layouts.items():
+        params = EncodingParameters(payload_bytes=PAYLOAD_BYTES, layout=layout)
+        pool = DNAEncoder(params).encode(data)
+        rng = random.Random(99)
+        damaged = corrupt(pool.references, params, rng)
+        recovered, report = DNADecoder(params).decode(
+            damaged, expected_units=pool.num_units
+        )
+        damage = tier_damage(data, recovered)
+        outcome = (
+            "fully corrected"
+            if recovered == data
+            else f"{report.failed_rows} rows uncorrectable"
+        )
+        print(
+            f"{name:>10s} | {damage[0]:8d} | {damage[1]:8d} | {damage[2]:8d} | {outcome}"
+        )
+
+    print(
+        "\nReading the table: the baseline layout loses its middle rows and\n"
+        "the 'standard' tier that happens to live there; Gini spreads the\n"
+        "same damage across all codewords so parity absorbs it; DNAMapper\n"
+        "pushes any residual damage into the 'bulk' tier."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Train the data-driven wetlab simulators on paired clean/noisy strands.
+
+Reproduces the workflow of Section V-B: sample paired data from the "real"
+channel (here the hidden reference channel; in production, aligned
+sequencing reads), fit both data-driven models —
+
+* the alignment-fitted :class:`LearnedProfileChannel` (seconds to fit), and
+* the GRU+attention seq2seq model of Figure 4 (minutes to train on CPU) —
+
+and compare how well each reproduces the real channel's error statistics
+on held-out strands.
+
+Run:  python examples/train_simulator.py            (profile model only)
+      python examples/train_simulator.py --seq2seq  (additionally trains the RNN)
+"""
+
+import random
+import sys
+
+from repro.dna.alphabet import random_sequence
+from repro.dna.alignment import edit_operations
+from repro.simulation import LearnedProfileChannel, WetlabReferenceChannel
+from repro.simulation.dataset import make_paired_dataset
+
+STRAND_LENGTH = 80
+TRAIN_CLUSTERS = 600
+READS_PER_CLUSTER = 3
+
+
+def error_statistics(channel, strands, rng, reads_per_strand=4):
+    """Aggregate (ins, del, sub) rates of *channel* over *strands*."""
+    ins = dele = sub = positions = 0
+    for strand in strands:
+        for _ in range(reads_per_strand):
+            noisy = channel.transmit(strand, rng)
+            for op in edit_operations(strand, noisy):
+                if op.kind == "ins":
+                    ins += 1
+                else:
+                    positions += 1
+                    dele += op.kind == "del"
+                    sub += op.kind == "sub"
+    return ins / positions, dele / positions, sub / positions
+
+
+def main() -> None:
+    rng = random.Random(31)
+    real = WetlabReferenceChannel()
+    dataset = make_paired_dataset(
+        real,
+        num_clusters=TRAIN_CLUSTERS,
+        strand_length=STRAND_LENGTH,
+        reads_per_cluster=READS_PER_CLUSTER,
+        rng=rng,
+    )
+    print(
+        f"paired dataset: {TRAIN_CLUSTERS} clusters x {READS_PER_CLUSTER} reads, "
+        f"split {len(dataset.train_indices)}/{len(dataset.val_indices)}/"
+        f"{len(dataset.test_indices)}"
+    )
+
+    profile = LearnedProfileChannel(bins=30).fit(dataset.train_pairs)
+    print("fitted LearnedProfileChannel "
+          f"(per-bin deletion rates, 5' -> 3': "
+          f"{[round(r, 3) for r in profile.p_del[::6]]})")
+
+    test_strands = [random_sequence(STRAND_LENGTH, rng) for _ in range(40)]
+    real_stats = error_statistics(real, test_strands, rng)
+    profile_stats = error_statistics(profile, test_strands, rng)
+    print(f"\n{'channel':>18s} | {'ins':>6s} | {'del':>6s} | {'sub':>6s}")
+    print(f"{'real (hidden)':>18s} | {real_stats[0]:.4f} | {real_stats[1]:.4f} | {real_stats[2]:.4f}")
+    print(f"{'learned profile':>18s} | {profile_stats[0]:.4f} | {profile_stats[1]:.4f} | {profile_stats[2]:.4f}")
+
+    if "--seq2seq" in sys.argv:
+        from repro.seq2seq import (
+            Seq2SeqChannelModel,
+            Seq2SeqTrainer,
+            TrainingConfig,
+        )
+
+        print("\ntraining GRU+attention seq2seq (this takes a few minutes)...")
+        model = Seq2SeqChannelModel(hidden_size=48, embed_dim=12, attention_size=32)
+        trainer = Seq2SeqTrainer(
+            model,
+            TrainingConfig(epochs=10, batch_size=16, learning_rate=3e-3),
+        )
+        history = trainer.fit(dataset.train_pairs, dataset.val_pairs)
+        print(
+            "epoch losses: "
+            + ", ".join(f"{loss:.3f}" for loss in history.train_losses)
+        )
+        rnn_stats = error_statistics(model, test_strands, rng, reads_per_strand=2)
+        print(f"{'seq2seq (RNN)':>18s} | {rnn_stats[0]:.4f} | {rnn_stats[1]:.4f} | {rnn_stats[2]:.4f}")
+    else:
+        print("\n(pass --seq2seq to also train the Figure-4 RNN model)")
+
+
+if __name__ == "__main__":
+    main()

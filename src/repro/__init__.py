@@ -1,0 +1,86 @@
+"""DNA Storage Toolkit - a modular end-to-end DNA data storage codec and simulator.
+
+A reproduction of Sharma et al., ISPASS 2024.  The pipeline has five
+swappable stages (Section III of the paper):
+
+1. **Encoding** (:mod:`repro.codec`) - file -> DNA strands, with an outer
+   Reed-Solomon code over a molecule matrix and the Baseline / Gini /
+   DNAMapper layouts.
+2. **Simulation** (:mod:`repro.simulation`, :mod:`repro.seq2seq`) - wetlab
+   noise channels: the naive i.i.d. model, a SOLQC-style nucleotide-
+   conditioned model, an alignment-fitted positional model, and a trainable
+   GRU+attention sequence-to-sequence model.
+3. **Clustering** (:mod:`repro.clustering`) - the Rashtchian et al.
+   algorithm with q-gram and w-gram signatures and automatic threshold
+   configuration.
+4. **Trace reconstruction** (:mod:`repro.reconstruction`) - BMA-lookahead,
+   double-sided BMA and Needleman-Wunsch/POA consensus.
+5. **Decoding** (:mod:`repro.codec`) - matrix reassembly, RS errata
+   decoding, file recovery.
+
+Quick start::
+
+    from repro import Pipeline, PipelineConfig
+
+    result = Pipeline(PipelineConfig()).run(b"hello, dna")
+    assert result.success and result.data == b"hello, dna"
+"""
+
+from repro.codec import (
+    DNADecoder,
+    DNAEncoder,
+    EncodingParameters,
+    BaselineLayout,
+    GiniLayout,
+    DNAMapperLayout,
+    PrimerPair,
+    design_primer_library,
+)
+from repro.simulation import (
+    IIDChannel,
+    SOLQCChannel,
+    WetlabReferenceChannel,
+    LearnedProfileChannel,
+    ConstantCoverage,
+    PoissonCoverage,
+    NegativeBinomialCoverage,
+    sequence_pool,
+)
+from repro.clustering import ClusteringConfig, RashtchianClusterer
+from repro.reconstruction import (
+    BMAReconstructor,
+    DoubleSidedBMAReconstructor,
+    NWConsensusReconstructor,
+)
+from repro.pipeline import DNAPool, PCRParameters, Pipeline, PipelineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DNAEncoder",
+    "DNADecoder",
+    "EncodingParameters",
+    "BaselineLayout",
+    "GiniLayout",
+    "DNAMapperLayout",
+    "PrimerPair",
+    "design_primer_library",
+    "IIDChannel",
+    "SOLQCChannel",
+    "WetlabReferenceChannel",
+    "LearnedProfileChannel",
+    "ConstantCoverage",
+    "PoissonCoverage",
+    "NegativeBinomialCoverage",
+    "sequence_pool",
+    "ClusteringConfig",
+    "RashtchianClusterer",
+    "BMAReconstructor",
+    "DoubleSidedBMAReconstructor",
+    "NWConsensusReconstructor",
+    "Pipeline",
+    "PipelineConfig",
+    "DNAPool",
+    "PCRParameters",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Evaluation metrics and report formatting for the pipeline experiments."""
+
+from repro.analysis.error_profile import (
+    ErrorProfile,
+    per_index_error_profile,
+    perfect_reconstructions,
+)
+from repro.analysis.simfidelity import FidelityMetrics, fidelity_metrics
+from repro.analysis.density import DensityReport, density_report
+from repro.analysis.poolstats import PoolStatistics, pool_statistics
+from repro.analysis.reliability import pilot_row_reliability, profile_to_row_reliability
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "ErrorProfile",
+    "per_index_error_profile",
+    "perfect_reconstructions",
+    "FidelityMetrics",
+    "fidelity_metrics",
+    "DensityReport",
+    "density_report",
+    "PoolStatistics",
+    "pool_statistics",
+    "pilot_row_reliability",
+    "profile_to_row_reliability",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,82 @@
+"""Information-density accounting.
+
+DNA storage papers compare codecs by *net information density*: payload
+bits actually stored per synthesized nucleotide, after paying for the
+index, the PCR primers, the Reed-Solomon parity molecules, and (for
+constrained codes) the sub-2-bit mapping itself.  Section II-D of the
+paper argues unconstrained coding + ECC wins this accounting; this module
+makes the numbers inspectable for any configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.encoder import EncodingParameters
+
+#: Density of the unconstrained 2-bit mapping, bits per nucleotide.
+UNCONSTRAINED_BITS_PER_NT = 2.0
+
+
+@dataclass(frozen=True)
+class DensityReport:
+    """Where every synthesized nucleotide's capacity goes."""
+
+    #: net payload bits stored per synthesized nucleotide
+    net_bits_per_nt: float
+    #: fraction of synthesized nucleotides spent on payload
+    payload_fraction: float
+    #: fraction spent on the per-molecule index
+    index_fraction: float
+    #: fraction spent on primer sites
+    primer_fraction: float
+    #: fraction of molecules that are RS parity
+    parity_molecule_fraction: float
+    #: total nucleotides synthesized per encoding unit
+    unit_nt: int
+    #: payload bits stored per encoding unit
+    unit_payload_bits: int
+
+    def as_rows(self):
+        return [
+            ["net density (bits/nt)", f"{self.net_bits_per_nt:.4f}"],
+            ["payload fraction", f"{self.payload_fraction:.3f}"],
+            ["index fraction", f"{self.index_fraction:.3f}"],
+            ["primer fraction", f"{self.primer_fraction:.3f}"],
+            ["parity molecules", f"{self.parity_molecule_fraction:.3f}"],
+        ]
+
+
+def density_report(
+    parameters: EncodingParameters,
+    mapping_bits_per_nt: float = UNCONSTRAINED_BITS_PER_NT,
+) -> DensityReport:
+    """Account for one encoding unit under *parameters*.
+
+    ``mapping_bits_per_nt`` lets the same accounting cover constrained
+    codecs (e.g. the rotating code's log2(3) bits/nt).
+    """
+    if mapping_bits_per_nt <= 0:
+        raise ValueError("mapping_bits_per_nt must be positive")
+    strand_nt = parameters.strand_nt
+    molecules = parameters.total_columns
+    unit_nt = strand_nt * molecules
+
+    payload_nt_per_molecule = parameters.payload_bytes * 4
+    index_nt = parameters.index_bytes * 4
+    primer_nt = strand_nt - parameters.body_nt
+
+    data_molecules = parameters.data_columns
+    unit_payload_bits = int(
+        payload_nt_per_molecule * mapping_bits_per_nt * data_molecules
+    )
+
+    return DensityReport(
+        net_bits_per_nt=unit_payload_bits / unit_nt,
+        payload_fraction=payload_nt_per_molecule * data_molecules / unit_nt,
+        index_fraction=index_nt * molecules / unit_nt,
+        primer_fraction=primer_nt * molecules / unit_nt,
+        parity_molecule_fraction=parameters.parity_columns / molecules,
+        unit_nt=unit_nt,
+        unit_payload_bits=unit_payload_bits,
+    )

@@ -1,0 +1,102 @@
+"""Per-index reconstruction error profiles (Figures 3 and 6 of the paper).
+
+The error rate at index ``i`` is the fraction of strands whose reconstructed
+base at ``i`` differs from the reference base at ``i``.  This positional
+view is what exposes BMA's propagation skew, double-sided BMA's middle peak,
+and how closely a simulator reproduces real-data difficulty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ErrorProfile:
+    """Positional error statistics over a set of reconstructions."""
+
+    #: error rate per strand index
+    rates: np.ndarray
+    #: number of (reference, reconstruction) pairs evaluated
+    strands: int
+    #: number of pairs that matched exactly
+    perfect: int
+
+    @property
+    def mean_rate(self) -> float:
+        """Average per-index error rate — metric (ii) of Table I."""
+        return float(self.rates.mean()) if self.rates.size else 0.0
+
+    def deviation_from(self, other: "ErrorProfile") -> float:
+        """Mean absolute per-index deviation — metric (iii) of Table I."""
+        if self.rates.shape != other.rates.shape:
+            raise ValueError(
+                f"profiles cover different lengths: {self.rates.size} vs "
+                f"{other.rates.size}"
+            )
+        return float(np.abs(self.rates - other.rates).mean())
+
+
+def per_index_error_profile(
+    references: Sequence[str], reconstructions: Sequence[str]
+) -> ErrorProfile:
+    """Compare reconstructions against references position by position.
+
+    All references must share one length; reconstructions are compared up to
+    that length (shorter reconstructions count as errors at the missing
+    indexes, mirroring how the decoder treats them).
+    """
+    if len(references) != len(reconstructions):
+        raise ValueError(
+            f"{len(references)} references vs {len(reconstructions)} reconstructions"
+        )
+    if not references:
+        raise ValueError("at least one strand pair is required")
+    length = len(references[0])
+    if any(len(reference) != length for reference in references):
+        raise ValueError("all references must have the same length")
+
+    errors = np.zeros(length, dtype=np.int64)
+    perfect = 0
+    for reference, reconstruction in zip(references, reconstructions):
+        if reference == reconstruction:
+            perfect += 1
+            continue
+        for index in range(length):
+            if index >= len(reconstruction) or reconstruction[index] != reference[index]:
+                errors[index] += 1
+    return ErrorProfile(
+        rates=errors / len(references), strands=len(references), perfect=perfect
+    )
+
+
+def perfect_reconstructions(
+    references: Sequence[str], reconstructions: Sequence[str]
+) -> int:
+    """Count exactly-recovered strands — metric (iv) of Table I."""
+    if len(references) != len(reconstructions):
+        raise ValueError("references and reconstructions must pair up")
+    return sum(
+        1
+        for reference, reconstruction in zip(references, reconstructions)
+        if reference == reconstruction
+    )
+
+
+def smooth_profile(rates: Sequence[float], window: int = 5) -> List[float]:
+    """Centered moving average, used when printing profile series."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    values = np.asarray(rates, dtype=np.float64)
+    if values.size == 0:
+        return []
+    half = window // 2
+    smoothed = []
+    for index in range(values.size):
+        lo = max(0, index - half)
+        hi = min(values.size, index + half + 1)
+        smoothed.append(float(values[lo:hi].mean()))
+    return smoothed

@@ -1,0 +1,119 @@
+"""Synthesis-readiness statistics for an encoded pool.
+
+Before sending strands to a synthesis service, practitioners screen them
+for the properties that depress synthesis yield: extreme GC content, long
+homopolymer runs, and accidental similarity to the PCR primers of *other*
+files stored in the same pool (which would make PCR selection leak between
+files).  Unconstrained coding relies on whitening to keep these
+statistics healthy, and this module is how that claim is audited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.codec.primers import PrimerPair
+from repro.dna.distance import hamming_distance
+from repro.dna.sequence import gc_content, max_homopolymer
+
+
+@dataclass
+class PoolStatistics:
+    """Aggregate screen results for one pool of strands."""
+
+    strands: int
+    gc_mean: float
+    gc_min: float
+    gc_max: float
+    #: strands with GC outside the acceptable window
+    gc_violations: int
+    homopolymer_max: int
+    #: strands whose longest run exceeds the acceptable cap
+    homopolymer_violations: int
+    #: histogram of longest-run lengths: run length -> strand count
+    homopolymer_histogram: Dict[int, int] = field(default_factory=dict)
+    #: strands containing a window too close to a foreign primer
+    primer_collisions: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether the pool passes every screen."""
+        return (
+            self.gc_violations == 0
+            and self.homopolymer_violations == 0
+            and self.primer_collisions == 0
+        )
+
+
+def pool_statistics(
+    strands: Sequence[str],
+    gc_bounds=(0.3, 0.7),
+    max_run: int = 6,
+    foreign_primers: Optional[Sequence[PrimerPair]] = None,
+    primer_min_distance: int = 6,
+) -> PoolStatistics:
+    """Screen *strands* for synthesis- and PCR-safety.
+
+    Parameters
+    ----------
+    gc_bounds / max_run:
+        The acceptable GC window and homopolymer cap (synthesis screens).
+    foreign_primers:
+        Primer pairs of *other* files in the same tube; a strand colliding
+        with one (some window within ``primer_min_distance`` Hamming
+        distance of the primer) could be amplified by the wrong PCR.
+    """
+    if not strands:
+        raise ValueError("pool_statistics requires at least one strand")
+    gc_values: List[float] = []
+    run_lengths: List[int] = []
+    gc_violations = 0
+    run_violations = 0
+    histogram: Dict[int, int] = {}
+    for strand in strands:
+        gc = gc_content(strand)
+        gc_values.append(gc)
+        if not gc_bounds[0] <= gc <= gc_bounds[1]:
+            gc_violations += 1
+        run = max_homopolymer(strand)
+        run_lengths.append(run)
+        histogram[run] = histogram.get(run, 0) + 1
+        if run > max_run:
+            run_violations += 1
+
+    collisions = 0
+    if foreign_primers:
+        sites: List[str] = []
+        for pair in foreign_primers:
+            sites.extend((pair.forward, pair.reverse))
+        for strand in strands:
+            if _collides(strand, sites, primer_min_distance):
+                collisions += 1
+
+    gc_array = np.asarray(gc_values)
+    return PoolStatistics(
+        strands=len(strands),
+        gc_mean=float(gc_array.mean()),
+        gc_min=float(gc_array.min()),
+        gc_max=float(gc_array.max()),
+        gc_violations=gc_violations,
+        homopolymer_max=max(run_lengths),
+        homopolymer_violations=run_violations,
+        homopolymer_histogram=dict(sorted(histogram.items())),
+        primer_collisions=collisions,
+    )
+
+
+def _collides(strand: str, sites: Sequence[str], min_distance: int) -> bool:
+    for site in sites:
+        width = len(site)
+        if len(strand) < width:
+            continue
+        for start in range(len(strand) - width + 1):
+            window = strand[start : start + width]
+            if hamming_distance(window, site) < min_distance:
+                return True
+    return False

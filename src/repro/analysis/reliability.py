@@ -1,0 +1,79 @@
+"""Estimating per-row reliability profiles for DNAMapper.
+
+DNAMapper needs to know which strand indexes (matrix rows) reconstruct
+reliably.  In practice this is measured with a *pilot run*: encode known
+data, push it through the channel + reconstruction, and record the
+per-index error rate (exactly the paper's Figure 6 measurement).  This
+module turns such a profile into the reliability scores
+:class:`~repro.codec.layout.DNAMapperLayout` consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.analysis.error_profile import per_index_error_profile, smooth_profile
+from repro.dna.alphabet import random_sequence
+from repro.reconstruction.base import Reconstructor
+from repro.simulation.channel import Channel
+
+
+def profile_to_row_reliability(
+    rates: Sequence[float],
+    payload_bytes: int,
+    index_nt: int,
+    smoothing_window: int = 5,
+) -> List[float]:
+    """Convert a per-*nucleotide* error profile into per-*row* scores.
+
+    The profile covers the whole strand body (index + payload); each
+    payload byte (matrix row) spans four nucleotides, whose smoothed error
+    rates are averaged.  Returned scores are ``1 - error`` (higher =
+    more reliable), one per row.
+    """
+    if payload_bytes <= 0:
+        raise ValueError("payload_bytes must be positive")
+    expected = index_nt + payload_bytes * 4
+    if len(rates) != expected:
+        raise ValueError(
+            f"profile covers {len(rates)} nt, expected {expected} "
+            f"(index {index_nt} nt + {payload_bytes} payload bytes)"
+        )
+    smoothed = smooth_profile(rates, window=smoothing_window)
+    reliability = []
+    for row in range(payload_bytes):
+        start = index_nt + row * 4
+        window = smoothed[start : start + 4]
+        reliability.append(1.0 - sum(window) / len(window))
+    return reliability
+
+
+def pilot_row_reliability(
+    channel: Channel,
+    reconstructor: Reconstructor,
+    payload_bytes: int,
+    index_nt: int = 12,
+    pilot_strands: int = 100,
+    coverage: int = 10,
+    rng: Optional[random.Random] = None,
+) -> List[float]:
+    """Run a synthetic pilot and return per-row reliability scores.
+
+    Random strands of the production body length are pushed through
+    *channel* and *reconstructor*; the measured per-index error profile is
+    collapsed to rows with :func:`profile_to_row_reliability`.
+    """
+    if pilot_strands <= 0 or coverage <= 0:
+        raise ValueError("pilot_strands and coverage must be positive")
+    rng = rng or random.Random()
+    body_nt = index_nt + payload_bytes * 4
+    references = [random_sequence(body_nt, rng) for _ in range(pilot_strands)]
+    reconstructions = []
+    for reference in references:
+        cluster = [channel.transmit(reference, rng) for _ in range(coverage)]
+        reconstructions.append(reconstructor.reconstruct(cluster, body_nt))
+    profile = per_index_error_profile(references, reconstructions)
+    return profile_to_row_reliability(
+        profile.rates.tolist(), payload_bytes, index_nt
+    )

@@ -1,0 +1,73 @@
+"""Plain-text tables and series for benchmark output.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+tables print aligned columns, figures print their data series (index,
+value) so the shape — who wins, where the peaks sit — is inspectable
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Render rows as an aligned monospace table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths = [
+        max(len(str(headers[c])), *(len(str(row[c])) for row in rows)) if rows else len(str(headers[c]))
+        for c in range(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(divider)
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    values: Sequence[float],
+    stride: int = 1,
+    precision: int = 4,
+) -> str:
+    """Render a numeric series as ``name[index] = value`` lines.
+
+    ``stride`` subsamples long series so figure output stays readable.
+    """
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    lines = [
+        f"{name}[{index}] = {values[index]:.{precision}f}"
+        for index in range(0, len(values), stride)
+    ]
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 80) -> str:
+    """A coarse unicode sparkline: the figure's shape at a glance."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    if len(values) > width:
+        step = len(values) / width
+        sampled = [values[int(i * step)] for i in range(width)]
+    else:
+        sampled = list(values)
+    return "".join(
+        glyphs[min(len(glyphs) - 1, int((v - lo) / span * (len(glyphs) - 1)))]
+        for v in sampled
+    )

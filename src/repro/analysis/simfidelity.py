@@ -1,0 +1,50 @@
+"""Simulator fidelity metrics (Section V-A, Table I of the paper).
+
+A wetlab simulator is judged not by how its raw error statistics look, but
+by whether the *downstream pipeline behaves the same* on simulated data as
+on real data.  Concretely: reconstruct strands from clusters produced by the
+simulator and by the real channel, and compare
+
+* (ii) the average per-index reconstruction error rate,
+* (iii) the mean absolute per-index deviation from the real profile,
+* (iv) the number of perfectly reconstructed strands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.error_profile import ErrorProfile
+
+
+@dataclass
+class FidelityMetrics:
+    """Table-I row for one simulator."""
+
+    name: str
+    #: (ii) average per-index error rate after reconstruction
+    mean_error_rate: float
+    #: (iii) mean absolute per-index deviation from the real profile
+    deviation_from_real: float
+    #: (iv) number of perfectly reconstructed strands
+    perfect_strands: int
+
+    def as_row(self) -> list:
+        return [
+            self.name,
+            f"{self.mean_error_rate * 100:.2f}%",
+            f"{self.deviation_from_real * 100:.2f}%",
+            str(self.perfect_strands),
+        ]
+
+
+def fidelity_metrics(
+    name: str, simulated: ErrorProfile, real: ErrorProfile
+) -> FidelityMetrics:
+    """Compute the Table-I metrics for one simulator against the real profile."""
+    return FidelityMetrics(
+        name=name,
+        mean_error_rate=simulated.mean_rate,
+        deviation_from_real=simulated.deviation_from(real),
+        perfect_strands=simulated.perfect,
+    )

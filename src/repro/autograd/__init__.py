@@ -1,0 +1,16 @@
+"""A minimal reverse-mode automatic differentiation engine on numpy.
+
+PyTorch is not a dependency of this toolkit, so the GRU+attention channel
+simulator (Figure 4 of the paper) is built on this small autograd: a
+:class:`~repro.autograd.tensor.Tensor` wrapping a numpy array, a tape of
+differentiable operations, and an Adam optimiser.  The engine supports the
+ops a recurrent encoder-decoder needs — matmul, broadcasting arithmetic,
+sigmoid/tanh, softmax cross-entropy, concatenation, embedding lookup — and
+nothing more.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd import functional
+from repro.autograd.optim import SGD, Adam
+
+__all__ = ["Tensor", "no_grad", "functional", "SGD", "Adam"]

@@ -1,0 +1,147 @@
+"""Differentiable functions beyond Tensor's operators."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Elementwise logistic sigmoid."""
+    out = 1.0 / (1.0 + np.exp(-x.data))
+
+    def backward(gradient):
+        return (gradient * out * (1.0 - out),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    out = np.tanh(x.data)
+
+    def backward(gradient):
+        return (gradient * (1.0 - out**2),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise rectifier."""
+    mask = x.data > 0
+
+    def backward(gradient):
+        return (gradient * mask,)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def exp(x: Tensor) -> Tensor:
+    """Elementwise exponential."""
+    out = np.exp(x.data)
+
+    def backward(gradient):
+        return (gradient * out,)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def log(x: Tensor) -> Tensor:
+    """Elementwise natural logarithm."""
+
+    def backward(gradient):
+        return (gradient / x.data,)
+
+    return Tensor._make(np.log(x.data), (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along *axis*."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(gradient):
+        dot = (gradient * out).sum(axis=axis, keepdims=True)
+        return (out * (gradient - dot),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along *axis*."""
+    tensors = list(tensors)
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(gradient):
+        return tuple(np.split(gradient, splits, axis=axis))
+
+    return Tensor._make(
+        np.concatenate([t.data for t in tensors], axis=axis), tuple(tensors), backward
+    )
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new *axis*."""
+    tensors = list(tensors)
+
+    def backward(gradient):
+        moved = np.moveaxis(gradient, axis, 0)
+        return tuple(moved[i] for i in range(len(tensors)))
+
+    return Tensor._make(
+        np.stack([t.data for t in tensors], axis=axis), tuple(tensors), backward
+    )
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of *weight* by integer *indices*."""
+    indices = np.asarray(indices)
+
+    def backward(gradient):
+        grad = np.zeros_like(weight.data)
+        np.add.at(grad, indices.reshape(-1), gradient.reshape(-1, weight.data.shape[1]))
+        return (grad,)
+
+    return Tensor._make(weight.data[indices], (weight,), backward)
+
+
+def cross_entropy_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy between *logits* and integer *targets*.
+
+    ``logits`` has shape ``(batch, classes)``; ``targets`` is ``(batch,)``.
+    The fused formulation keeps the backward pass stable and cheap.
+    """
+    targets = np.asarray(targets)
+    if logits.data.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.data.shape}")
+    batch = logits.data.shape[0]
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    probabilities = exps / exps.sum(axis=1, keepdims=True)
+    losses = -np.log(probabilities[np.arange(batch), targets] + 1e-12)
+
+    def backward(gradient):
+        grad = probabilities.copy()
+        grad[np.arange(batch), targets] -= 1.0
+        return (grad * (gradient / batch),)
+
+    return Tensor._make(losses.mean(), (logits,), backward)
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; pass ``rate=0`` (or use no_grad) at inference."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"rate must be in [0, 1), got {rate}")
+    if rate == 0.0:
+        return x
+    mask = (rng.random(x.data.shape) >= rate) / (1.0 - rate)
+
+    def backward(gradient):
+        return (gradient * mask,)
+
+    return Tensor._make(x.data * mask, (x,), backward)

@@ -1,0 +1,96 @@
+"""Gradient-descent optimisers for the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Optimizer:
+    """Base class holding the parameter list."""
+
+    def __init__(self, parameters: Iterable[Tensor]):
+        self.parameters: List[Tensor] = [p for p in parameters if p.requires_grad]
+        if not self.parameters:
+            raise ValueError("optimizer received no trainable parameters")
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Scale gradients so their global L2 norm is at most *max_norm*."""
+        total = 0.0
+        for parameter in self.parameters:
+            if parameter.grad is not None:
+                total += float((parameter.grad**2).sum())
+        norm = total**0.5
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.grad *= scale
+        return norm
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.lr * parameter.grad
+            parameter.data += velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        correction1 = 1.0 - self.beta1**self._step
+        correction2 = 1.0 - self.beta2**self._step
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,258 @@
+"""The Tensor type: a numpy array plus a backward tape.
+
+Gradients are accumulated by topologically-sorted reverse traversal of the
+computation graph.  Broadcasting is handled by summing gradients back over
+broadcast dimensions, so layers can use numpy-style shapes freely.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def _unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum *gradient* down to *shape* (inverse of numpy broadcasting)."""
+    if gradient.shape == shape:
+        return gradient
+    # Remove leading broadcast axes.
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    # Collapse axes that were broadcast from 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient
+
+
+class Tensor:
+    """A differentiable numpy array.
+
+    Parameters
+    ----------
+    data:
+        Array (or array-like) payload; floats are stored as float64 for
+        numerically stable gradient checking.
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = requires_grad and _grad_enabled
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------------
+    # Graph bookkeeping
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        result = Tensor(data, requires_grad=requires)
+        if requires:
+            result._parents = parents
+            result._backward = backward
+        return result
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += gradient
+
+    def backward(self, gradient: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor (default seed: ones)."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that requires no grad")
+        if gradient is None:
+            gradient = np.ones_like(self.data)
+        ordering: List[Tensor] = []
+        seen = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in seen or not node.requires_grad:
+                return
+            seen.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            ordering.append(node)
+
+        visit(self)
+        grads = {id(self): np.asarray(gradient, dtype=np.float64)}
+        for node in reversed(ordering):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            node._accumulate(node_grad)
+            if node._backward is None:
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if not parent.requires_grad or parent_grad is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic (each op returns a new Tensor wired into the tape)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(gradient):
+            return (
+                _unbroadcast(gradient, self.data.shape),
+                _unbroadcast(gradient, other.data.shape),
+            )
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(gradient):
+            return (
+                _unbroadcast(gradient * other.data, self.data.shape),
+                _unbroadcast(gradient * self.data, other.data.shape),
+            )
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(gradient):
+            return (
+                _unbroadcast(gradient / other.data, self.data.shape),
+                _unbroadcast(
+                    -gradient * self.data / (other.data**2), other.data.shape
+                ),
+            )
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("Tensor exponents are not supported; use exp/log")
+
+        def backward(gradient):
+            return (gradient * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(self.data**exponent, (self,), backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(gradient):
+            grad_self = gradient @ other.data.swapaxes(-1, -2)
+            grad_other = self.data.swapaxes(-1, -2) @ gradient
+            return (
+                _unbroadcast(grad_self, self.data.shape),
+                _unbroadcast(grad_other, other.data.shape),
+            )
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(gradient):
+            grad = gradient
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            return (np.broadcast_to(grad, self.data.shape).copy(),)
+
+        return Tensor._make(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        total = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / total)
+
+    def reshape(self, *shape) -> "Tensor":
+        original = self.data.shape
+        return Tensor._make(
+            self.data.reshape(*shape), (self,), lambda g: (g.reshape(original),)
+        )
+
+    def transpose(self, *axes) -> "Tensor":
+        axes = axes or tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(axes)
+        return Tensor._make(
+            self.data.transpose(axes), (self,), lambda g: (g.transpose(inverse),)
+        )
+
+    def __getitem__(self, key) -> "Tensor":
+        def backward(gradient):
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, key, gradient)
+            return (grad,)
+
+        return Tensor._make(self.data[key], (self,), backward)

@@ -1,0 +1,342 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Each pipeline stage is exposed as a subcommand operating on plain text
+files (one strand/read per line), so stages can be chained, inspected and
+swapped from the shell exactly as the library allows from Python:
+
+    python -m repro encode  photo.jpg strands.txt
+    python -m repro simulate strands.txt reads.txt --channel nanopore --coverage 10
+    python -m repro cluster  reads.txt clusters.txt
+    python -m repro reconstruct reads.txt clusters.txt consensus.txt
+    python -m repro decode   consensus.txt recovered.jpg --params strands.txt.params.json
+    python -m repro pipeline photo.jpg recovered.jpg        # all of the above
+    python -m repro density  --payload-bytes 30 --parity-columns 20
+
+``encode`` writes a ``<output>.params.json`` sidecar capturing the encoding
+parameters; ``decode`` reads it back so the two ends always agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import density_report, format_table
+from repro.clustering import ClusteringConfig, RashtchianClusterer
+from repro.codec import DNADecoder, DNAEncoder, EncodingParameters
+from repro.codec.layout import make_layout
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.reconstruction import (
+    BMAReconstructor,
+    DoubleSidedBMAReconstructor,
+    NWConsensusReconstructor,
+)
+from repro.simulation import (
+    ConstantCoverage,
+    IIDChannel,
+    SOLQCChannel,
+    WetlabReferenceChannel,
+    sequence_pool,
+)
+
+_RECONSTRUCTORS = {
+    "bma": BMAReconstructor,
+    "dbma": DoubleSidedBMAReconstructor,
+    "nwa": NWConsensusReconstructor,
+}
+
+
+def _channel_from_args(args) -> object:
+    if args.channel == "iid":
+        return IIDChannel.from_total_rate(args.error_rate)
+    if args.channel == "solqc":
+        return SOLQCChannel()
+    if args.channel == "illumina":
+        return WetlabReferenceChannel.illumina()
+    if args.channel == "nanopore":
+        return WetlabReferenceChannel.nanopore()
+    raise ValueError(f"unknown channel {args.channel!r}")
+
+
+def _encoding_from_args(args) -> EncodingParameters:
+    return EncodingParameters(
+        payload_bytes=args.payload_bytes,
+        data_columns=args.data_columns,
+        parity_columns=args.parity_columns,
+        index_bytes=args.index_bytes,
+        layout=make_layout(args.layout),
+    )
+
+
+def _params_path(strands_path: str) -> Path:
+    return Path(f"{strands_path}.params.json")
+
+
+def _save_params(strands_path: str, parameters: EncodingParameters, num_units: int) -> None:
+    payload = {
+        "payload_bytes": parameters.payload_bytes,
+        "data_columns": parameters.data_columns,
+        "parity_columns": parameters.parity_columns,
+        "index_bytes": parameters.index_bytes,
+        "layout": parameters.layout.name,
+        "randomize": parameters.randomize,
+        "randomizer_seed": parameters.randomizer_seed,
+        "num_units": num_units,
+    }
+    _params_path(strands_path).write_text(json.dumps(payload, indent=2))
+
+
+def _load_params(path: str):
+    data = json.loads(Path(path).read_text())
+    num_units = data.pop("num_units", None)
+    layout = make_layout(data.pop("layout", "baseline"))
+    return EncodingParameters(layout=layout, **data), num_units
+
+
+def _read_lines(path: str) -> List[str]:
+    return [
+        line.strip()
+        for line in Path(path).read_text().splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+
+
+def _write_lines(path: str, lines) -> None:
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_encode(args) -> int:
+    parameters = _encoding_from_args(args)
+    data = Path(args.input).read_bytes()
+    pool = DNAEncoder(parameters).encode(data)
+    _write_lines(args.output, pool.references)
+    _save_params(args.output, parameters, pool.num_units)
+    print(
+        f"encoded {len(data)} B into {len(pool.references)} strands "
+        f"({pool.num_units} unit(s)); parameters -> {_params_path(args.output)}"
+    )
+    return 0
+
+
+def cmd_decode(args) -> int:
+    parameters, num_units = _load_params(args.params)
+    strands = _read_lines(args.input)
+    data, report = DNADecoder(parameters).decode(strands, expected_units=num_units)
+    Path(args.output).write_bytes(data)
+    status = "OK" if report.success else "FAILED (best effort written)"
+    print(
+        f"decoded {len(data)} B [{status}] — rows: {report.clean_rows} clean, "
+        f"{report.corrected_rows} corrected, {report.failed_rows} failed; "
+        f"{report.missing_columns} molecules missing"
+    )
+    return 0 if report.success else 1
+
+
+def cmd_simulate(args) -> int:
+    strands = _read_lines(args.input)
+    channel = _channel_from_args(args)
+    rng = random.Random(args.seed)
+    run = sequence_pool(strands, channel, ConstantCoverage(args.coverage), rng)
+    _write_lines(args.output, run.reads)
+    print(
+        f"sequenced {len(strands)} strands at coverage {args.coverage} "
+        f"through {args.channel}: {len(run.reads)} reads "
+        f"({len(run.dropouts)} dropouts)"
+    )
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    reads = _read_lines(args.input)
+    config = ClusteringConfig(signature=args.signature, seed=args.seed)
+    result = RashtchianClusterer(config).cluster(reads)
+    _write_lines(
+        args.output,
+        (" ".join(str(i) for i in cluster) for cluster in result.clusters),
+    )
+    print(
+        f"clustered {len(reads)} reads into {len(result.clusters)} clusters "
+        f"in {result.total_seconds:.1f}s "
+        f"({result.edit_comparisons} edit-distance calls; "
+        f"theta=({result.theta_low:.1f}, {result.theta_high:.1f}))"
+    )
+    return 0
+
+
+def cmd_reconstruct(args) -> int:
+    reads = _read_lines(args.reads)
+    clusters = [
+        [int(token) for token in line.split()] for line in _read_lines(args.clusters)
+    ]
+    reconstructor = _RECONSTRUCTORS[args.algorithm]()
+    consensus = [
+        reconstructor.reconstruct([reads[i] for i in cluster], args.length)
+        for cluster in clusters
+        if len(cluster) >= args.min_cluster_size
+    ]
+    _write_lines(args.output, consensus)
+    print(
+        f"reconstructed {len(consensus)} strands with {args.algorithm} "
+        f"(expected length {args.length})"
+    )
+    return 0
+
+
+def cmd_pipeline(args) -> int:
+    data = Path(args.input).read_bytes()
+    config = PipelineConfig(
+        encoding=_encoding_from_args(args),
+        channel=_channel_from_args(args),
+        coverage=ConstantCoverage(args.coverage),
+        clustering=ClusteringConfig(signature=args.signature, seed=args.seed),
+        reconstructor=_RECONSTRUCTORS[args.algorithm](),
+        seed=args.seed,
+    )
+    result = Pipeline(config).run(data)
+    Path(args.output).write_bytes(result.data)
+    rows = [
+        [stage, f"{seconds:.2f}"]
+        for stage, seconds in result.timings.as_dict().items()
+    ]
+    print(format_table(["stage", "seconds"], rows, title="pipeline latency"))
+    match = result.data == data
+    print(f"round trip: {'exact recovery' if match else 'MISMATCH'}")
+    return 0 if match else 1
+
+
+def cmd_density(args) -> int:
+    report = density_report(_encoding_from_args(args))
+    print(format_table(["quantity", "value"], report.as_rows(), title="density"))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.analysis.poolstats import pool_statistics
+
+    strands = _read_lines(args.input)
+    stats = pool_statistics(strands, max_run=args.max_run)
+    rows = [
+        ["strands", str(stats.strands)],
+        ["GC mean / min / max", f"{stats.gc_mean:.3f} / {stats.gc_min:.3f} / {stats.gc_max:.3f}"],
+        ["GC violations", str(stats.gc_violations)],
+        ["longest homopolymer", str(stats.homopolymer_max)],
+        [f"runs > {args.max_run}", str(stats.homopolymer_violations)],
+        ["verdict", "clean" if stats.clean else "screen violations present"],
+    ]
+    print(format_table(["quantity", "value"], rows, title="pool statistics"))
+    return 0 if stats.clean else 1
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def _add_encoding_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--payload-bytes", type=int, default=30)
+    parser.add_argument("--data-columns", type=int, default=60)
+    parser.add_argument("--parity-columns", type=int, default=20)
+    parser.add_argument("--index-bytes", type=int, default=3)
+    parser.add_argument(
+        "--layout", choices=("baseline", "gini", "dnamapper"), default="baseline"
+    )
+
+
+def _add_channel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--channel",
+        choices=("iid", "solqc", "illumina", "nanopore"),
+        default="iid",
+    )
+    parser.add_argument("--error-rate", type=float, default=0.06)
+    parser.add_argument("--coverage", type=int, default=10)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DNA Storage Toolkit command line"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    encode = commands.add_parser("encode", help="file -> strands")
+    encode.add_argument("input")
+    encode.add_argument("output")
+    _add_encoding_arguments(encode)
+    encode.set_defaults(handler=cmd_encode)
+
+    decode = commands.add_parser("decode", help="strands -> file")
+    decode.add_argument("input")
+    decode.add_argument("output")
+    decode.add_argument(
+        "--params",
+        required=True,
+        help="params sidecar written by `encode` (…/strands.txt.params.json)",
+    )
+    decode.set_defaults(handler=cmd_decode)
+
+    simulate = commands.add_parser("simulate", help="strands -> noisy reads")
+    simulate.add_argument("input")
+    simulate.add_argument("output")
+    _add_channel_arguments(simulate)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(handler=cmd_simulate)
+
+    cluster = commands.add_parser("cluster", help="reads -> clusters")
+    cluster.add_argument("input")
+    cluster.add_argument("output")
+    cluster.add_argument("--signature", choices=("qgram", "wgram"), default="qgram")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.set_defaults(handler=cmd_cluster)
+
+    reconstruct = commands.add_parser(
+        "reconstruct", help="reads + clusters -> consensus strands"
+    )
+    reconstruct.add_argument("reads")
+    reconstruct.add_argument("clusters")
+    reconstruct.add_argument("output")
+    reconstruct.add_argument("--algorithm", choices=sorted(_RECONSTRUCTORS), default="nwa")
+    reconstruct.add_argument("--length", type=int, required=True)
+    reconstruct.add_argument("--min-cluster-size", type=int, default=2)
+    reconstruct.set_defaults(handler=cmd_reconstruct)
+
+    pipeline = commands.add_parser("pipeline", help="full round trip")
+    pipeline.add_argument("input")
+    pipeline.add_argument("output")
+    _add_encoding_arguments(pipeline)
+    _add_channel_arguments(pipeline)
+    pipeline.add_argument("--signature", choices=("qgram", "wgram"), default="qgram")
+    pipeline.add_argument("--algorithm", choices=sorted(_RECONSTRUCTORS), default="nwa")
+    pipeline.add_argument("--seed", type=int, default=0)
+    pipeline.set_defaults(handler=cmd_pipeline)
+
+    density = commands.add_parser("density", help="information-density report")
+    _add_encoding_arguments(density)
+    density.set_defaults(handler=cmd_density)
+
+    stats = commands.add_parser(
+        "stats", help="synthesis-screen statistics for a strands file"
+    )
+    stats.add_argument("input")
+    stats.add_argument("--max-run", type=int, default=6)
+    stats.set_defaults(handler=cmd_stats)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

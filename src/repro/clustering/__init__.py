@@ -1,0 +1,39 @@
+"""Clustering of noisy reads (Section VI).
+
+Implements the distributed clustering algorithm of Rashtchian et al.
+(NeurIPS 2017): reads start as singleton clusters and are merged over
+several rounds.  Each round buckets clusters by the bases following a random
+*anchor*, compares bucket-mates via cheap gram signatures, and falls back to
+an (expensive) edit-distance check only when the signature distance is
+between two thresholds.  Both the baseline **q-gram** signatures and the
+paper's novel **w-gram** positional signatures are supported, as is the
+automatic threshold configuration of Section VI-B (Figure 5).
+"""
+
+from repro.clustering.unionfind import UnionFind
+from repro.clustering.rashtchian import (
+    ClusteringConfig,
+    ClusteringResult,
+    RashtchianClusterer,
+)
+from repro.clustering.thresholds import ThresholdEstimate, estimate_thresholds
+from repro.clustering.tree import TreeClusterer, TreeClusteringConfig
+from repro.clustering.metrics import (
+    clustering_accuracy,
+    cluster_purity,
+    confusion_counts,
+)
+
+__all__ = [
+    "UnionFind",
+    "ClusteringConfig",
+    "ClusteringResult",
+    "RashtchianClusterer",
+    "ThresholdEstimate",
+    "estimate_thresholds",
+    "TreeClusterer",
+    "TreeClusteringConfig",
+    "clustering_accuracy",
+    "cluster_purity",
+    "confusion_counts",
+]

@@ -1,0 +1,106 @@
+"""Clustering quality metrics.
+
+The headline metric follows Rashtchian et al.: a true cluster is *recovered*
+when some output cluster contains at least a ``gamma`` fraction of its reads
+and nothing else.  Accuracy is the fraction of true clusters recovered —
+this is the "clustering accuracy" column of Table II in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+
+def _as_label_map(clusters: Sequence[Sequence[int]]) -> Dict[int, int]:
+    labels: Dict[int, int] = {}
+    for label, members in enumerate(clusters):
+        for member in members:
+            if member in labels:
+                raise ValueError(f"read {member} appears in two clusters")
+            labels[member] = label
+    return labels
+
+
+def clustering_accuracy(
+    predicted: Sequence[Sequence[int]],
+    truth: Sequence[Sequence[int]],
+    gamma: float = 1.0,
+) -> float:
+    """Fraction of true clusters recovered (Rashtchian's :math:`A_\\gamma`).
+
+    Parameters
+    ----------
+    predicted, truth:
+        Clusterings as lists of read-index lists.
+    gamma:
+        Minimum fraction of a true cluster an output cluster must contain;
+        the output cluster must additionally contain no foreign reads.
+    """
+    if not 0.0 < gamma <= 1.0:
+        raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+    if not truth:
+        raise ValueError("truth clustering must be non-empty")
+    predicted_labels = _as_label_map(predicted)
+    predicted_sizes = Counter(predicted_labels.values())
+
+    recovered = 0
+    for true_members in truth:
+        if not true_members:
+            continue
+        votes = Counter(
+            predicted_labels[member]
+            for member in true_members
+            if member in predicted_labels
+        )
+        if not votes:
+            continue
+        best_label, overlap = votes.most_common(1)[0]
+        contains_enough = overlap >= gamma * len(true_members)
+        is_pure = predicted_sizes[best_label] == overlap
+        if contains_enough and is_pure:
+            recovered += 1
+    return recovered / len(truth)
+
+
+def cluster_purity(
+    predicted: Sequence[Sequence[int]], truth: Sequence[Sequence[int]]
+) -> float:
+    """Weighted purity: reads in their cluster's dominant true class."""
+    truth_labels = _as_label_map(truth)
+    total = 0
+    pure = 0
+    for members in predicted:
+        if not members:
+            continue
+        votes = Counter(truth_labels.get(member, -1) for member in members)
+        pure += votes.most_common(1)[0][1]
+        total += len(members)
+    return pure / total if total else 0.0
+
+
+def confusion_counts(
+    predicted: Sequence[Sequence[int]], truth: Sequence[Sequence[int]]
+) -> Tuple[int, int, int, int]:
+    """Pairwise (TP, FP, FN, TN) counts over all read pairs.
+
+    Quadratic in the number of reads within clusters; intended for test-
+    and benchmark-scale inputs.
+    """
+    predicted_labels = _as_label_map(predicted)
+    truth_labels = _as_label_map(truth)
+    reads: List[int] = sorted(truth_labels)
+    tp = fp = fn = tn = 0
+    for i_pos, i in enumerate(reads):
+        for j in reads[i_pos + 1 :]:
+            same_pred = predicted_labels.get(i) == predicted_labels.get(j) and i in predicted_labels and j in predicted_labels
+            same_true = truth_labels[i] == truth_labels[j]
+            if same_pred and same_true:
+                tp += 1
+            elif same_pred:
+                fp += 1
+            elif same_true:
+                fn += 1
+            else:
+                tn += 1
+    return tp, fp, fn, tn

@@ -1,0 +1,122 @@
+"""Clover-style prefix-tree clustering (related work, Section X).
+
+Clover (Qu et al., 2022) clusters DNA reads with a multi-tree index over
+read prefixes instead of Levenshtein comparisons, trading a little accuracy
+for dramatically lower memory and compute.  This module implements the same
+idea in the toolkit's pluggable-clusterer shape so users can compare it
+against the Rashtchian algorithm:
+
+* every cluster keeps one representative read;
+* a read joins a cluster when, at some probe offset, its ``probe_length``-
+  base window exactly matches the representative's window at a nearby
+  offset (the offset wobble absorbs indels);
+* otherwise the read founds a new cluster.
+
+There is no edit-distance computation anywhere, which is exactly Clover's
+selling point.  Accuracy is below the signature-gated merge clustering at
+high error rates — the trade-off the related-work section describes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clustering.rashtchian import ClusteringResult
+
+
+@dataclass
+class TreeClusteringConfig:
+    """Knobs of the prefix-tree clusterer."""
+
+    #: window length that must match exactly for a read to join a cluster
+    probe_length: int = 12
+    #: offsets (from the read start) at which windows are probed
+    probe_offsets: Tuple[int, ...] = (0, 16, 32, 48)
+    #: maximum indel drift tolerated between read and representative offsets
+    wobble: int = 2
+
+    def __post_init__(self) -> None:
+        if self.probe_length <= 0:
+            raise ValueError("probe_length must be positive")
+        if not self.probe_offsets:
+            raise ValueError("probe_offsets must not be empty")
+        if self.wobble < 0:
+            raise ValueError("wobble must be non-negative")
+
+
+class TreeClusterer:
+    """Single-pass, comparison-free clustering over window hash tables.
+
+    For each probe offset a dictionary maps window strings to cluster ids;
+    a read is looked up under every (offset, drift) combination and joins
+    the first cluster whose window it hits.  Insertion registers the read's
+    own windows, so later reads can join through any member, not just the
+    founder (transitive growth, like Clover's tree descent).
+    """
+
+    def __init__(self, config: Optional[TreeClusteringConfig] = None):
+        self.config = config or TreeClusteringConfig()
+
+    def cluster(self, reads: Sequence[str]) -> ClusteringResult:
+        """Cluster *reads*; returns the toolkit-standard result object."""
+        if not reads:
+            raise ValueError("cannot cluster an empty read set")
+        config = self.config
+        start = time.perf_counter()
+        tables: List[Dict[str, int]] = [dict() for _ in config.probe_offsets]
+        clusters: List[List[int]] = []
+        lookups = 0
+
+        for read_index, read in enumerate(reads):
+            assigned = self._lookup(read, tables)
+            lookups += 1
+            if assigned is None:
+                assigned = len(clusters)
+                clusters.append([])
+            clusters[assigned].append(read_index)
+            self._register(read, assigned, tables)
+
+        elapsed = time.perf_counter() - start
+        return ClusteringResult(
+            clusters=[sorted(members) for members in clusters],
+            theta_low=0.0,
+            theta_high=0.0,
+            signature_seconds=0.0,
+            clustering_seconds=elapsed,
+            signature_comparisons=lookups,
+            edit_comparisons=0,
+            merges=sum(len(members) - 1 for members in clusters),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _windows(self, read: str):
+        config = self.config
+        for table_index, offset in enumerate(config.probe_offsets):
+            for drift in range(-config.wobble, config.wobble + 1):
+                position = offset + drift
+                if position < 0 or position + config.probe_length > len(read):
+                    continue
+                yield table_index, read[position : position + config.probe_length]
+
+    def _lookup(self, read: str, tables: List[Dict[str, int]]) -> Optional[int]:
+        votes: Dict[int, int] = {}
+        for table_index, window in self._windows(read):
+            cluster = tables[table_index].get(window)
+            if cluster is not None:
+                votes[cluster] = votes.get(cluster, 0) + 1
+        if not votes:
+            return None
+        # Require agreement from at least two distinct probes when more
+        # than one probe was available; a single 12-mer collision between
+        # unrelated reads is rare but not negligible at scale.
+        best_cluster, best_votes = max(votes.items(), key=lambda item: item[1])
+        if best_votes >= 2 or len(self.config.probe_offsets) == 1:
+            return best_cluster
+        return best_cluster if len(votes) == 1 else None
+
+    def _register(self, read: str, cluster: int, tables: List[Dict[str, int]]) -> None:
+        for table_index, window in self._windows(read):
+            tables[table_index].setdefault(window, cluster)

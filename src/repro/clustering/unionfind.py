@@ -1,0 +1,56 @@
+"""Disjoint-set forest with union by size and path compression."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class UnionFind:
+    """Tracks the merging of ``n`` initially-singleton clusters."""
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self._parent = list(range(size))
+        self._size = [1] * size
+        self._components = size
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def components(self) -> int:
+        """Number of distinct clusters."""
+        return self._components
+
+    def find(self, item: int) -> int:
+        """Return the canonical representative of *item*'s cluster."""
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: int, right: int) -> bool:
+        """Merge two clusters; return ``True`` if they were distinct."""
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return False
+        if self._size[root_left] < self._size[root_right]:
+            root_left, root_right = root_right, root_left
+        self._parent[root_right] = root_left
+        self._size[root_left] += self._size[root_right]
+        self._components -= 1
+        return True
+
+    def connected(self, left: int, right: int) -> bool:
+        """Whether two items share a cluster."""
+        return self.find(left) == self.find(right)
+
+    def groups(self) -> List[List[int]]:
+        """Materialise the clusters as lists of member indices."""
+        by_root: Dict[int, List[int]] = {}
+        for item in range(len(self._parent)):
+            by_root.setdefault(self.find(item), []).append(item)
+        return list(by_root.values())

@@ -1,0 +1,45 @@
+"""Encoding, decoding and error correction (Sections II-D, IV of the paper).
+
+The codec converts binary files into DNA strands and back.  It follows the
+*unconstrained coding* approach: a plain 2-bit/nucleotide mapping with
+index-keyed randomization, while all error handling is delegated to an outer
+Reed-Solomon code laid out over a matrix of molecules (Organick et al.),
+with the Gini and DNAMapper layouts as drop-in alternatives.
+"""
+
+from repro.codec.galois import GF256
+from repro.codec.reed_solomon import ReedSolomonCodec, RSDecodeError
+from repro.codec.bits import bytes_to_bases, bases_to_bytes
+from repro.codec.randomizer import Randomizer
+from repro.codec.index import IndexCodec
+from repro.codec.layout import BaselineLayout, GiniLayout, DNAMapperLayout
+from repro.codec.encoder import DNAEncoder, EncodedPool, EncodingParameters
+from repro.codec.decoder import DNADecoder, DecodeReport
+from repro.codec.primers import PrimerPair, design_primer_library
+from repro.codec.constrained import RotatingCodec, ROTATING_CODE_DENSITY
+from repro.codec.fountain import Droplet, FountainCodec, robust_soliton
+
+__all__ = [
+    "GF256",
+    "ReedSolomonCodec",
+    "RSDecodeError",
+    "bytes_to_bases",
+    "bases_to_bytes",
+    "Randomizer",
+    "IndexCodec",
+    "BaselineLayout",
+    "GiniLayout",
+    "DNAMapperLayout",
+    "DNAEncoder",
+    "EncodedPool",
+    "EncodingParameters",
+    "DNADecoder",
+    "DecodeReport",
+    "PrimerPair",
+    "design_primer_library",
+    "RotatingCodec",
+    "ROTATING_CODE_DENSITY",
+    "Droplet",
+    "FountainCodec",
+    "robust_soliton",
+]

@@ -1,0 +1,48 @@
+"""The 2-bit-per-nucleotide unconstrained mapping between bytes and bases.
+
+The toolkit uses unconstrained coding (Section II-D): every byte maps to
+exactly four nucleotides (``A=00, C=01, G=10, T=11``, most significant bits
+first), achieving the maximum density of two bits per base.  Homopolymer and
+GC-content pathologies are handled statistically by the randomizer, not by
+the mapping itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.dna.alphabet import BASE_TO_INDEX, INDEX_TO_BASE
+
+_BYTE_TO_BASES: List[str] = [
+    "".join(
+        INDEX_TO_BASE[(value >> shift) & 0b11] for shift in (6, 4, 2, 0)
+    )
+    for value in range(256)
+]
+
+
+def bytes_to_bases(data: Iterable[int]) -> str:
+    """Encode a byte sequence as DNA (four bases per byte, MSB first)."""
+    return "".join(_BYTE_TO_BASES[byte] for byte in data)
+
+
+def bases_to_bytes(sequence: str) -> bytes:
+    """Decode a DNA string produced by :func:`bytes_to_bases`.
+
+    The length must be a multiple of four; invalid characters raise
+    :class:`ValueError`.
+    """
+    if len(sequence) % 4 != 0:
+        raise ValueError(
+            f"sequence length {len(sequence)} is not a multiple of 4"
+        )
+    output = bytearray()
+    for start in range(0, len(sequence), 4):
+        value = 0
+        for char in sequence[start : start + 4]:
+            try:
+                value = (value << 2) | BASE_TO_INDEX[char]
+            except KeyError:
+                raise ValueError(f"invalid base {char!r}") from None
+        output.append(value)
+    return bytes(output)

@@ -1,0 +1,133 @@
+"""Constrained coding: the alternative the paper argues against.
+
+Section II-D: early DNA storage work used *constrained coding* — encodings
+that structurally avoid homopolymer runs and unbalanced GC content — at the
+price of information density.  The toolkit's default codec is
+unconstrained (2 bits/nt + whitening + RS), but a constrained codec is
+provided both for comparison experiments and because the encoding stage is
+explicitly swappable.
+
+The scheme implemented here is the classic *rotating code* (in the spirit
+of Goldman et al.): ternary data symbols are written as "one of the three
+bases different from the previous base", which makes any homopolymer run
+of length >= 2 impossible by construction.  Binary data is converted to
+base 3 first in 32-bit/21-trit chunks, giving a practical information
+density of 32/21 ~ 1.524 bits/nt (theoretical limit log2(3) ~ 1.585) —
+the density cost the paper quantifies against.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dna.alphabet import BASES
+
+_CHUNK_BYTES = 4
+#: Ternary digits needed for one 32-bit chunk: 3^21 > 2^32.
+_CHUNK_TRITS = 21
+
+#: Theoretical density of ternary rotation coding, log2(3) bits/nt.
+ROTATING_CODE_LIMIT = 1.584962500721156
+#: Practical density of this codec's 32-bit/21-trit chunking.
+ROTATING_CODE_DENSITY = _CHUNK_BYTES * 8 / _CHUNK_TRITS
+
+
+def _to_trits(value: int, width: int) -> List[int]:
+    trits = []
+    for _ in range(width):
+        trits.append(value % 3)
+        value //= 3
+    return list(reversed(trits))
+
+
+def _from_trits(trits: List[int]) -> int:
+    value = 0
+    for trit in trits:
+        value = value * 3 + trit
+    return value
+
+
+class RotatingCodec:
+    """Homopolymer-free ternary rotation codec.
+
+    Each trit selects one of the three bases *different from the previous
+    base* (in alphabetical order), so no two consecutive bases are ever
+    equal.  Data is processed in 4-byte chunks of 21 trits each; the final
+    partial chunk is length-prefixed during :meth:`encode_with_length`.
+    """
+
+    def __init__(self, start_base: str = "A"):
+        if start_base not in BASES:
+            raise ValueError(f"start_base must be one of {BASES}, got {start_base!r}")
+        self.start_base = start_base
+
+    # ------------------------------------------------------------------
+
+    def encode(self, data: bytes) -> str:
+        """Encode *data* (whose length must be a multiple of 4 bytes)."""
+        if len(data) % _CHUNK_BYTES != 0:
+            raise ValueError(
+                f"data length {len(data)} is not a multiple of {_CHUNK_BYTES}; "
+                "use encode_with_length for arbitrary sizes"
+            )
+        trits: List[int] = []
+        for start in range(0, len(data), _CHUNK_BYTES):
+            chunk = int.from_bytes(data[start : start + _CHUNK_BYTES], "big")
+            trits.extend(_to_trits(chunk, _CHUNK_TRITS))
+        return self._trits_to_bases(trits)
+
+    def decode(self, strand: str) -> bytes:
+        """Invert :meth:`encode`."""
+        trits = self._bases_to_trits(strand)
+        if len(trits) % _CHUNK_TRITS != 0:
+            raise ValueError(
+                f"strand encodes {len(trits)} trits, not a multiple of "
+                f"{_CHUNK_TRITS}"
+            )
+        output = bytearray()
+        for start in range(0, len(trits), _CHUNK_TRITS):
+            value = _from_trits(trits[start : start + _CHUNK_TRITS])
+            if value >= 2**32:
+                raise ValueError("strand encodes an out-of-range chunk")
+            output.extend(value.to_bytes(_CHUNK_BYTES, "big"))
+        return bytes(output)
+
+    def encode_with_length(self, data: bytes) -> str:
+        """Encode arbitrary-length *data* with a 4-byte length prefix."""
+        framed = len(data).to_bytes(_CHUNK_BYTES, "big") + data
+        padding = (-len(framed)) % _CHUNK_BYTES
+        return self.encode(framed + bytes(padding))
+
+    def decode_with_length(self, strand: str) -> bytes:
+        """Invert :meth:`encode_with_length`."""
+        framed = self.decode(strand)
+        length = int.from_bytes(framed[:_CHUNK_BYTES], "big")
+        if length > len(framed) - _CHUNK_BYTES:
+            raise ValueError("length prefix exceeds decoded payload")
+        return framed[_CHUNK_BYTES : _CHUNK_BYTES + length]
+
+    # ------------------------------------------------------------------
+
+    def _trits_to_bases(self, trits: List[int]) -> str:
+        previous = self.start_base
+        bases: List[str] = []
+        for trit in trits:
+            candidates = [base for base in BASES if base != previous]
+            base = candidates[trit]
+            bases.append(base)
+            previous = base
+        return "".join(bases)
+
+    def _bases_to_trits(self, strand: str) -> List[int]:
+        previous = self.start_base
+        trits: List[int] = []
+        for base in strand:
+            candidates = [b for b in BASES if b != previous]
+            try:
+                trits.append(candidates.index(base))
+            except ValueError:
+                raise ValueError(
+                    f"invalid constrained strand: repeated base {base!r}"
+                ) from None
+            previous = base
+        return trits

@@ -1,0 +1,214 @@
+"""Strands-to-file decoding and error correction (Section IV).
+
+The decoder is the inverse of :mod:`repro.codec.encoder`: reconstructed
+strand bodies are parsed for their index, de-whitened, and placed back into
+their encoding-unit matrix.  Missing molecules become *erasures* at known
+columns; surviving molecules with residual reconstruction errors (including
+indels, which smear into substitutions once the strand is forced back to its
+nominal length) become symbol errors.  Both are corrected row-by-row with
+the Reed-Solomon errata decoder.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.codec.bits import bases_to_bytes
+from repro.codec.encoder import _HEADER_BYTES, EncodingParameters
+from repro.codec.index import IndexCodec
+from repro.codec.randomizer import Randomizer
+from repro.codec.reed_solomon import ReedSolomonCodec, RSDecodeError
+
+
+@dataclass
+class DecodeReport:
+    """Diagnostics from one decode run."""
+
+    total_strands: int = 0
+    usable_strands: int = 0
+    bad_index: int = 0
+    bad_symbols: int = 0
+    length_adjusted: int = 0
+    duplicate_columns: int = 0
+    missing_columns: int = 0
+    failed_rows: int = 0
+    corrected_rows: int = 0
+    clean_rows: int = 0
+    success: bool = False
+    unit_failures: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def total_rows(self) -> int:
+        return self.failed_rows + self.corrected_rows + self.clean_rows
+
+
+class DNADecoder:
+    """Decodes reconstructed strand bodies back into the original bytes."""
+
+    def __init__(self, parameters: Optional[EncodingParameters] = None):
+        self.parameters = parameters or EncodingParameters()
+        self._rs = ReedSolomonCodec(nsym=self.parameters.parity_columns)
+        self._randomizer = Randomizer(self.parameters.randomizer_seed)
+        self._index_codec = IndexCodec(
+            self.parameters.index_bytes,
+            randomizer=self._randomizer if self.parameters.randomize else None,
+        )
+
+    def decode(
+        self,
+        strands: Iterable[str],
+        expected_units: Optional[int] = None,
+    ) -> Tuple[bytes, DecodeReport]:
+        """Decode strand *bodies* (index + payload, primers already removed).
+
+        Parameters
+        ----------
+        strands:
+            Reconstructed strand bodies.  Wrong-length strands are padded or
+            truncated to the nominal body length (their tail errors become
+            RS-correctable substitutions).
+        expected_units:
+            Number of encoding units originally written.  When omitted it is
+            inferred from the largest valid index observed, which is correct
+            unless an entire trailing unit was lost.
+
+        Returns
+        -------
+        (data, report):
+            The recovered file bytes and a :class:`DecodeReport`.  When rows
+            are uncorrectable the best-effort bytes are returned and
+            ``report.success`` is ``False``.
+        """
+        params = self.parameters
+        report = DecodeReport()
+        columns = self._collect_columns(strands, report)
+        if not columns:
+            return b"", report
+
+        if expected_units is None:
+            expected_units = max(idx for idx in columns) // params.total_columns + 1
+        # Strands whose reconstructed index lies beyond the last unit are
+        # index-corruption victims, not real columns.
+        capacity = expected_units * params.total_columns
+        report.bad_index = sum(1 for index in columns if index >= capacity)
+        stream = bytearray()
+        decode_ok = True
+        for unit in range(expected_units):
+            unit_bytes, failed = self._decode_unit(unit, columns, report)
+            stream.extend(unit_bytes)
+            if failed:
+                decode_ok = False
+
+        if len(stream) < _HEADER_BYTES:
+            report.success = False
+            return bytes(stream), report
+        length = int.from_bytes(stream[:_HEADER_BYTES], "big")
+        payload = bytes(stream[_HEADER_BYTES : _HEADER_BYTES + length])
+        report.success = decode_ok and len(payload) == length
+        return payload, report
+
+    # ------------------------------------------------------------------
+
+    def _collect_columns(
+        self, strands: Iterable[str], report: DecodeReport
+    ) -> Dict[int, bytes]:
+        """Parse strands into per-index payloads; resolve duplicates by vote."""
+        params = self.parameters
+        candidates: Dict[int, List[bytes]] = defaultdict(list)
+        for strand in strands:
+            report.total_strands += 1
+            body = self._normalise_length(strand, report)
+            if body is None:
+                continue
+            try:
+                index = self._index_codec.decode(body)
+                payload = bases_to_bytes(body[self._index_codec.index_nt :])
+            except ValueError:
+                report.bad_symbols += 1
+                continue
+            if params.randomize:
+                payload = self._randomizer.apply(payload, index)
+            candidates[index].append(payload)
+            report.usable_strands += 1
+
+        columns: Dict[int, bytes] = {}
+        for index, payloads in candidates.items():
+            if len(payloads) > 1:
+                report.duplicate_columns += 1
+                columns[index] = _bytewise_majority(payloads)
+            else:
+                columns[index] = payloads[0]
+        return columns
+
+    def _normalise_length(self, strand: str, report: DecodeReport) -> Optional[str]:
+        body_nt = self.parameters.body_nt
+        if len(strand) == body_nt:
+            return strand
+        report.length_adjusted += 1
+        if len(strand) > body_nt:
+            return strand[:body_nt]
+        if not strand:
+            return None
+        return strand + "A" * (body_nt - len(strand))
+
+    def _decode_unit(
+        self,
+        unit: int,
+        columns: Dict[int, bytes],
+        report: DecodeReport,
+    ) -> Tuple[bytes, bool]:
+        """Decode one encoding unit; return (data bytes, any_row_failed)."""
+        params = self.parameters
+        rows = params.payload_bytes
+        n = params.total_columns
+        base_index = unit * n
+        matrix = [[0] * n for _ in range(rows)]
+        erasures = []
+        for column in range(n):
+            payload = columns.get(base_index + column)
+            if payload is None or len(payload) != rows:
+                erasures.append(column)
+                report.missing_columns += 1
+                continue
+            for row in range(rows):
+                matrix[row][column] = payload[row]
+
+        codewords = params.layout.extract(matrix)
+        failed_rows: List[int] = []
+        data_rows: List[List[int]] = []
+        for row_index, codeword in enumerate(codewords):
+            if not erasures and self._rs.check(codeword):
+                report.clean_rows += 1
+                data_rows.append(list(codeword[: params.data_columns]))
+                continue
+            try:
+                message = self._rs.decode(codeword, erasures=erasures)
+                if list(codeword[: params.data_columns]) != message:
+                    report.corrected_rows += 1
+                else:
+                    report.clean_rows += 1
+                data_rows.append(message)
+            except RSDecodeError:
+                report.failed_rows += 1
+                failed_rows.append(row_index)
+                data_rows.append(list(codeword[: params.data_columns]))
+        if failed_rows:
+            report.unit_failures[unit] = failed_rows
+
+        unit_bytes = bytearray()
+        for column in range(params.data_columns):
+            for row in range(rows):
+                unit_bytes.append(data_rows[row][column])
+        return bytes(unit_bytes), bool(failed_rows)
+
+
+def _bytewise_majority(payloads: List[bytes]) -> bytes:
+    """Resolve duplicate reconstructions of one molecule by bytewise vote."""
+    length = max(len(p) for p in payloads)
+    result = bytearray()
+    for position in range(length):
+        votes = Counter(p[position] for p in payloads if position < len(p))
+        result.append(votes.most_common(1)[0][0])
+    return bytes(result)

@@ -1,0 +1,183 @@
+"""File-to-strands encoding (Section IV, following Organick et al.).
+
+The byte stream (an 8-byte length header plus the file) is split into
+*columns* of ``payload_bytes`` each.  ``data_columns`` columns form an
+encoding unit; each of the unit's ``payload_bytes`` rows is a Reed-Solomon
+codeword extended with ``parity_columns`` parity symbols, which become the
+unit's extra (ECC) molecules.  A matrix layout then decides which codeword
+byte lands on which strand index, the payload is whitened with an
+index-keyed keystream, and the index is prepended.  Finally, the strand is
+wrapped in the file's PCR primer pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.codec.bits import bytes_to_bases
+from repro.codec.index import IndexCodec
+from repro.codec.layout import BaselineLayout, MatrixLayout
+from repro.codec.primers import PrimerPair
+from repro.codec.randomizer import Randomizer
+from repro.codec.reed_solomon import ReedSolomonCodec
+
+_HEADER_BYTES = 8
+
+
+@dataclass
+class EncodingParameters:
+    """Static configuration shared by the encoder and the decoder.
+
+    Attributes
+    ----------
+    payload_bytes:
+        Bytes of payload per molecule (4 nt per byte); also the number of
+        Reed-Solomon codewords (rows) per encoding unit.
+    data_columns:
+        Data molecules per encoding unit (the RS ``k``).
+    parity_columns:
+        ECC molecules per encoding unit (the RS ``nsym``).
+    index_bytes:
+        Width of the per-molecule index field.
+    layout:
+        Matrix layout mapping codewords to strand indexes.
+    randomize / randomizer_seed:
+        Whether and how payloads are whitened.
+    primer_pair:
+        Optional PCR primer pair wrapped around every strand.
+    """
+
+    payload_bytes: int = 30
+    data_columns: int = 60
+    parity_columns: int = 20
+    index_bytes: int = 3
+    layout: MatrixLayout = field(default_factory=BaselineLayout)
+    randomize: bool = True
+    randomizer_seed: int = 0x5EED5EED
+    primer_pair: Optional[PrimerPair] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        if self.data_columns <= 0 or self.parity_columns <= 0:
+            raise ValueError("data_columns and parity_columns must be positive")
+        if self.total_columns > 255:
+            raise ValueError(
+                f"encoding unit has {self.total_columns} columns; "
+                "RS over GF(256) supports at most 255"
+            )
+
+    @property
+    def total_columns(self) -> int:
+        """Molecules per encoding unit (RS codeword length ``n``)."""
+        return self.data_columns + self.parity_columns
+
+    @property
+    def payload_nt(self) -> int:
+        """Payload length of each strand in nucleotides."""
+        return self.payload_bytes * 4
+
+    @property
+    def body_nt(self) -> int:
+        """Strand body length (index + payload) in nucleotides."""
+        return (self.index_bytes + self.payload_bytes) * 4
+
+    @property
+    def strand_nt(self) -> int:
+        """Full synthesized strand length including primer sites."""
+        if self.primer_pair is None:
+            return self.body_nt
+        return (
+            self.body_nt
+            + len(self.primer_pair.forward)
+            + len(self.primer_pair.reverse)
+        )
+
+
+@dataclass
+class EncodedPool:
+    """The output of encoding: strands plus the metadata needed to decode.
+
+    ``references`` holds the clean strand *bodies* (index + payload, without
+    primers); they are the ground truth against which clustering and trace
+    reconstruction are evaluated.  ``strands`` holds the sequences to
+    synthesize, which include primer sites when a primer pair is configured.
+    """
+
+    strands: List[str]
+    references: List[str]
+    parameters: EncodingParameters
+    num_units: int
+    file_length: int
+
+    def __len__(self) -> int:
+        return len(self.strands)
+
+
+class DNAEncoder:
+    """Encodes byte strings into pools of DNA strands."""
+
+    def __init__(self, parameters: Optional[EncodingParameters] = None):
+        self.parameters = parameters or EncodingParameters()
+        self._rs = ReedSolomonCodec(nsym=self.parameters.parity_columns)
+        self._randomizer = Randomizer(self.parameters.randomizer_seed)
+        self._index_codec = IndexCodec(
+            self.parameters.index_bytes,
+            randomizer=self._randomizer if self.parameters.randomize else None,
+        )
+
+    def encode(self, data: bytes) -> EncodedPool:
+        """Encode *data* into an :class:`EncodedPool`.
+
+        An 8-byte big-endian length header is prepended so decoding is
+        self-contained; the stream is zero-padded to fill the last unit.
+        """
+        params = self.parameters
+        stream = len(data).to_bytes(_HEADER_BYTES, "big") + data
+        bytes_per_unit = params.payload_bytes * params.data_columns
+        num_units = max(1, -(-len(stream) // bytes_per_unit))
+        if num_units * params.total_columns > self._index_codec.capacity:
+            raise ValueError(
+                "file too large for the configured index width: "
+                f"{num_units * params.total_columns} molecules needed, "
+                f"index capacity is {self._index_codec.capacity}"
+            )
+        stream = stream.ljust(num_units * bytes_per_unit, b"\x00")
+
+        strands: List[str] = []
+        references: List[str] = []
+        for unit in range(num_units):
+            unit_bytes = stream[unit * bytes_per_unit : (unit + 1) * bytes_per_unit]
+            matrix = self._encode_unit(unit_bytes)
+            for column in range(params.total_columns):
+                global_index = unit * params.total_columns + column
+                payload = bytes(matrix[row][column] for row in range(params.payload_bytes))
+                if params.randomize:
+                    payload = self._randomizer.apply(payload, global_index)
+                body = self._index_codec.encode(global_index) + bytes_to_bases(payload)
+                references.append(body)
+                if params.primer_pair is not None:
+                    strands.append(params.primer_pair.tag(body))
+                else:
+                    strands.append(body)
+        return EncodedPool(
+            strands=strands,
+            references=references,
+            parameters=params,
+            num_units=num_units,
+            file_length=len(data),
+        )
+
+    def _encode_unit(self, unit_bytes: bytes) -> List[List[int]]:
+        """RS-encode one unit's rows and apply the matrix layout."""
+        params = self.parameters
+        columns = [
+            unit_bytes[c * params.payload_bytes : (c + 1) * params.payload_bytes]
+            for c in range(params.data_columns)
+        ]
+        codewords = []
+        for row in range(params.payload_bytes):
+            message = [columns[c][row] for c in range(params.data_columns)]
+            codewords.append(self._rs.encode(message))
+        return params.layout.place(codewords)

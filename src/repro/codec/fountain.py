@@ -1,0 +1,230 @@
+"""A DNA-Fountain-style Luby Transform codec (Erlich & Zielinski, 2017).
+
+The toolkit's default architecture is fixed-rate (Reed-Solomon over a
+molecule matrix).  DNA Fountain is the best-known *rateless* alternative:
+the file is cut into equal blocks, and each molecule carries a *droplet* —
+the XOR of a pseudo-random subset of blocks, determined entirely by a seed
+stored in the molecule.  Any sufficiently large subset of droplets decodes
+the file via belief-propagation peeling, which makes the scheme naturally
+robust to molecule dropout: you simply synthesize a few percent more
+droplets than blocks.
+
+This module provides the codec level (blocks <-> droplets <-> strands);
+pair it with the toolkit's primers/simulation/clustering/reconstruction
+stages to build a full fountain pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from repro.codec.bits import bases_to_bytes, bytes_to_bases
+
+_SEED_BYTES = 4
+_CRC_BYTES = 2
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE, used to screen damaged droplets.
+
+    A droplet whose strand was mis-reconstructed would otherwise poison
+    the XOR peeling; DNA Fountain likewise protects every oligo with an
+    inner code.
+    """
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def robust_soliton(num_blocks: int, c: float = 0.05, delta: float = 0.05) -> List[float]:
+    """The robust soliton degree distribution over 1..num_blocks."""
+    if num_blocks <= 0:
+        raise ValueError("num_blocks must be positive")
+    k = num_blocks
+    ripple = c * math.log(k / delta) * math.sqrt(k)
+    ripple = max(ripple, 1.0)
+    pivot = max(1, min(k, int(round(k / ripple))))
+
+    ideal = [0.0] * (k + 1)
+    ideal[1] = 1.0 / k
+    for degree in range(2, k + 1):
+        ideal[degree] = 1.0 / (degree * (degree - 1))
+
+    extra = [0.0] * (k + 1)
+    for degree in range(1, pivot):
+        extra[degree] = ripple / (degree * k)
+    if pivot <= k:
+        extra[pivot] = ripple * math.log(ripple / delta) / k
+        extra[pivot] = max(extra[pivot], 0.0)
+
+    weights = [ideal[d] + extra[d] for d in range(k + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+@dataclass(frozen=True)
+class Droplet:
+    """One fountain symbol: a seed and the XOR of its chosen blocks."""
+
+    seed: int
+    payload: bytes
+
+
+class FountainCodec:
+    """Rateless LT coding between byte blocks and DNA strands.
+
+    Parameters
+    ----------
+    block_bytes:
+        Size of every data block (and droplet payload).
+    c, delta:
+        Robust soliton parameters; the defaults follow DNA Fountain.
+    """
+
+    def __init__(self, block_bytes: int = 32, c: float = 0.05, delta: float = 0.05):
+        if block_bytes <= 0:
+            raise ValueError("block_bytes must be positive")
+        self.block_bytes = block_bytes
+        self.c = c
+        self.delta = delta
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+
+    def split_blocks(self, data: bytes) -> List[bytes]:
+        """Length-prefix and zero-pad *data* into equal blocks."""
+        framed = len(data).to_bytes(8, "big") + data
+        padding = (-len(framed)) % self.block_bytes
+        framed += bytes(padding)
+        return [
+            framed[start : start + self.block_bytes]
+            for start in range(0, len(framed), self.block_bytes)
+        ]
+
+    @staticmethod
+    def join_blocks(blocks: Sequence[bytes]) -> bytes:
+        """Invert :meth:`split_blocks`."""
+        framed = b"".join(blocks)
+        length = int.from_bytes(framed[:8], "big")
+        if length > len(framed) - 8:
+            raise ValueError("corrupt length prefix in fountain blocks")
+        return framed[8 : 8 + length]
+
+    # ------------------------------------------------------------------
+    # Droplets
+    # ------------------------------------------------------------------
+
+    def _blocks_for_seed(self, seed: int, num_blocks: int) -> List[int]:
+        rng = random.Random(seed)
+        distribution = robust_soliton(num_blocks, self.c, self.delta)
+        degree = rng.choices(range(len(distribution)), weights=distribution)[0]
+        degree = max(1, degree)
+        return rng.sample(range(num_blocks), min(degree, num_blocks))
+
+    def make_droplet(self, blocks: Sequence[bytes], seed: int) -> Droplet:
+        """XOR the seed-chosen blocks into one droplet."""
+        if not 0 <= seed < 256**_SEED_BYTES:
+            raise ValueError(f"seed must fit in {_SEED_BYTES} bytes")
+        chosen = self._blocks_for_seed(seed, len(blocks))
+        payload = bytearray(self.block_bytes)
+        for block_index in chosen:
+            for position, value in enumerate(blocks[block_index]):
+                payload[position] ^= value
+        return Droplet(seed=seed, payload=bytes(payload))
+
+    def encode(self, data: bytes, overhead: float = 1.6, start_seed: int = 1) -> List[Droplet]:
+        """Produce ``ceil(overhead * num_blocks)`` droplets for *data*."""
+        if overhead < 1.0:
+            raise ValueError("overhead must be at least 1.0")
+        blocks = self.split_blocks(data)
+        count = math.ceil(overhead * len(blocks))
+        return [
+            self.make_droplet(blocks, seed)
+            for seed in range(start_seed, start_seed + count)
+        ]
+
+    def decode(self, droplets: Sequence[Droplet], num_blocks: int) -> bytes:
+        """Peel the droplets back into the original data.
+
+        Raises :class:`ValueError` when the droplets are insufficient to
+        resolve every block.
+        """
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        pending: List[Set[int]] = []
+        payloads: List[bytearray] = []
+        for droplet in droplets:
+            if len(droplet.payload) != self.block_bytes:
+                continue  # damaged droplet: wrong payload size
+            pending.append(set(self._blocks_for_seed(droplet.seed, num_blocks)))
+            payloads.append(bytearray(droplet.payload))
+
+        solved: Dict[int, bytes] = {}
+        progress = True
+        while progress and len(solved) < num_blocks:
+            progress = False
+            for index, members in enumerate(pending):
+                if not members:
+                    continue
+                # Subtract already-solved blocks from this droplet.
+                for block_index in list(members):
+                    if block_index in solved:
+                        block = solved[block_index]
+                        payload = payloads[index]
+                        for position, value in enumerate(block):
+                            payload[position] ^= value
+                        members.discard(block_index)
+                if len(members) == 1:
+                    block_index = members.pop()
+                    solved[block_index] = bytes(payloads[index])
+                    progress = True
+        if len(solved) < num_blocks:
+            raise ValueError(
+                f"insufficient droplets: solved {len(solved)}/{num_blocks} blocks"
+            )
+        return self.join_blocks([solved[i] for i in range(num_blocks)])
+
+    # ------------------------------------------------------------------
+    # Strands
+    # ------------------------------------------------------------------
+
+    def droplet_to_strand(self, droplet: Droplet) -> str:
+        """Serialize ``seed || payload || crc16`` as DNA (4 nt per byte)."""
+        raw = droplet.seed.to_bytes(_SEED_BYTES, "big") + droplet.payload
+        raw += crc16(raw).to_bytes(_CRC_BYTES, "big")
+        return bytes_to_bases(raw)
+
+    def strand_to_droplet(self, strand: str) -> Droplet:
+        """Invert :meth:`droplet_to_strand`, rejecting damaged droplets.
+
+        Raises :class:`ValueError` on length or checksum mismatch; callers
+        simply discard such strands — the fountain's surplus covers them.
+        """
+        raw = bases_to_bytes(strand)
+        if len(raw) != _SEED_BYTES + self.block_bytes + _CRC_BYTES:
+            raise ValueError(
+                f"strand decodes to {len(raw)} bytes, expected "
+                f"{_SEED_BYTES + self.block_bytes + _CRC_BYTES}"
+            )
+        body, checksum = raw[:-_CRC_BYTES], raw[-_CRC_BYTES:]
+        if crc16(body) != int.from_bytes(checksum, "big"):
+            raise ValueError("droplet checksum mismatch (damaged strand)")
+        return Droplet(
+            seed=int.from_bytes(body[:_SEED_BYTES], "big"),
+            payload=body[_SEED_BYTES:],
+        )
+
+    @property
+    def strand_nt(self) -> int:
+        """Nucleotides per droplet strand (seed + payload + checksum)."""
+        return (_SEED_BYTES + self.block_bytes + _CRC_BYTES) * 4

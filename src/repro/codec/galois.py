@@ -1,0 +1,131 @@
+"""Arithmetic in GF(2^8), the field underlying the Reed-Solomon codec.
+
+The field is constructed over the primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d, the polynomial used by most storage
+codecs).  Multiplication and division go through exp/log tables, and a small
+polynomial toolkit (coefficients stored most-significant first) supports the
+encoder and the Berlekamp-Massey decoder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_PRIMITIVE_POLY = 0x11D
+_FIELD_SIZE = 256
+
+
+class GF256:
+    """GF(2^8) element and polynomial arithmetic with precomputed tables."""
+
+    def __init__(self) -> None:
+        self.exp: List[int] = [0] * (_FIELD_SIZE * 2)
+        self.log: List[int] = [0] * _FIELD_SIZE
+        value = 1
+        for power in range(_FIELD_SIZE - 1):
+            self.exp[power] = value
+            self.log[value] = power
+            value <<= 1
+            if value & 0x100:
+                value ^= _PRIMITIVE_POLY
+        # Duplicate the table so products of logs never need a modulo.
+        for power in range(_FIELD_SIZE - 1, _FIELD_SIZE * 2):
+            self.exp[power] = self.exp[power - (_FIELD_SIZE - 1)]
+
+    # ------------------------------------------------------------------
+    # Scalar arithmetic
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def add(left: int, right: int) -> int:
+        """Addition (= subtraction) in GF(2^8) is XOR."""
+        return left ^ right
+
+    def mul(self, left: int, right: int) -> int:
+        """Multiply two field elements."""
+        if left == 0 or right == 0:
+            return 0
+        return self.exp[self.log[left] + self.log[right]]
+
+    def div(self, numerator: int, denominator: int) -> int:
+        """Divide *numerator* by *denominator*; division by zero raises."""
+        if denominator == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if numerator == 0:
+            return 0
+        return self.exp[
+            self.log[numerator] - self.log[denominator] + (_FIELD_SIZE - 1)
+        ]
+
+    def inverse(self, value: int) -> int:
+        """Return the multiplicative inverse; zero has none."""
+        if value == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(256)")
+        return self.exp[(_FIELD_SIZE - 1) - self.log[value]]
+
+    def power(self, base: int, exponent: int) -> int:
+        """Return ``base ** exponent`` (exponent may be negative)."""
+        if base == 0:
+            if exponent <= 0:
+                raise ZeroDivisionError("0 cannot be raised to a non-positive power")
+            return 0
+        log = (self.log[base] * exponent) % (_FIELD_SIZE - 1)
+        return self.exp[log]
+
+    # ------------------------------------------------------------------
+    # Polynomial arithmetic (coefficient lists, highest degree first)
+    # ------------------------------------------------------------------
+
+    def poly_scale(self, poly: Sequence[int], factor: int) -> List[int]:
+        """Multiply every coefficient by a scalar."""
+        return [self.mul(coeff, factor) for coeff in poly]
+
+    @staticmethod
+    def poly_add(left: Sequence[int], right: Sequence[int]) -> List[int]:
+        """Add two polynomials (XOR of aligned coefficients)."""
+        result = [0] * max(len(left), len(right))
+        for index, coeff in enumerate(left):
+            result[index + len(result) - len(left)] = coeff
+        for index, coeff in enumerate(right):
+            result[index + len(result) - len(right)] ^= coeff
+        return result
+
+    def poly_mul(self, left: Sequence[int], right: Sequence[int]) -> List[int]:
+        """Multiply two polynomials."""
+        result = [0] * (len(left) + len(right) - 1)
+        for i, coeff_left in enumerate(left):
+            if coeff_left == 0:
+                continue
+            log_left = self.log[coeff_left]
+            for j, coeff_right in enumerate(right):
+                if coeff_right:
+                    result[i + j] ^= self.exp[log_left + self.log[coeff_right]]
+        return result
+
+    def poly_eval(self, poly: Sequence[int], point: int) -> int:
+        """Evaluate a polynomial at *point* using Horner's scheme."""
+        result = 0
+        for coeff in poly:
+            result = self.mul(result, point) ^ coeff
+        return result
+
+    def poly_divmod(
+        self, dividend: Sequence[int], divisor: Sequence[int]
+    ) -> List[int]:
+        """Return the remainder of polynomial division (synthetic division).
+
+        Used by the systematic Reed-Solomon encoder, which only needs the
+        remainder.
+        """
+        output = list(dividend)
+        divisor_lead = divisor[0]
+        for index in range(len(dividend) - len(divisor) + 1):
+            coeff = output[index]
+            if coeff == 0:
+                continue
+            factor = self.div(coeff, divisor_lead)
+            for offset, divisor_coeff in enumerate(divisor):
+                if divisor_coeff:
+                    output[index + offset] ^= self.mul(divisor_coeff, factor)
+        remainder_length = len(divisor) - 1
+        return output[len(output) - remainder_length :]

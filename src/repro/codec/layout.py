@@ -1,0 +1,167 @@
+"""Matrix layouts: how codewords map onto molecule rows (Section IV).
+
+An encoding unit is a matrix whose columns are molecules and whose rows are
+Reed-Solomon codewords.  Trace reconstruction does not treat all strand
+indexes equally — double-sided BMA concentrates errors in the middle
+indexes — so *where* a codeword's bytes live inside each molecule determines
+its reliability.  Three layouts are provided:
+
+* :class:`BaselineLayout` — codeword ``i`` occupies matrix row ``i`` in every
+  column (Organick et al.).  Middle rows inherit the middle-index error peak.
+* :class:`GiniLayout` — codeword ``i``'s byte in column ``j`` is stored at
+  row ``(i + j) mod R``, spreading every codeword diagonally so all codewords
+  see the same average reliability (Lin et al., "Managing reliability skew").
+* :class:`DNAMapperLayout` — codewords are ranked by priority and assigned to
+  rows ranked by measured reliability, so the most corruption-sensitive data
+  lands in the most reliable strand indexes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+
+class MatrixLayout(ABC):
+    """Bijection between codeword coordinates and matrix coordinates."""
+
+    #: Short name used in configs and reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def place(self, codewords: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Map ``R`` codewords of length ``n`` onto an ``R x n`` matrix."""
+
+    @abstractmethod
+    def extract(self, matrix: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Invert :meth:`place`."""
+
+
+def _validate_rectangular(rows: Sequence[Sequence[int]]) -> None:
+    if not rows:
+        raise ValueError("layout requires at least one row")
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise ValueError("layout requires a rectangular matrix")
+    if width == 0:
+        raise ValueError("layout requires non-empty rows")
+
+
+class BaselineLayout(MatrixLayout):
+    """Identity layout: codeword ``i`` is matrix row ``i``."""
+
+    name = "baseline"
+
+    def place(self, codewords: Sequence[Sequence[int]]) -> List[List[int]]:
+        _validate_rectangular(codewords)
+        return [list(row) for row in codewords]
+
+    def extract(self, matrix: Sequence[Sequence[int]]) -> List[List[int]]:
+        _validate_rectangular(matrix)
+        return [list(row) for row in matrix]
+
+
+class GiniLayout(MatrixLayout):
+    """Diagonal layout: byte ``j`` of codeword ``i`` at row ``(i + j) % R``.
+
+    Every codeword then visits every strand index (modulo wrap-around),
+    equalising the per-codeword error rate under any positional skew.
+    """
+
+    name = "gini"
+
+    def place(self, codewords: Sequence[Sequence[int]]) -> List[List[int]]:
+        _validate_rectangular(codewords)
+        rows = len(codewords)
+        cols = len(codewords[0])
+        matrix = [[0] * cols for _ in range(rows)]
+        for i in range(rows):
+            codeword = codewords[i]
+            for j in range(cols):
+                matrix[(i + j) % rows][j] = codeword[j]
+        return matrix
+
+    def extract(self, matrix: Sequence[Sequence[int]]) -> List[List[int]]:
+        _validate_rectangular(matrix)
+        rows = len(matrix)
+        cols = len(matrix[0])
+        codewords = [[0] * cols for _ in range(rows)]
+        for i in range(rows):
+            codeword = codewords[i]
+            for j in range(cols):
+                codeword[j] = matrix[(i + j) % rows][j]
+        return codewords
+
+
+class DNAMapperLayout(MatrixLayout):
+    """Reliability-aware layout: priority-ranked codewords on ranked rows.
+
+    Parameters
+    ----------
+    row_reliability:
+        One score per matrix row; higher means the strand index is more
+        reliably reconstructed.  Codeword 0 (the highest-priority data) is
+        placed on the most reliable row, codeword 1 on the next, and so on.
+        When omitted, rows keep their natural order (identity permutation).
+
+    The caller is responsible for ordering the *data* by priority before
+    encoding — e.g. putting the most significant image bits first — which is
+    exactly the usage model of DNAMapper in the paper.
+    """
+
+    name = "dnamapper"
+
+    def __init__(self, row_reliability: Optional[Sequence[float]] = None):
+        self.row_reliability = (
+            None if row_reliability is None else list(row_reliability)
+        )
+        self._permutation: Optional[List[int]] = None
+        if self.row_reliability is not None:
+            self._permutation = sorted(
+                range(len(self.row_reliability)),
+                key=lambda row: -self.row_reliability[row],
+            )
+
+    def _permutation_for(self, rows: int) -> List[int]:
+        if self._permutation is None:
+            return list(range(rows))
+        if len(self._permutation) != rows:
+            raise ValueError(
+                f"reliability profile covers {len(self._permutation)} rows, "
+                f"matrix has {rows}"
+            )
+        return self._permutation
+
+    def place(self, codewords: Sequence[Sequence[int]]) -> List[List[int]]:
+        _validate_rectangular(codewords)
+        permutation = self._permutation_for(len(codewords))
+        matrix: List[List[int]] = [[] for _ in range(len(codewords))]
+        for priority, row in enumerate(permutation):
+            matrix[row] = list(codewords[priority])
+        return matrix
+
+    def extract(self, matrix: Sequence[Sequence[int]]) -> List[List[int]]:
+        _validate_rectangular(matrix)
+        permutation = self._permutation_for(len(matrix))
+        codewords: List[List[int]] = [[] for _ in range(len(matrix))]
+        for priority, row in enumerate(permutation):
+            codewords[priority] = list(matrix[row])
+        return codewords
+
+
+_LAYOUTS = {
+    BaselineLayout.name: BaselineLayout,
+    GiniLayout.name: GiniLayout,
+    DNAMapperLayout.name: DNAMapperLayout,
+}
+
+
+def make_layout(name: str, **kwargs) -> MatrixLayout:
+    """Instantiate a layout by its short name ("baseline", "gini", "dnamapper")."""
+    try:
+        factory = _LAYOUTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown layout {name!r}; choose from {sorted(_LAYOUTS)}"
+        ) from None
+    return factory(**kwargs)

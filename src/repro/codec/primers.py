@@ -1,0 +1,103 @@
+"""PCR primer library design (Sections II-E, II-F).
+
+A pair of 20-nt primers is the *key* of the DNA key-value store: all
+molecules of one file carry the same pair, and PCR amplifies exactly the
+molecules whose ends match a chosen pair.  For this addressing to be
+reliable the primers must be mutually distant in Hamming space, have
+moderate GC content, and avoid long homopolymers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.dna.alphabet import random_sequence, reverse_complement
+from repro.dna.distance import hamming_distance
+from repro.dna.sequence import gc_content, max_homopolymer
+
+
+@dataclass(frozen=True)
+class PrimerPair:
+    """The forward and reverse primers that tag one file's molecules.
+
+    ``forward`` is prepended to every strand; the reverse complement of
+    ``reverse`` is appended, so that the physical molecule ends with the
+    ``reverse`` primer site on its complementary strand, as in real assays.
+    """
+
+    forward: str
+    reverse: str
+
+    def tag(self, body: str) -> str:
+        """Wrap a strand body with this pair's primer sites."""
+        return self.forward + body + reverse_complement(self.reverse)
+
+    def payload_slice(self, strand: str) -> str:
+        """Strip this pair's primer sites from a clean, full-length strand."""
+        return strand[len(self.forward) : len(strand) - len(self.reverse)]
+
+
+def _is_acceptable(
+    candidate: str,
+    accepted: List[str],
+    min_distance: int,
+    gc_bounds: Tuple[float, float],
+    max_run: int,
+) -> bool:
+    low, high = gc_bounds
+    if not low <= gc_content(candidate) <= high:
+        return False
+    if max_homopolymer(candidate) > max_run:
+        return False
+    rc = reverse_complement(candidate)
+    for existing in accepted:
+        if hamming_distance(candidate, existing) < min_distance:
+            return False
+        if hamming_distance(rc, existing) < min_distance:
+            return False
+    # A primer must also be distant from its own reverse complement so it
+    # cannot anneal to itself.
+    return hamming_distance(candidate, rc) >= min_distance
+
+
+def design_primer_library(
+    pairs: int,
+    length: int = 20,
+    min_distance: int = 8,
+    gc_bounds: Tuple[float, float] = (0.4, 0.6),
+    max_run: int = 3,
+    rng: Optional[random.Random] = None,
+    max_attempts: int = 200_000,
+) -> List[PrimerPair]:
+    """Design *pairs* mutually-compatible primer pairs by rejection sampling.
+
+    Every primer in the library (and every reverse complement) is at least
+    *min_distance* Hamming distance from every other, has GC content within
+    *gc_bounds* and no homopolymer longer than *max_run*.
+
+    Raises :class:`RuntimeError` when the constraints cannot be satisfied
+    within *max_attempts* candidate draws.
+    """
+    if pairs <= 0:
+        raise ValueError(f"pairs must be positive, got {pairs}")
+    if min_distance > length:
+        raise ValueError("min_distance cannot exceed primer length")
+    rng = rng or random.Random()
+    accepted: List[str] = []
+    attempts = 0
+    while len(accepted) < pairs * 2:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"could not design {pairs} primer pairs within "
+                f"{max_attempts} attempts; relax the constraints"
+            )
+        candidate = random_sequence(length, rng)
+        if _is_acceptable(candidate, accepted, min_distance, gc_bounds, max_run):
+            accepted.append(candidate)
+    return [
+        PrimerPair(forward=accepted[2 * i], reverse=accepted[2 * i + 1])
+        for i in range(pairs)
+    ]

@@ -1,0 +1,50 @@
+"""Index-keyed data whitening.
+
+Unconstrained coding relies on randomization to make long homopolymers rare
+and to balance GC content on average (Section II-D).  Every molecule's
+payload is XORed with a keystream derived from the molecule's index, so the
+transform is deterministic, self-inverse, and needs no side information
+beyond the index already stored in the strand.
+"""
+
+from __future__ import annotations
+
+
+def _xorshift32(state: int) -> int:
+    state ^= (state << 13) & 0xFFFFFFFF
+    state ^= state >> 17
+    state ^= (state << 5) & 0xFFFFFFFF
+    return state & 0xFFFFFFFF
+
+
+class Randomizer:
+    """Deterministic XOR whitening keyed by ``(seed, index)``.
+
+    The keystream is produced by a xorshift32 generator; applying the
+    transform twice with the same key is the identity, so the same method
+    serves for both randomization and de-randomization.
+    """
+
+    def __init__(self, seed: int = 0x5EED5EED):
+        if not 0 <= seed < 2**32:
+            raise ValueError(f"seed must fit in 32 bits, got {seed}")
+        self.seed = seed
+
+    def _keystream(self, index: int, length: int) -> bytes:
+        # Mix seed and index through a couple of rounds so that adjacent
+        # indices produce unrelated keystreams.
+        state = (self.seed ^ (index * 0x9E3779B9)) & 0xFFFFFFFF
+        if state == 0:
+            state = 0xDEADBEEF
+        stream = bytearray()
+        while len(stream) < length:
+            state = _xorshift32(state)
+            stream += state.to_bytes(4, "big")
+        return bytes(stream[:length])
+
+    def apply(self, payload: bytes, index: int) -> bytes:
+        """Whiten (or un-whiten) *payload* with the keystream for *index*."""
+        if index < 0:
+            raise ValueError(f"index must be non-negative, got {index}")
+        keystream = self._keystream(index, len(payload))
+        return bytes(a ^ b for a, b in zip(payload, keystream))

@@ -1,0 +1,243 @@
+"""Systematic Reed-Solomon coding over GF(2^8) with error+erasure decoding.
+
+This is the outer code of the storage architecture (Section IV).  Each
+codeword is one *row* of the molecule matrix; a lost molecule surfaces as an
+erasure at a known column, while indels inside a surviving molecule surface
+as substitution errors.  The decoder therefore implements full
+errata (errors + erasures) decoding: syndromes, Forney syndromes,
+Berlekamp-Massey, Chien search and the Forney value formula.
+
+A codeword of length ``n = k + nsym`` corrects up to ``nsym`` erasures, up
+to ``nsym // 2`` errors, and any combination with
+``2 * errors + erasures <= nsym``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.codec.galois import GF256
+
+_FIELD_LIMIT = 255
+
+
+class RSDecodeError(Exception):
+    """Raised when a codeword is uncorrectable."""
+
+
+class ReedSolomonCodec:
+    """A systematic RS(n, k) codec with ``nsym = n - k`` parity symbols."""
+
+    def __init__(self, nsym: int, field: Optional[GF256] = None):
+        if nsym <= 0:
+            raise ValueError(f"nsym must be positive, got {nsym}")
+        if nsym >= _FIELD_LIMIT:
+            raise ValueError(f"nsym must be < {_FIELD_LIMIT}, got {nsym}")
+        self.nsym = nsym
+        self.field = field or GF256()
+        self._generator = self._build_generator(nsym)
+
+    def _build_generator(self, nsym: int) -> List[int]:
+        generator = [1]
+        for power in range(nsym):
+            generator = self.field.poly_mul(generator, [1, self.field.exp[power]])
+        return generator
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, message: Sequence[int]) -> List[int]:
+        """Append ``nsym`` parity symbols to *message* (systematic form)."""
+        if len(message) + self.nsym > _FIELD_LIMIT:
+            raise ValueError(
+                f"codeword length {len(message) + self.nsym} exceeds {_FIELD_LIMIT}"
+            )
+        self._check_symbols(message)
+        padded = list(message) + [0] * self.nsym
+        remainder = self.field.poly_divmod(padded, self._generator)
+        return list(message) + remainder
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def decode(
+        self,
+        codeword: Sequence[int],
+        erasures: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Return the corrected message (without parity symbols).
+
+        Parameters
+        ----------
+        codeword:
+            The received ``n`` symbols, possibly corrupted.
+        erasures:
+            Known-bad positions (indices into *codeword*).  Erasure symbols
+            may hold any value; their content is ignored.
+
+        Raises
+        ------
+        RSDecodeError
+            If the errata exceed the code's correction capability.
+        """
+        if len(codeword) > _FIELD_LIMIT:
+            raise ValueError(f"codeword length {len(codeword)} exceeds {_FIELD_LIMIT}")
+        if len(codeword) <= self.nsym:
+            raise ValueError("codeword shorter than the parity length")
+        self._check_symbols(codeword)
+        received = list(codeword)
+        erasure_positions = sorted(set(erasures or ()))
+        if any(pos < 0 or pos >= len(received) for pos in erasure_positions):
+            raise ValueError("erasure position out of range")
+        if len(erasure_positions) > self.nsym:
+            raise RSDecodeError(
+                f"{len(erasure_positions)} erasures exceed capability {self.nsym}"
+            )
+        # Zero out erasure positions so their garbage does not affect syndromes
+        # beyond what the erasure locator accounts for.
+        for position in erasure_positions:
+            received[position] = 0
+
+        syndromes = self._syndromes(received)
+        if not any(syndromes):
+            return received[: -self.nsym]
+
+        erasure_locator = self._erasure_locator(erasure_positions, len(received))
+        forney_syndromes = self._forney_syndromes(
+            syndromes, erasure_positions, len(received)
+        )
+        error_locator = self._berlekamp_massey(
+            forney_syndromes, len(erasure_positions)
+        )
+        error_positions = self._chien_search(error_locator, len(received))
+
+        errata_locator = self.field.poly_mul(erasure_locator, error_locator)
+        errata_positions = sorted(set(error_positions) | set(erasure_positions))
+        if 2 * len(error_positions) + len(erasure_positions) > self.nsym:
+            raise RSDecodeError("errata exceed the code's correction capability")
+        corrected = self._forney_correct(
+            received, syndromes, errata_locator, errata_positions
+        )
+        # Verify the correction actually produced a codeword.
+        if any(self._syndromes(corrected)):
+            raise RSDecodeError("correction failed to produce a valid codeword")
+        return corrected[: -self.nsym]
+
+    def check(self, codeword: Sequence[int]) -> bool:
+        """Return ``True`` if *codeword* has all-zero syndromes."""
+        return not any(self._syndromes(list(codeword)))
+
+    # ------------------------------------------------------------------
+    # Decoder internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_symbols(symbols: Sequence[int]) -> None:
+        for symbol in symbols:
+            if not 0 <= symbol <= 255:
+                raise ValueError(f"symbol {symbol} outside GF(256)")
+
+    def _syndromes(self, received: List[int]) -> List[int]:
+        return [
+            self.field.poly_eval(received, self.field.exp[power])
+            for power in range(self.nsym)
+        ]
+
+    def _erasure_locator(self, positions: Sequence[int], length: int) -> List[int]:
+        locator = [1]
+        for position in positions:
+            root = self.field.exp[length - 1 - position]
+            # Factor (1 - X*x) with X = alpha^{degree of the erased symbol}.
+            locator = self.field.poly_mul(locator, [root, 1])
+        return locator
+
+    def _forney_syndromes(
+        self, syndromes: List[int], positions: Sequence[int], length: int
+    ) -> List[int]:
+        modified = list(syndromes)
+        for position in positions:
+            root = self.field.exp[length - 1 - position]
+            # T_k = S_{k+1} + X * S_k removes this erasure's contribution.
+            for index in range(len(modified) - 1):
+                modified[index] = modified[index + 1] ^ self.field.mul(
+                    root, modified[index]
+                )
+            modified.pop()
+        return modified
+
+    def _berlekamp_massey(
+        self, syndromes: List[int], erasure_count: int
+    ) -> List[int]:
+        locator = [1]
+        previous = [1]
+        for step, syndrome in enumerate(syndromes):
+            previous.append(0)
+            delta = syndrome
+            for index in range(1, len(locator)):
+                delta ^= self.field.mul(locator[len(locator) - 1 - index], syndromes[step - index])
+            if delta != 0:
+                if len(previous) > len(locator):
+                    scaled = self.field.poly_scale(previous, delta)
+                    previous = self.field.poly_scale(
+                        locator, self.field.inverse(delta)
+                    )
+                    locator = scaled
+                locator = self.field.poly_add(
+                    locator, self.field.poly_scale(previous, delta)
+                )
+        while locator and locator[0] == 0:
+            locator.pop(0)
+        errors = len(locator) - 1
+        if 2 * errors + erasure_count > self.nsym:
+            raise RSDecodeError("too many errors to locate")
+        return locator
+
+    def _chien_search(self, locator: List[int], length: int) -> List[int]:
+        errors = len(locator) - 1
+        if errors == 0:
+            return []
+        positions = []
+        for candidate in range(length):
+            # The locator has roots at alpha^{-j} for error positions j
+            # (counted from the end of the codeword).
+            if self.field.poly_eval(locator, self.field.power(2, -candidate)) == 0:
+                positions.append(length - 1 - candidate)
+        if len(positions) != errors:
+            raise RSDecodeError("error locator roots do not match its degree")
+        return positions
+
+    def _forney_correct(
+        self,
+        received: List[int],
+        syndromes: List[int],
+        errata_locator: List[int],
+        errata_positions: Sequence[int],
+    ) -> List[int]:
+        length = len(received)
+        # Errata evaluator: Omega(x) = [S(x) * Lambda(x)] mod x^nsym.
+        syndrome_poly = list(reversed(syndromes))
+        product = self.field.poly_mul(syndrome_poly, errata_locator)
+        evaluator = product[len(product) - self.nsym :]
+        # Formal derivative of the locator (odd-degree terms only).
+        reversed_locator = list(reversed(errata_locator))
+        corrected = list(received)
+        for position in errata_positions:
+            root_inverse = self.field.power(2, -(length - 1 - position))
+            numerator = self.field.poly_eval(evaluator, root_inverse)
+            denominator = 0
+            for degree in range(1, len(reversed_locator), 2):
+                term = self.field.mul(
+                    reversed_locator[degree],
+                    self.field.power(root_inverse, degree - 1),
+                )
+                denominator ^= term
+            if denominator == 0:
+                raise RSDecodeError("Forney denominator is zero")
+            root = self.field.exp[length - 1 - position]
+            magnitude = self.field.mul(
+                root, self.field.div(numerator, denominator)
+            )
+            corrected[position] ^= magnitude
+        return corrected

@@ -1,0 +1,50 @@
+"""DNA sequence primitives shared by every pipeline stage.
+
+This subpackage contains the substrate that the codec, the wetlab simulator,
+the clustering module and the trace-reconstruction module are built on:
+alphabet utilities, distance metrics, pairwise and multiple sequence
+alignment, partial-order alignment, q-gram/w-gram signatures, and fastq I/O.
+"""
+
+from repro.dna.alphabet import (
+    BASES,
+    BASE_TO_INDEX,
+    INDEX_TO_BASE,
+    complement,
+    is_dna,
+    random_sequence,
+    reverse_complement,
+)
+from repro.dna.sequence import gc_content, homopolymer_runs, kmers, max_homopolymer
+from repro.dna.distance import hamming_distance, levenshtein_distance
+from repro.dna.alignment import NWAligner, align_pair, edit_operations
+from repro.dna.poa import PartialOrderGraph, poa_consensus
+from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
+from repro.dna.fastq import FastqRecord, read_fastq, write_fastq
+
+__all__ = [
+    "BASES",
+    "BASE_TO_INDEX",
+    "INDEX_TO_BASE",
+    "complement",
+    "is_dna",
+    "random_sequence",
+    "reverse_complement",
+    "gc_content",
+    "homopolymer_runs",
+    "kmers",
+    "max_homopolymer",
+    "hamming_distance",
+    "levenshtein_distance",
+    "NWAligner",
+    "align_pair",
+    "edit_operations",
+    "PartialOrderGraph",
+    "poa_consensus",
+    "QGramSignature",
+    "WGramSignature",
+    "sample_grams",
+    "FastqRecord",
+    "read_fastq",
+    "write_fastq",
+]

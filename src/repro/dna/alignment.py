@@ -1,0 +1,149 @@
+"""Pairwise global alignment (Needleman-Wunsch) with traceback.
+
+Used in three places:
+
+* the learned channel models align (clean, noisy) strand pairs to attribute
+  observed errors to positions and error types;
+* the analysis module aligns reconstructed strands against references to
+  compute per-index error profiles (Figures 3 and 6 of the paper);
+* the partial-order-alignment consensus builds on the same scoring scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+#: Traceback codes.
+_DIAG, _UP, _LEFT = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class EditOp:
+    """One elementary edit that transforms the reference into the query.
+
+    ``kind`` is one of ``"match"``, ``"sub"``, ``"ins"``, ``"del"``.
+    ``ref_pos`` is the index in the reference the operation applies at
+    (for insertions, the reference index *before which* the base was
+    inserted).  ``ref_base``/``query_base`` are empty strings when the
+    operation has no base on that side.
+    """
+
+    kind: str
+    ref_pos: int
+    ref_base: str
+    query_base: str
+
+
+class NWAligner:
+    """Needleman-Wunsch global aligner with affine-free linear gap costs.
+
+    Scores default to match=+1, mismatch=-1, gap=-1, the classical scheme
+    used by the toolkit's consensus algorithms.  Instances are stateless and
+    reusable.
+    """
+
+    def __init__(self, match: int = 1, mismatch: int = -1, gap: int = -1):
+        self.match = match
+        self.mismatch = mismatch
+        self.gap = gap
+
+    def align(self, reference: str, query: str) -> Tuple[str, str, int]:
+        """Globally align *query* against *reference*.
+
+        Returns ``(aligned_reference, aligned_query, score)`` where the two
+        aligned strings have equal length and use ``-`` for gaps.
+        """
+        n, m = len(reference), len(query)
+        score = np.zeros((n + 1, m + 1), dtype=np.int32)
+        trace = np.zeros((n + 1, m + 1), dtype=np.int8)
+        score[:, 0] = np.arange(n + 1) * self.gap
+        score[0, :] = np.arange(m + 1) * self.gap
+        trace[1:, 0] = _UP
+        trace[0, 1:] = _LEFT
+
+        ref_codes = np.frombuffer(reference.encode("ascii"), dtype=np.uint8)
+        query_codes = np.frombuffer(query.encode("ascii"), dtype=np.uint8)
+        for i in range(1, n + 1):
+            match_scores = np.where(
+                query_codes == ref_codes[i - 1], self.match, self.mismatch
+            )
+            prev_row = score[i - 1]
+            row = score[i]
+            trace_row = trace[i]
+            # The row recurrence has a serial dependency through the LEFT
+            # move, so compute diagonal/up vectorised and resolve left
+            # in a scalar pass.
+            diag = prev_row[:-1] + match_scores
+            up = prev_row[1:] + self.gap
+            best = np.maximum(diag, up)
+            choice = np.where(diag >= up, _DIAG, _UP)
+            running = row[0]
+            for j in range(1, m + 1):
+                left = running + self.gap
+                if left > best[j - 1]:
+                    row[j] = left
+                    trace_row[j] = _LEFT
+                else:
+                    row[j] = best[j - 1]
+                    trace_row[j] = choice[j - 1]
+                running = row[j]
+
+        aligned_ref: List[str] = []
+        aligned_query: List[str] = []
+        i, j = n, m
+        while i > 0 or j > 0:
+            move = trace[i, j]
+            if move == _DIAG:
+                aligned_ref.append(reference[i - 1])
+                aligned_query.append(query[j - 1])
+                i -= 1
+                j -= 1
+            elif move == _UP:
+                aligned_ref.append(reference[i - 1])
+                aligned_query.append("-")
+                i -= 1
+            else:
+                aligned_ref.append("-")
+                aligned_query.append(query[j - 1])
+                j -= 1
+        return (
+            "".join(reversed(aligned_ref)),
+            "".join(reversed(aligned_query)),
+            int(score[n, m]),
+        )
+
+
+_DEFAULT_ALIGNER = NWAligner()
+
+
+def align_pair(reference: str, query: str) -> Tuple[str, str]:
+    """Align *query* to *reference* with default scores; return aligned strings."""
+    aligned_ref, aligned_query, _ = _DEFAULT_ALIGNER.align(reference, query)
+    return aligned_ref, aligned_query
+
+
+def edit_operations(reference: str, query: str) -> List[EditOp]:
+    """Return the edit script implied by the optimal global alignment.
+
+    The script transforms *reference* into *query*; match operations are
+    included so callers can compute per-position statistics directly.
+    """
+    aligned_ref, aligned_query = align_pair(reference, query)
+    ops: List[EditOp] = []
+    ref_pos = 0
+    for ref_base, query_base in zip(aligned_ref, aligned_query):
+        if ref_base == "-":
+            ops.append(EditOp("ins", ref_pos, "", query_base))
+        elif query_base == "-":
+            ops.append(EditOp("del", ref_pos, ref_base, ""))
+            ref_pos += 1
+        elif ref_base == query_base:
+            ops.append(EditOp("match", ref_pos, ref_base, query_base))
+            ref_pos += 1
+        else:
+            ops.append(EditOp("sub", ref_pos, ref_base, query_base))
+            ref_pos += 1
+    return ops

@@ -1,0 +1,65 @@
+"""The DNA alphabet and elementary sequence operations.
+
+Strands are plain Python ``str`` objects over the alphabet ``{A, C, G, T}``.
+Keeping strands as strings (rather than a wrapper class) makes every module
+in the toolkit trivially interoperable with user-supplied sequences and with
+fastq data read from disk.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+#: The four nucleotides, in the canonical order used by the 2-bit codec.
+BASES = "ACGT"
+
+#: Mapping from base character to its 2-bit value (A=0, C=1, G=2, T=3).
+BASE_TO_INDEX = {base: index for index, base in enumerate(BASES)}
+
+#: Inverse of :data:`BASE_TO_INDEX`.
+INDEX_TO_BASE = dict(enumerate(BASES))
+
+_COMPLEMENT = str.maketrans("ACGT", "TGCA")
+
+_BASE_SET = frozenset(BASES)
+
+
+def is_dna(sequence: str) -> bool:
+    """Return ``True`` if *sequence* contains only ``A``, ``C``, ``G``, ``T``.
+
+    The empty string is considered valid DNA (an empty strand).
+    """
+    return all(char in _BASE_SET for char in sequence)
+
+
+def complement(sequence: str) -> str:
+    """Return the base-wise Watson-Crick complement of *sequence*."""
+    return sequence.translate(_COMPLEMENT)
+
+
+def reverse_complement(sequence: str) -> str:
+    """Return the reverse complement (the opposite-direction strand).
+
+    Sequencers report reads in both orientations; the wetlab preprocessing
+    module uses this to normalise 3'->5' reads into the 5'->3' convention
+    used throughout the pipeline.
+    """
+    return complement(sequence)[::-1]
+
+
+def random_sequence(length: int, rng: Optional[random.Random] = None) -> str:
+    """Return a uniformly random DNA strand of the given *length*.
+
+    Parameters
+    ----------
+    length:
+        Number of bases; must be non-negative.
+    rng:
+        Optional :class:`random.Random` for reproducibility.  A fresh
+        non-deterministic generator is used when omitted.
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    rng = rng or random.Random()
+    return "".join(rng.choice(BASES) for _ in range(length))

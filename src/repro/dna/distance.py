@@ -1,0 +1,117 @@
+"""String distance metrics.
+
+Levenshtein (edit) distance is the similarity metric of record for DNA-read
+clustering (Section VI), but it is expensive; the clustering module therefore
+gates edit-distance calls behind cheap signature comparisons and, when it
+does call :func:`levenshtein_distance`, passes a *bound* so the banded
+(Ukkonen) variant can bail out early.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+def hamming_distance(left: str, right: str) -> int:
+    """Return the number of positions at which two equal-length strings differ.
+
+    Raises :class:`ValueError` when the lengths differ, because Hamming
+    distance is undefined there (callers that want a length-tolerant metric
+    should use :func:`levenshtein_distance`).
+    """
+    if len(left) != len(right):
+        raise ValueError(
+            f"hamming_distance requires equal lengths, got {len(left)} and {len(right)}"
+        )
+    return sum(1 for a, b in zip(left, right) if a != b)
+
+
+def prefix_edit_distance(pattern: str, text: str) -> Tuple[int, int]:
+    """Best edit distance of *pattern* against any prefix of *text*.
+
+    Returns ``(distance, end)`` where ``text[:end]`` is the prefix that
+    matches *pattern* with the fewest edits (ties prefer the longest
+    prefix).  Used to locate primer sites at read boundaries, where indels
+    make fixed-width comparisons unreliable.
+    """
+    if not pattern:
+        return 0, 0
+    previous = list(range(len(text) + 1))
+    current = [0] * (len(text) + 1)
+    for row in range(1, len(pattern) + 1):
+        current[0] = row
+        pattern_char = pattern[row - 1]
+        for col in range(1, len(text) + 1):
+            cost = 0 if pattern_char == text[col - 1] else 1
+            current[col] = min(
+                previous[col] + 1,
+                current[col - 1] + 1,
+                previous[col - 1] + cost,
+            )
+        previous, current = current, previous
+    best_end = max(range(len(text) + 1), key=lambda col: (-previous[col], col))
+    return previous[best_end], best_end
+
+
+def levenshtein_distance(left: str, right: str, bound: Optional[int] = None) -> int:
+    """Return the edit distance between two strings.
+
+    Parameters
+    ----------
+    left, right:
+        The strings to compare.
+    bound:
+        Optional inclusive upper bound.  When given, the computation is
+        restricted to a diagonal band of width ``2 * bound + 1`` (Ukkonen's
+        optimisation) and any value larger than *bound* is reported as
+        ``bound + 1``.  This is how the clustering module avoids paying the
+        full quadratic cost for obviously-dissimilar reads.
+    """
+    if left == right:
+        return 0
+    # Keep the shorter string in the inner loop.
+    if len(left) < len(right):
+        left, right = right, left
+    len_long, len_short = len(left), len(right)
+    if bound is not None:
+        if bound < 0:
+            raise ValueError(f"bound must be non-negative, got {bound}")
+        if len_long - len_short > bound:
+            return bound + 1
+    if len_short == 0:
+        return len_long
+
+    previous = list(range(len_short + 1))
+    current = [0] * (len_short + 1)
+    for row in range(1, len_long + 1):
+        if bound is None:
+            col_start, col_end = 1, len_short
+        else:
+            col_start = max(1, row - bound)
+            col_end = min(len_short, row + bound)
+            # Seed cells just outside the band with a value that cannot win.
+            if col_start > 1:
+                current[col_start - 1] = bound + 1
+        current[0] = row
+        char_long = left[row - 1]
+        best_in_row = current[0] if bound is not None else 0
+        for col in range(col_start, col_end + 1):
+            cost = 0 if char_long == right[col - 1] else 1
+            value = min(
+                previous[col] + 1,  # deletion
+                current[col - 1] + 1,  # insertion
+                previous[col - 1] + cost,  # substitution / match
+            )
+            current[col] = value
+            if bound is not None and value < best_in_row:
+                best_in_row = value
+        if bound is not None:
+            if col_end < len_short:
+                current[col_end + 1] = bound + 1
+            if best_in_row > bound:
+                return bound + 1
+        previous, current = current, previous
+    distance = previous[len_short]
+    if bound is not None and distance > bound:
+        return bound + 1
+    return distance

@@ -1,0 +1,102 @@
+"""Minimal fastq reading and writing.
+
+Sequencing runs (Illumina or Nanopore) deliver reads in fastq format; the
+wetlab-data module (Section VIII of the paper) ingests these files in place
+of the simulation module.  We implement the standard four-line record format
+with Phred+33 quality scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+_PHRED_OFFSET = 33
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One sequencing read: identifier, bases and per-base Phred qualities."""
+
+    identifier: str
+    sequence: str
+    qualities: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.qualities and len(self.qualities) != len(self.sequence):
+            raise ValueError(
+                "quality string length must match sequence length "
+                f"({len(self.qualities)} != {len(self.sequence)})"
+            )
+
+    def mean_quality(self) -> float:
+        """Return the average Phred quality (0.0 for a read with no scores)."""
+        if not self.qualities:
+            return 0.0
+        return sum(self.qualities) / len(self.qualities)
+
+
+def _parse_quality(text: str) -> List[int]:
+    return [ord(char) - _PHRED_OFFSET for char in text]
+
+
+def _format_quality(qualities: Iterable[int]) -> str:
+    return "".join(chr(q + _PHRED_OFFSET) for q in qualities)
+
+
+def parse_fastq(stream: Iterable[str]) -> Iterator[FastqRecord]:
+    """Yield :class:`FastqRecord` objects from an iterable of fastq lines."""
+    lines = iter(stream)
+    while True:
+        try:
+            header = next(lines).rstrip("\n")
+        except StopIteration:
+            return
+        if not header:
+            continue
+        if not header.startswith("@"):
+            raise ValueError(f"malformed fastq: expected '@' header, got {header!r}")
+        try:
+            sequence = next(lines).rstrip("\n")
+            separator = next(lines).rstrip("\n")
+            quality = next(lines).rstrip("\n")
+        except StopIteration:
+            raise ValueError("malformed fastq: truncated record") from None
+        if not separator.startswith("+"):
+            raise ValueError(f"malformed fastq: expected '+' line, got {separator!r}")
+        if len(quality) != len(sequence):
+            raise ValueError(
+                "malformed fastq: quality length does not match sequence length"
+            )
+        yield FastqRecord(header[1:], sequence, _parse_quality(quality))
+
+
+def read_fastq(path: Union[str, Path]) -> List[FastqRecord]:
+    """Read every record from the fastq file at *path*."""
+    with open(path, "r", encoding="ascii") as handle:
+        return list(parse_fastq(handle))
+
+
+def write_fastq(
+    records: Iterable[FastqRecord], destination: Union[str, Path, TextIO]
+) -> None:
+    """Write *records* to a path or an open text stream in fastq format.
+
+    Records without quality scores are written with a constant placeholder
+    quality of 40 ("I"), matching common simulator conventions.
+    """
+    if hasattr(destination, "write"):
+        _write_records(records, destination)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="ascii") as handle:
+        _write_records(records, handle)
+
+
+def _write_records(records: Iterable[FastqRecord], handle: TextIO) -> None:
+    for record in records:
+        qualities = record.qualities or [40] * len(record.sequence)
+        handle.write(f"@{record.identifier}\n")
+        handle.write(f"{record.sequence}\n")
+        handle.write("+\n")
+        handle.write(f"{_format_quality(qualities)}\n")

@@ -1,0 +1,306 @@
+"""Partial-order alignment (POA) and column-majority consensus.
+
+This is a pure-Python/numpy reimplementation of the algorithm behind spoa
+(Lee, *Bioinformatics* 2002/2003), which the paper's Needleman-Wunsch
+reconstruction module builds on.  Reads are aligned one at a time against a
+growing DAG; bases that align to an existing node with the same base are
+fused into it, mismatching bases branch within the node's *aligned group*
+(the POA notion of a column), and insertions create fresh nodes.
+
+Consensus (Section VII-C of the paper) takes a majority vote in every column
+of the implied multiple sequence alignment; when the result exceeds the
+expected strand length, the surplus columns with the most indel alignments
+are omitted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_NEG_INF = np.int32(-(2**30))
+
+
+class PartialOrderGraph:
+    """A partial-order alignment graph built incrementally from reads.
+
+    Parameters
+    ----------
+    match, mismatch, gap:
+        Alignment scores (linear gap model), defaulting to +2/-2/-2 which
+        behaves well for the short, moderately noisy reads produced by DNA
+        data storage channels.
+    free_graph_ends:
+        When true (the default) reads may start and end anywhere in the
+        graph without terminal gap penalties, which makes the alignment
+        robust to truncated reads.
+    """
+
+    def __init__(
+        self,
+        match: int = 2,
+        mismatch: int = -2,
+        gap: int = -2,
+        free_graph_ends: bool = True,
+    ):
+        self.match = match
+        self.mismatch = mismatch
+        self.gap = gap
+        self.free_graph_ends = free_graph_ends
+        self.bases: List[str] = []
+        self.preds: List[List[int]] = []
+        self.succs: List[List[int]] = []
+        self.group_of: List[int] = []
+        self.group_members: Dict[int, List[int]] = {}
+        self.paths: List[List[int]] = []
+        self._next_group = 0
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+
+    def _new_node(self, base: str, group: Optional[int] = None) -> int:
+        node = len(self.bases)
+        self.bases.append(base)
+        self.preds.append([])
+        self.succs.append([])
+        if group is None:
+            group = self._next_group
+            self._next_group += 1
+            self.group_members[group] = []
+        self.group_of.append(group)
+        self.group_members[group].append(node)
+        return node
+
+    def _add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.succs[src]:
+            self.succs[src].append(dst)
+            self.preds[dst].append(src)
+
+    def add_sequence(self, sequence: str) -> None:
+        """Align *sequence* against the graph and merge it in."""
+        if not sequence:
+            raise ValueError("cannot add an empty sequence to a POA graph")
+        if not self.bases:
+            path = [self._new_node(base) for base in sequence]
+            for src, dst in zip(path, path[1:]):
+                self._add_edge(src, dst)
+            self.paths.append(path)
+            return
+        ops = self._align(sequence)
+        self._merge(sequence, ops)
+
+    def topological_order(self) -> List[int]:
+        """Return node ids in a topological order (Kahn's algorithm)."""
+        in_degree = [len(p) for p in self.preds]
+        queue = deque(node for node, deg in enumerate(in_degree) if deg == 0)
+        order: List[int] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for succ in self.succs[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    queue.append(succ)
+        if len(order) != len(self.bases):
+            raise RuntimeError("POA graph contains a cycle; this is a bug")
+        return order
+
+    # ------------------------------------------------------------------
+    # Alignment of one read against the graph
+    # ------------------------------------------------------------------
+
+    def _align(self, sequence: str) -> List[Tuple[str, int, int]]:
+        """Return the optimal edit script for *sequence* against the graph.
+
+        The script is a forward-ordered list of ``(op, node_id, read_pos)``
+        tuples with op in {"diag", "vert", "horiz"}; node_id is -1 for
+        "horiz" (insertions attach to the path, not to an existing node).
+        """
+        order = self.topological_order()
+        rank = {node: index + 1 for index, node in enumerate(order)}
+        n, m = len(order), len(sequence)
+        gap = self.gap
+        read_codes = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+        positions = np.arange(m + 1, dtype=np.int32)
+
+        score = np.empty((n + 1, m + 1), dtype=np.int32)
+        score[0] = positions * gap  # virtual start: read prefix is insertions
+        for row, node in enumerate(order, start=1):
+            base_code = ord(self.bases[node])
+            match_scores = np.where(
+                read_codes == base_code, self.match, self.mismatch
+            ).astype(np.int32)
+            pred_rows = [rank[p] for p in self.preds[node]]
+            if not pred_rows or self.free_graph_ends:
+                pred_rows = pred_rows + [0]
+            best = np.full(m + 1, _NEG_INF, dtype=np.int32)
+            for pred_row in pred_rows:
+                prev = score[pred_row]
+                np.maximum(best[1:], prev[:-1] + match_scores, out=best[1:])
+                np.maximum(best, prev + gap, out=best)
+            # Resolve the serial horizontal (insertion) chain with a prefix
+            # max: row[j] = max(best[j], max_{k<j} best[k] + (j-k)*gap).
+            shifted = np.maximum.accumulate(best - positions * gap)
+            row_scores = best.copy()
+            np.maximum(
+                row_scores[1:], shifted[:-1] + positions[1:] * gap, out=row_scores[1:]
+            )
+            score[row] = row_scores
+
+        if self.free_graph_ends:
+            end_rows = list(range(1, n + 1))
+        else:
+            end_rows = [rank[node] for node in order if not self.succs[node]]
+        end_row = max(end_rows, key=lambda r: score[r, m])
+
+        # Traceback by re-checking which transition achieves each score.
+        ops: List[Tuple[str, int, int]] = []
+        row, j = end_row, m
+        order_by_row = {rank[node]: node for node in order}
+        while row != 0 or j != 0:
+            if row == 0:
+                ops.append(("horiz", -1, j - 1))
+                j -= 1
+                continue
+            node = order_by_row[row]
+            current = score[row, j]
+            pred_rows = [rank[p] for p in self.preds[node]]
+            if not pred_rows or self.free_graph_ends:
+                pred_rows = pred_rows + [0]
+            moved = False
+            if j > 0:
+                base_match = (
+                    self.match if sequence[j - 1] == self.bases[node] else self.mismatch
+                )
+                for pred_row in pred_rows:
+                    if score[pred_row, j - 1] + base_match == current:
+                        ops.append(("diag", node, j - 1))
+                        row, j = pred_row, j - 1
+                        moved = True
+                        break
+            if moved:
+                continue
+            for pred_row in pred_rows:
+                if score[pred_row, j] + self.gap == current:
+                    ops.append(("vert", node, j))
+                    row = pred_row
+                    moved = True
+                    break
+            if moved:
+                continue
+            if j > 0 and score[row, j - 1] + self.gap == current:
+                ops.append(("horiz", -1, j - 1))
+                j -= 1
+                continue
+            raise RuntimeError("POA traceback failed; this is a bug")
+        ops.reverse()
+        return ops
+
+    def _merge(self, sequence: str, ops: Sequence[Tuple[str, int, int]]) -> None:
+        """Fuse an aligned read into the graph following its edit script."""
+        path: List[int] = []
+        for op, node, read_pos in ops:
+            if op == "vert":
+                continue  # graph node skipped by this read
+            base = sequence[read_pos]
+            if op == "horiz":
+                path.append(self._new_node(base))
+                continue
+            # Diagonal: read base aligned to an existing node.
+            if self.bases[node] == base:
+                path.append(node)
+                continue
+            group = self.group_of[node]
+            for member in self.group_members[group]:
+                if self.bases[member] == base:
+                    path.append(member)
+                    break
+            else:
+                path.append(self._new_node(base, group=group))
+        for src, dst in zip(path, path[1:]):
+            self._add_edge(src, dst)
+        self.paths.append(path)
+
+    # ------------------------------------------------------------------
+    # Consensus
+    # ------------------------------------------------------------------
+
+    def columns(self) -> List[List[int]]:
+        """Return the MSA columns (aligned groups) in topological order."""
+        seen = set()
+        ordered: List[List[int]] = []
+        for node in self.topological_order():
+            group = self.group_of[node]
+            if group not in seen:
+                seen.add(group)
+                ordered.append(self.group_members[group])
+        return ordered
+
+    def consensus(self, expected_length: Optional[int] = None) -> str:
+        """Return the majority-vote consensus across MSA columns.
+
+        In every column each read votes for the base it carries there (or a
+        gap when its path skips the column); the plurality symbol wins, with
+        non-gap preferred on ties.  Columns won by the gap symbol are
+        omitted.  When *expected_length* is given and the consensus exceeds
+        it by ``x`` bases, the ``x`` kept columns with the most indel votes
+        are dropped (Section VII-C of the paper).
+        """
+        if not self.paths:
+            raise ValueError("consensus of an empty POA graph is undefined")
+        node_to_column: Dict[int, int] = {}
+        ordered_columns = self.columns()
+        for column_index, members in enumerate(ordered_columns):
+            for member in members:
+                node_to_column[member] = column_index
+
+        num_columns = len(ordered_columns)
+        total_reads = len(self.paths)
+        base_votes: List[Dict[str, int]] = [dict() for _ in range(num_columns)]
+        presence = np.zeros(num_columns, dtype=np.int32)
+        for path in self.paths:
+            for node in path:
+                column = node_to_column[node]
+                base = self.bases[node]
+                base_votes[column][base] = base_votes[column].get(base, 0) + 1
+                presence[column] += 1
+
+        kept: List[Tuple[str, int]] = []  # (base, gap_votes)
+        for column in range(num_columns):
+            votes = base_votes[column]
+            if not votes:
+                continue  # column supported by no surviving path
+            gap_votes = total_reads - int(presence[column])
+            best_base = max(votes, key=lambda b: (votes[b], b))
+            if votes[best_base] >= gap_votes:
+                kept.append((best_base, gap_votes))
+        if expected_length is not None and len(kept) > expected_length:
+            surplus = len(kept) - expected_length
+            by_gappiness = sorted(
+                range(len(kept)), key=lambda i: kept[i][1], reverse=True
+            )
+            drop = set(by_gappiness[:surplus])
+            kept = [entry for index, entry in enumerate(kept) if index not in drop]
+        return "".join(base for base, _ in kept)
+
+
+def poa_consensus(
+    reads: Sequence[str],
+    expected_length: Optional[int] = None,
+    match: int = 2,
+    mismatch: int = -2,
+    gap: int = -2,
+) -> str:
+    """Build a POA graph over *reads* and return its majority consensus."""
+    if not reads:
+        raise ValueError("poa_consensus requires at least one read")
+    graph = PartialOrderGraph(match=match, mismatch=mismatch, gap=gap)
+    for read in reads:
+        if read:
+            graph.add_sequence(read)
+    if not graph.paths:
+        raise ValueError("poa_consensus requires at least one non-empty read")
+    return graph.consensus(expected_length=expected_length)

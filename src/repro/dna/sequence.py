@@ -1,0 +1,55 @@
+"""Sequence statistics used by constrained-coding checks and primer design.
+
+The toolkit's codec is *unconstrained* (Section II-D of the paper): it relies
+on randomization rather than constrained coding, so these statistics are used
+to validate randomizer behaviour and to screen candidate PCR primers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+def gc_content(sequence: str) -> float:
+    """Return the fraction of ``G``/``C`` bases in *sequence*.
+
+    Raises :class:`ValueError` for the empty strand, for which GC content is
+    undefined.
+    """
+    if not sequence:
+        raise ValueError("GC content is undefined for an empty sequence")
+    gc = sum(1 for base in sequence if base in "GC")
+    return gc / len(sequence)
+
+
+def homopolymer_runs(sequence: str) -> List[Tuple[str, int]]:
+    """Return maximal homopolymer runs as ``(base, run_length)`` pairs.
+
+    ``"AACGGG"`` yields ``[("A", 2), ("C", 1), ("G", 3)]``.
+    """
+    runs: List[Tuple[str, int]] = []
+    for base in sequence:
+        if runs and runs[-1][0] == base:
+            runs[-1] = (base, runs[-1][1] + 1)
+        else:
+            runs.append((base, 1))
+    return runs
+
+
+def max_homopolymer(sequence: str) -> int:
+    """Return the length of the longest homopolymer run (0 if empty)."""
+    longest = 0
+    for _, run_length in homopolymer_runs(sequence):
+        longest = max(longest, run_length)
+    return longest
+
+
+def kmers(sequence: str, k: int) -> Iterator[str]:
+    """Yield every (overlapping) substring of length *k* in order.
+
+    Yields nothing when ``k > len(sequence)``; raises for ``k <= 0``.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    for start in range(len(sequence) - k + 1):
+        yield sequence[start : start + k]

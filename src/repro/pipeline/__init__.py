@@ -1,0 +1,28 @@
+"""End-to-end pipeline orchestration (Section III).
+
+:class:`~repro.pipeline.pipeline.Pipeline` chains the five stages —
+encoding, wetlab simulation, clustering, trace reconstruction, decoding —
+with per-stage timing, mirroring the modular design of the paper: every
+stage is an object the caller can swap for their own implementation.
+
+:class:`~repro.pipeline.pool.DNAPool` models the storage layer itself: a
+key-value store addressed by PCR primer pairs (Section II-F), supporting
+random access via simulated PCR selection.
+"""
+
+from repro.pipeline.pipeline import Pipeline, PipelineResult
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.pool import DNAPool, PCRParameters
+from repro.pipeline.stats import StageTimings
+from repro.pipeline.store import DNAStorageSystem, StorageSystemConfig
+
+__all__ = [
+    "Pipeline",
+    "PipelineResult",
+    "PipelineConfig",
+    "DNAPool",
+    "PCRParameters",
+    "StageTimings",
+    "DNAStorageSystem",
+    "StorageSystemConfig",
+]

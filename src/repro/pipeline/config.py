@@ -1,0 +1,59 @@
+"""Configuration bundle for the end-to-end pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.codec.encoder import EncodingParameters
+from repro.clustering.rashtchian import ClusteringConfig
+from repro.reconstruction.base import Reconstructor
+from repro.reconstruction.nw_consensus import NWConsensusReconstructor
+from repro.simulation.channel import Channel
+from repro.simulation.coverage import ConstantCoverage, CoverageModel
+from repro.simulation.iid import IIDChannel
+
+
+def _default_channel() -> Channel:
+    return IIDChannel.from_total_rate(0.06)
+
+
+@dataclass
+class PipelineConfig:
+    """Everything a :class:`~repro.pipeline.pipeline.Pipeline` run needs.
+
+    The defaults reproduce the paper's Table III setting: payload length
+    120 nt, 6% total error rate, coverage 10.
+    """
+
+    encoding: EncodingParameters = field(default_factory=EncodingParameters)
+    channel: Channel = field(default_factory=_default_channel)
+    coverage: CoverageModel = field(default_factory=lambda: ConstantCoverage(10))
+    clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
+    #: custom clusterer: any object with ``cluster(reads) -> ClusteringResult``;
+    #: when set it replaces the Rashtchian clusterer (and ``clustering`` is
+    #: ignored) — e.g. :class:`repro.clustering.tree.TreeClusterer`
+    clusterer: Optional[object] = None
+    reconstructor: Reconstructor = field(default_factory=NWConsensusReconstructor)
+    #: probability a simulated read is reported in the 3'->5' orientation;
+    #: only meaningful when the encoding carries a primer pair, because
+    #: orientation recovery needs the primer sites
+    reverse_orientation_prob: float = 0.0
+    #: drop clusters smaller than this before reconstruction (tiny clusters
+    #: reconstruct poorly and their columns are better treated as erasures)
+    min_cluster_size: int = 2
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reverse_orientation_prob <= 1.0:
+            raise ValueError("reverse_orientation_prob must be in [0, 1]")
+        if self.min_cluster_size < 1:
+            raise ValueError("min_cluster_size must be at least 1")
+        if (
+            self.reverse_orientation_prob > 0
+            and self.encoding.primer_pair is None
+        ):
+            raise ValueError(
+                "reverse_orientation_prob requires a primer pair: orientation "
+                "can only be recovered from primer sites"
+            )

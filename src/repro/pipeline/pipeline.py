@@ -1,0 +1,162 @@
+"""The end-to-end pipeline: encode -> simulate -> cluster -> reconstruct -> decode.
+
+Every stage is pluggable (Section III of the paper): the channel, coverage
+model, clustering configuration and reconstructor all come from the
+:class:`~repro.pipeline.config.PipelineConfig`, and the wetlab-data entry
+point :meth:`Pipeline.run_from_reads` lets real sequencing reads replace
+the simulation stage entirely (Section VIII).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.clustering.rashtchian import ClusteringResult, RashtchianClusterer
+from repro.codec.decoder import DecodeReport, DNADecoder
+from repro.codec.encoder import DNAEncoder, EncodedPool
+from repro.dna.alphabet import reverse_complement
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.stats import StageTimings
+from repro.simulation.coverage import SequencingRun, sequence_pool
+from repro.wetlab.preprocess import WetlabPreprocessor
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced, stage by stage."""
+
+    data: bytes
+    success: bool
+    timings: StageTimings
+    encoded: EncodedPool
+    sequencing: Optional[SequencingRun]
+    clustering: Optional[ClusteringResult]
+    reconstructions: List[str] = field(default_factory=list)
+    decode_report: Optional[DecodeReport] = None
+
+
+class Pipeline:
+    """Drives a file through the whole DNA storage pipeline."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None):
+        self.config = config or PipelineConfig()
+        self._encoder = DNAEncoder(self.config.encoding)
+        self._decoder = DNADecoder(self.config.encoding)
+
+    # ------------------------------------------------------------------
+    # Full simulated round trip
+    # ------------------------------------------------------------------
+
+    def run(self, data: bytes) -> PipelineResult:
+        """Encode *data*, simulate the wetlab, and recover the file."""
+        config = self.config
+        rng = random.Random(config.seed)
+        timings = StageTimings()
+
+        start = time.perf_counter()
+        encoded = self._encoder.encode(data)
+        timings.encoding = time.perf_counter() - start
+
+        start = time.perf_counter()
+        transmitted = (
+            encoded.strands
+            if config.encoding.primer_pair is not None
+            else encoded.references
+        )
+        run = sequence_pool(transmitted, config.channel, config.coverage, rng)
+        reads = run.reads
+        if config.reverse_orientation_prob > 0:
+            reads = [
+                reverse_complement(read)
+                if rng.random() < config.reverse_orientation_prob
+                else read
+                for read in reads
+            ]
+        if config.encoding.primer_pair is not None:
+            preprocessor = WetlabPreprocessor(
+                [config.encoding.primer_pair],
+                expected_body_length=config.encoding.body_nt,
+            )
+            by_pair, _ = preprocessor.process(reads)
+            reads = by_pair.get(0, [])
+        timings.simulation = time.perf_counter() - start
+
+        result = self._recover(reads, encoded, timings)
+        result.sequencing = run
+        return result
+
+    # ------------------------------------------------------------------
+    # Wetlab-data entry point: reads replace the simulation stage
+    # ------------------------------------------------------------------
+
+    def run_from_reads(
+        self, reads: Sequence[str], expected_units: Optional[int] = None
+    ) -> PipelineResult:
+        """Recover a file from externally-produced payload reads.
+
+        *reads* must already be oriented and primer-trimmed (use
+        :class:`~repro.wetlab.preprocess.WetlabPreprocessor` on raw fastq).
+        """
+        timings = StageTimings()
+        placeholder = EncodedPool(
+            strands=[],
+            references=[],
+            parameters=self.config.encoding,
+            num_units=expected_units or 0,
+            file_length=0,
+        )
+        return self._recover(
+            list(reads), placeholder, timings, expected_units=expected_units
+        )
+
+    # ------------------------------------------------------------------
+
+    def _recover(
+        self,
+        reads: List[str],
+        encoded: EncodedPool,
+        timings: StageTimings,
+        expected_units: Optional[int] = None,
+    ) -> PipelineResult:
+        config = self.config
+
+        start = time.perf_counter()
+        clustering = None
+        clusters_reads: List[List[str]] = []
+        if reads:
+            clusterer = config.clusterer or RashtchianClusterer(config.clustering)
+            clustering = clusterer.cluster(reads)
+            clusters_reads = [
+                [reads[index] for index in cluster]
+                for cluster in clustering.clusters
+                if len(cluster) >= config.min_cluster_size
+            ]
+        timings.clustering = time.perf_counter() - start
+
+        start = time.perf_counter()
+        reconstructions = config.reconstructor.reconstruct_all(
+            clusters_reads, config.encoding.body_nt
+        )
+        timings.reconstruction = time.perf_counter() - start
+
+        start = time.perf_counter()
+        data, report = self._decoder.decode(
+            reconstructions,
+            expected_units=expected_units
+            or (encoded.num_units if encoded.num_units else None),
+        )
+        timings.decoding = time.perf_counter() - start
+
+        return PipelineResult(
+            data=data,
+            success=report.success,
+            timings=timings,
+            encoded=encoded,
+            sequencing=None,
+            clustering=clustering,
+            reconstructions=reconstructions,
+            decode_report=report,
+        )

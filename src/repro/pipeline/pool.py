@@ -1,0 +1,148 @@
+"""The DNA pool: a primer-addressed key-value store (Section II-F).
+
+Molecules from many files share one physical tube.  There is no physical
+order — the only addressing mechanism is PCR: given a primer pair, all
+molecules whose ends match that pair are exponentially amplified and can
+then be sequenced.  The pool therefore behaves as a key-value store whose
+keys are primer pairs and whose values are the tagged molecules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.codec.primers import PrimerPair
+from repro.dna.alphabet import reverse_complement
+
+
+@dataclass
+class PCRParameters:
+    """Knobs of the simulated PCR selection.
+
+    ``max_end_mismatches`` models primer annealing specificity: a molecule
+    amplifies only if each of its two primer sites mismatches the target
+    primer in at most this many bases.  ``amplification`` is the expected
+    number of copies produced per matching molecule, and ``efficiency`` the
+    per-molecule probability of participating at all (dropout).
+    """
+
+    max_end_mismatches: int = 3
+    amplification: int = 4
+    efficiency: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.max_end_mismatches < 0:
+            raise ValueError("max_end_mismatches must be non-negative")
+        if self.amplification < 1:
+            raise ValueError("amplification must be at least 1")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+
+
+class DNAPool:
+    """A tube of tagged molecules from any number of stored files."""
+
+    def __init__(self) -> None:
+        self._molecules: List[str] = []
+        self._keys: Dict[str, PrimerPair] = {}
+
+    def __len__(self) -> int:
+        return len(self._molecules)
+
+    @property
+    def keys(self) -> List[str]:
+        """Names of the files stored in this pool."""
+        return sorted(self._keys)
+
+    def primer_pair(self, key: str) -> PrimerPair:
+        """The primer pair under which *key* was stored."""
+        try:
+            return self._keys[key]
+        except KeyError:
+            raise KeyError(f"no file stored under key {key!r}") from None
+
+    def store(
+        self,
+        key: str,
+        pair: PrimerPair,
+        strands: Sequence[str],
+        copies: int = 1,
+    ) -> None:
+        """Add a file's tagged *strands* to the tube under *key*.
+
+        The strands must already carry the pair's primer sites (the encoder
+        does this when its parameters include the pair).  Molecules of all
+        files mix freely — that is the point of the experiment.
+
+        ``copies`` models synthesis abundance: each designed strand enters
+        the tube that many times.  Real synthesis produces millions of
+        copies, which is what makes aliquot-based copying non-destructive;
+        a handful of copies is enough to capture that behaviour in
+        simulation.
+        """
+        if key in self._keys:
+            raise ValueError(f"key {key!r} already stored in this pool")
+        if copies < 1:
+            raise ValueError(f"copies must be at least 1, got {copies}")
+        for strand in strands:
+            if not strand.startswith(pair.forward):
+                raise ValueError(
+                    f"strand does not start with the forward primer of {key!r}"
+                )
+        self._keys[key] = pair
+        for strand in strands:
+            self._molecules.extend([strand] * copies)
+
+    def pcr_select(
+        self,
+        pair: PrimerPair,
+        parameters: Optional[PCRParameters] = None,
+        rng: Optional[random.Random] = None,
+    ) -> List[str]:
+        """Simulate PCR amplification with *pair* over the whole tube.
+
+        Returns the amplified molecules (with their primer sites intact),
+        in randomised order.  Molecules of other files survive only if
+        their primer sites happen to lie within the mismatch tolerance —
+        with a well-designed library (pairwise Hamming distance above the
+        tolerance) that never happens.
+        """
+        parameters = parameters or PCRParameters()
+        rng = rng or random.Random()
+        forward = pair.forward
+        reverse_site = reverse_complement(pair.reverse)
+        selected: List[str] = []
+        for molecule in self._molecules:
+            if len(molecule) < len(forward) + len(reverse_site):
+                continue
+            head = molecule[: len(forward)]
+            tail = molecule[len(molecule) - len(reverse_site) :]
+            head_mismatch = sum(1 for a, b in zip(head, forward) if a != b)
+            if head_mismatch > parameters.max_end_mismatches:
+                continue
+            tail_mismatch = sum(1 for a, b in zip(tail, reverse_site) if a != b)
+            if tail_mismatch > parameters.max_end_mismatches:
+                continue
+            if rng.random() >= parameters.efficiency:
+                continue
+            selected.extend([molecule] * parameters.amplification)
+        rng.shuffle(selected)
+        return selected
+
+    def sample(self, fraction: float, rng: Optional[random.Random] = None) -> "DNAPool":
+        """Aliquot: a new pool holding a random *fraction* of the molecules.
+
+        Physical copying in DNA storage is exactly this cheap — pipette a
+        fraction of the tube and re-amplify.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = rng or random.Random()
+        aliquot = DNAPool()
+        aliquot._keys = dict(self._keys)
+        aliquot._molecules = [
+            molecule for molecule in self._molecules if rng.random() < fraction
+        ]
+        return aliquot

@@ -1,0 +1,37 @@
+"""Per-stage timing, the raw material of the paper's Table III."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds spent in each pipeline stage."""
+
+    encoding: float = 0.0
+    simulation: float = 0.0
+    clustering: float = 0.0
+    reconstruction: float = 0.0
+    decoding: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.encoding
+            + self.simulation
+            + self.clustering
+            + self.reconstruction
+            + self.decoding
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "encoding": self.encoding,
+            "simulation": self.simulation,
+            "clustering": self.clustering,
+            "reconstruction": self.reconstruction,
+            "decoding": self.decoding,
+            "total": self.total,
+        }

@@ -1,0 +1,163 @@
+"""The DNA storage system as a key-value store (Section II-F).
+
+The paper's high-level architecture: a pool of molecules is a key-value
+store whose keys are PCR primer pairs.  :class:`DNAStorageSystem` packages
+the whole toolkit behind that interface —
+
+* ``store(key, data)`` encodes the file under a fresh primer pair from the
+  system's library and adds the tagged molecules to the shared tube;
+* ``retrieve(key)`` runs the read path end to end: PCR selection,
+  sequencing through the configured channel, wetlab preprocessing
+  (orientation + primer trimming), clustering, trace reconstruction and
+  decoding.
+
+Everything is simulated, but the control flow is exactly the physical
+system's, which makes this the right scaffold for end-to-end experiments
+(and the quickest way to demo the toolkit).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clustering import ClusteringConfig
+from repro.codec import DNAEncoder, EncodingParameters, design_primer_library
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.pipeline import Pipeline, PipelineResult
+from repro.pipeline.pool import DNAPool, PCRParameters
+from repro.simulation.channel import Channel
+from repro.simulation.coverage import ConstantCoverage, CoverageModel
+from repro.simulation.iid import IIDChannel
+from repro.wetlab import WetlabPreprocessor
+
+
+@dataclass
+class StorageSystemConfig:
+    """Configuration of the whole storage system."""
+
+    #: per-file encoding template (the primer pair is filled in per store())
+    payload_bytes: int = 30
+    data_columns: int = 60
+    parity_columns: int = 20
+    index_bytes: int = 3
+    #: sequencing setup used by retrieve()
+    channel: Channel = field(
+        default_factory=lambda: IIDChannel.from_total_rate(0.05)
+    )
+    coverage: CoverageModel = field(default_factory=lambda: ConstantCoverage(10))
+    pcr: PCRParameters = field(default_factory=PCRParameters)
+    clustering: ClusteringConfig = field(
+        default_factory=lambda: ClusteringConfig(seed=1)
+    )
+    #: physical copies synthesized per designed strand (abundance); makes
+    #: aliquot copies non-destructive, as in a real tube
+    physical_copies: int = 20
+    #: primer pairs pre-designed for the system (max stored files)
+    max_files: int = 8
+    seed: int = 2024
+
+
+class DNAStorageSystem:
+    """Key-value storage over one simulated DNA pool."""
+
+    def __init__(self, config: Optional[StorageSystemConfig] = None):
+        self.config = config or StorageSystemConfig()
+        self._rng = random.Random(self.config.seed)
+        self._library = design_primer_library(
+            self.config.max_files, rng=self._rng
+        )
+        self._pool = DNAPool()
+        self._parameters: Dict[str, EncodingParameters] = {}
+        self._units: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def keys(self) -> List[str]:
+        """Stored file names."""
+        return self._pool.keys
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def store(self, key: str, data: bytes) -> int:
+        """Encode *data* under *key*; returns the number of molecules added.
+
+        Raises :class:`ValueError` when the key exists or the primer
+        library is exhausted.
+        """
+        if key in self._parameters:
+            raise ValueError(f"key {key!r} already stored")
+        used = len(self._parameters)
+        if used >= len(self._library):
+            raise ValueError(
+                f"primer library exhausted ({len(self._library)} pairs); "
+                "configure max_files higher"
+            )
+        pair = self._library[used]
+        parameters = EncodingParameters(
+            payload_bytes=self.config.payload_bytes,
+            data_columns=self.config.data_columns,
+            parity_columns=self.config.parity_columns,
+            index_bytes=self.config.index_bytes,
+            primer_pair=pair,
+        )
+        encoded = DNAEncoder(parameters).encode(data)
+        self._pool.store(key, pair, encoded.strands, copies=self.config.physical_copies)
+        self._parameters[key] = parameters
+        self._units[key] = encoded.num_units
+        return len(encoded.strands)
+
+    def retrieve(self, key: str) -> PipelineResult:
+        """Run the full read path for *key*; result.data holds the bytes."""
+        parameters = self._parameters.get(key)
+        if parameters is None:
+            raise KeyError(f"no file stored under key {key!r}")
+        pair = self._pool.primer_pair(key)
+
+        amplified = self._pool.pcr_select(pair, self.config.pcr, self._rng)
+        if not amplified:
+            raise RuntimeError(f"PCR returned no molecules for key {key!r}")
+        # Sequencing draws molecules proportional to their post-PCR
+        # abundance, so amplification skew propagates into read depth.
+        unique = len(set(amplified))
+        total_reads = sum(
+            self.config.coverage.sample(self._rng) for _ in range(unique)
+        )
+        raw_reads = [
+            self.config.channel.transmit(self._rng.choice(amplified), self._rng)
+            for _ in range(total_reads)
+        ]
+        preprocessor = WetlabPreprocessor(
+            [pair], expected_body_length=parameters.body_nt
+        )
+        by_pair, _ = preprocessor.process(raw_reads)
+        reads = by_pair.get(0, [])
+
+        pipeline = Pipeline(
+            PipelineConfig(
+                encoding=parameters,
+                channel=self.config.channel,
+                coverage=self.config.coverage,
+                clustering=self.config.clustering,
+                seed=self._rng.randrange(2**31),
+            )
+        )
+        return pipeline.run_from_reads(reads, expected_units=self._units[key])
+
+    def sample_copy(self, fraction: float = 0.5) -> "DNAStorageSystem":
+        """Physical copying: aliquot a fraction of the tube into a new system.
+
+        The copy shares primer assignments and decoding parameters but
+        holds an independent (sub-sampled) molecule population.
+        """
+        clone = DNAStorageSystem.__new__(DNAStorageSystem)
+        clone.config = self.config
+        clone._rng = random.Random(self._rng.randrange(2**31))
+        clone._library = self._library
+        clone._pool = self._pool.sample(fraction, clone._rng)
+        clone._parameters = dict(self._parameters)
+        clone._units = dict(self._units)
+        return clone

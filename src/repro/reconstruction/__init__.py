@@ -1,0 +1,30 @@
+"""Trace reconstruction: consensus strands from clusters (Section VII).
+
+Three algorithms are implemented, matching the paper:
+
+* :class:`~repro.reconstruction.bma.BMAReconstructor` — the BMA-lookahead
+  algorithm of Organick et al.; misalignment errors propagate left-to-right,
+  so late indexes reconstruct less reliably.
+* :class:`~repro.reconstruction.double_bma.DoubleSidedBMAReconstructor` —
+  reconstructs each half from its near end, halving the propagation distance
+  and concentrating residual errors in the middle indexes.
+* :class:`~repro.reconstruction.nw_consensus.NWConsensusReconstructor` — the
+  paper's novel approach: a Needleman-Wunsch-scored partial-order multiple
+  sequence alignment followed by a per-column majority vote.
+"""
+
+from repro.reconstruction.base import Reconstructor
+from repro.reconstruction.bma import BMAReconstructor
+from repro.reconstruction.double_bma import DoubleSidedBMAReconstructor
+from repro.reconstruction.nw_consensus import NWConsensusReconstructor
+from repro.reconstruction.majority import MajorityVoteReconstructor
+from repro.reconstruction.trellis import TrellisMAPReconstructor
+
+__all__ = [
+    "Reconstructor",
+    "BMAReconstructor",
+    "DoubleSidedBMAReconstructor",
+    "NWConsensusReconstructor",
+    "MajorityVoteReconstructor",
+    "TrellisMAPReconstructor",
+]

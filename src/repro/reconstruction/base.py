@@ -1,0 +1,40 @@
+"""The reconstructor interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+
+class Reconstructor(ABC):
+    """Estimates the original strand from a cluster of noisy reads."""
+
+    @abstractmethod
+    def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
+        """Return the consensus estimate for *cluster*.
+
+        Parameters
+        ----------
+        cluster:
+            Noisy reads believed to originate from the same encoded strand.
+            Must contain at least one non-empty read.
+        expected_length:
+            The nominal strand length (known from the encoding parameters);
+            the returned consensus has exactly this length unless an
+            implementation documents otherwise.
+        """
+
+    def reconstruct_all(
+        self, clusters: Sequence[Sequence[str]], expected_length: int
+    ) -> List[str]:
+        """Reconstruct every cluster (clusters are independent)."""
+        return [
+            self.reconstruct(cluster, expected_length) for cluster in clusters
+        ]
+
+    @staticmethod
+    def _validate(cluster: Sequence[str]) -> List[str]:
+        reads = [read for read in cluster if read]
+        if not reads:
+            raise ValueError("cluster must contain at least one non-empty read")
+        return reads

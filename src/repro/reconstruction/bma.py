@@ -1,0 +1,132 @@
+"""BMA-lookahead trace reconstruction (Organick et al.; Section VII-A).
+
+The consensus strand is built left to right.  Every read keeps a pointer;
+each step takes a plurality vote over the pointed-at bases.  Reads that
+agree simply advance.  A read that disagrees must first be re-aligned: the
+algorithm looks ahead a few bases to decide whether the read most likely
+suffered a substitution, an insertion, or a deletion at this point, and
+moves its pointer accordingly.  A wrong guess misaligns the read for all
+later votes — which is why the per-index error rate of single-sided BMA
+grows toward the end of the strand (Figure 6 of the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import List, Optional, Sequence
+
+from repro.dna.alphabet import BASES
+from repro.reconstruction.base import Reconstructor
+
+
+def _plurality(symbols: Sequence[str]) -> Optional[str]:
+    """Most common symbol, ties broken lexicographically; None if empty."""
+    if not symbols:
+        return None
+    counts = Counter(symbols)
+    best = max(counts.items(), key=lambda item: (item[1], item[0]))
+    # Deterministic tie-break: highest count, then lexicographically largest
+    # base would be arbitrary; prefer smallest for stability.
+    top_count = best[1]
+    candidates = sorted(symbol for symbol, count in counts.items() if count == top_count)
+    return candidates[0]
+
+
+class BMAReconstructor(Reconstructor):
+    """Single-sided bitwise-majority-alignment with lookahead.
+
+    Parameters
+    ----------
+    lookahead:
+        Window length used to classify a disagreeing read's edit as a
+        substitution, insertion or deletion.
+    """
+
+    def __init__(self, lookahead: int = 3):
+        if lookahead <= 0:
+            raise ValueError(f"lookahead must be positive, got {lookahead}")
+        self.lookahead = lookahead
+
+    def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
+        reads = self._validate(cluster)
+        return self._run(reads, expected_length)
+
+    def _run(self, reads: List[str], expected_length: int) -> str:
+        pointers = [0] * len(reads)
+        consensus: List[str] = []
+        filler = random.Random(0xB3A)
+        while len(consensus) < expected_length:
+            active = [i for i, read in enumerate(reads) if pointers[i] < len(read)]
+            if not active:
+                # All reads exhausted (e.g. heavy truncation): pad randomly
+                # rather than biasing toward one base.
+                consensus.append(filler.choice(BASES))
+                continue
+            majority = _plurality([reads[i][pointers[i]] for i in active])
+            consensus.append(majority)
+
+            agreeing = [i for i in active if reads[i][pointers[i]] == majority]
+            disagreeing = [i for i in active if reads[i][pointers[i]] != majority]
+            for i in agreeing:
+                pointers[i] += 1
+
+            if not disagreeing:
+                continue
+            # Expected next bases by plurality over the reads that agreed.
+            reference_window = self._reference_window(reads, pointers, agreeing)
+            for i in disagreeing:
+                pointers[i] += self._realign(reads[i], pointers[i], reference_window)
+        return "".join(consensus)
+
+    def _reference_window(
+        self, reads: List[str], pointers: List[int], agreeing: List[int]
+    ) -> str:
+        """Plurality prediction of the next ``lookahead`` consensus bases."""
+        window: List[str] = []
+        for offset in range(self.lookahead):
+            symbols = [
+                reads[i][pointers[i] + offset]
+                for i in agreeing
+                if pointers[i] + offset < len(reads[i])
+            ]
+            majority = _plurality(symbols)
+            if majority is None:
+                break
+            window.append(majority)
+        return "".join(window)
+
+    def _realign(self, read: str, pointer: int, reference_window: str) -> int:
+        """Return the pointer increment for a read that lost the vote.
+
+        Hypotheses (relative to the consensus position just emitted):
+
+        * substitution — the read's current base replaced the consensus
+          base; the next bases should line up (advance by 1);
+        * deletion — the read is missing the consensus base; its current
+          base belongs to the *next* consensus position (advance by 0);
+        * insertion — the read carries an extra base; the consensus base
+          may be its next one (advance by 2).
+        """
+        if not reference_window:
+            return 1
+        scores = {
+            1: self._window_matches(read, pointer + 1, reference_window),
+            0: self._window_matches(read, pointer, reference_window),
+            2: self._window_matches(read, pointer + 2, reference_window),
+        }
+        # Prefer substitution on ties: it is the least disruptive guess.
+        best = max(scores.values())
+        for increment in (1, 0, 2):
+            if scores[increment] == best:
+                return increment
+        return 1
+
+    @staticmethod
+    def _window_matches(read: str, start: int, reference_window: str) -> int:
+        matches = 0
+        for offset, expected in enumerate(reference_window):
+            position = start + offset
+            if position < len(read) and read[position] == expected:
+                matches += 1
+        return matches

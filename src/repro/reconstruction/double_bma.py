@@ -1,0 +1,35 @@
+"""Double-sided BMA (Lin et al.; Section VII-B).
+
+Error propagation in BMA-lookahead is symmetric: reconstructing right to
+left makes the *early* indexes unreliable instead of the late ones.
+Double-sided BMA exploits this by reconstructing the left half of the strand
+left-to-right and the right half right-to-left (on reversed reads), then
+joining the halves.  Misalignment can propagate only half-way, so the
+residual error concentrates — and peaks — in the middle indexes, the skew
+that motivates the Gini and DNAMapper layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.reconstruction.base import Reconstructor
+from repro.reconstruction.bma import BMAReconstructor
+
+
+class DoubleSidedBMAReconstructor(Reconstructor):
+    """Reconstruct both halves from their near ends and join them."""
+
+    def __init__(self, lookahead: int = 3):
+        self._forward = BMAReconstructor(lookahead=lookahead)
+
+    def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
+        reads = self._validate(cluster)
+        left_length = expected_length - expected_length // 2
+        right_length = expected_length // 2
+        left = self._forward._run(reads, left_length)
+        if right_length == 0:
+            return left
+        reversed_reads = [read[::-1] for read in reads]
+        right = self._forward._run(reversed_reads, right_length)[::-1]
+        return left + right

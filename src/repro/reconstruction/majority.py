@@ -1,0 +1,34 @@
+"""Naive per-position majority vote, with no realignment at all.
+
+Included as the weakest baseline: it is exact when the channel produces
+substitutions only, and collapses as soon as indels shift reads out of
+phase.  Useful in tests and as a contrast in the reconstruction benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence
+
+from repro.reconstruction.base import Reconstructor
+
+
+class MajorityVoteReconstructor(Reconstructor):
+    """Column-wise plurality over unaligned reads."""
+
+    def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
+        reads = self._validate(cluster)
+        consensus: List[str] = []
+        for position in range(expected_length):
+            votes = Counter(
+                read[position] for read in reads if position < len(read)
+            )
+            if votes:
+                top = max(votes.values())
+                winners = sorted(
+                    base for base, count in votes.items() if count == top
+                )
+                consensus.append(winners[0])
+            else:
+                consensus.append("A")
+        return "".join(consensus)

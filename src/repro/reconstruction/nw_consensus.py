@@ -1,0 +1,86 @@
+"""Needleman-Wunsch / partial-order-alignment consensus (Section VII-C).
+
+The paper's novel reconstructor: instead of incrementally re-aligning reads
+the way BMA does, first compute a multiple sequence alignment of the whole
+cluster with Needleman-Wunsch scoring over a partial-order graph (the
+algorithm behind spoa), then take a per-column majority vote.  When the
+alignment is longer than the expected strand, the surplus columns with the
+most insertion/deletion alignments are omitted.
+
+Error propagation is local to each column rather than cumulative, so the
+per-index error profile is flat and lower than either BMA variant
+(Figure 6), and a single pass over the graph replaces BMA's per-position
+realignment, which makes it the fastest option at high coverage
+(Table III).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dna.poa import PartialOrderGraph, poa_consensus
+from repro.reconstruction.base import Reconstructor
+
+
+class NWConsensusReconstructor(Reconstructor):
+    """POA-based consensus with over-length column trimming.
+
+    Parameters
+    ----------
+    match, mismatch, gap:
+        Needleman-Wunsch scores used when aligning reads to the graph.
+    max_cluster:
+        Upper bound on the number of reads folded into the graph; large
+        clusters gain nothing from extra reads while alignment cost grows
+        linearly, so surplus reads are ignored (in read order).
+    """
+
+    def __init__(
+        self,
+        match: int = 2,
+        mismatch: int = -2,
+        gap: int = -2,
+        max_cluster: int = 20,
+        two_pass: bool = True,
+    ):
+        if max_cluster <= 0:
+            raise ValueError(f"max_cluster must be positive, got {max_cluster}")
+        self.match = match
+        self.mismatch = mismatch
+        self.gap = gap
+        self.max_cluster = max_cluster
+        self.two_pass = two_pass
+
+    def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
+        reads = self._validate(cluster)[: self.max_cluster]
+        # The first read becomes the graph backbone, so start from the read
+        # whose length is closest to the cluster median — an outlier
+        # backbone (truncated read) would distort every later alignment.
+        median = sorted(len(read) for read in reads)[len(reads) // 2]
+        reads = sorted(reads, key=lambda read: abs(len(read) - median))
+        consensus = poa_consensus(
+            reads,
+            expected_length=expected_length,
+            match=self.match,
+            mismatch=self.mismatch,
+            gap=self.gap,
+        )
+        if self.two_pass and consensus:
+            # Second pass: re-align every read against a graph seeded with
+            # the first-pass consensus.  The seed anchors the coordinate
+            # frame (its own vote is removed), eliminating most residual
+            # single-indel frame shifts in the consensus.
+            graph = PartialOrderGraph(
+                match=self.match, mismatch=self.mismatch, gap=self.gap
+            )
+            graph.add_sequence(consensus)
+            for read in reads:
+                graph.add_sequence(read)
+            graph.paths.pop(0)
+            consensus = graph.consensus(expected_length=expected_length)
+        # The consensus may still be short when gaps win columns (heavy
+        # deletions); pad deterministically so the decoder sees the nominal
+        # length and treats the tail as substitutions.
+        if len(consensus) < expected_length:
+            consensus = consensus + "A" * (expected_length - len(consensus))
+        return consensus

@@ -1,0 +1,181 @@
+"""Trellis-based symbolwise MAP reconstruction (after Trellis BMA [35]).
+
+Srinivasavaradhan et al. ("Trellis BMA: coded trace reconstruction on IDS
+channels for DNA storage", ISIT 2021 — the source of the paper's real-data
+experiments) decode each position of the original strand by running
+forward-backward (BCJR) over an insertion/deletion/substitution lattice per
+read and combining the per-read posteriors.
+
+This module implements the *separate-trellis with decision feedback*
+variant in refinement form:
+
+1. start from a cheap initial estimate (double-sided BMA);
+2. for every read, run a scaled forward/backward pass over the edit
+   lattice between the current estimate and the read;
+3. for every position, combine the per-read base posteriors (log-sum) and
+   re-decide the base;
+4. repeat for a configurable number of sweeps.
+
+The channel model matches :class:`~repro.simulation.iid.IIDChannel`: per
+source position one of {insert, delete, substitute, copy} with fixed
+probabilities; insertions emit a uniform base.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dna.alphabet import BASES
+from repro.reconstruction.base import Reconstructor
+from repro.reconstruction.double_bma import DoubleSidedBMAReconstructor
+
+_BASE_INDEX = {base: i for i, base in enumerate(BASES)}
+_EPS = 1e-300
+
+
+class TrellisMAPReconstructor(Reconstructor):
+    """Iterative per-position MAP decoding over per-read edit lattices.
+
+    Parameters
+    ----------
+    p_ins, p_del, p_sub:
+        The assumed IDS channel rates.  In practice these are estimated
+        from data; they need not be exact — the posterior is robust to
+        moderate mis-specification.
+    sweeps:
+        Refinement iterations over the whole strand.
+    max_cluster:
+        Reads beyond this count are ignored (posteriors saturate quickly).
+    initial:
+        Reconstructor producing the starting estimate (default double-sided
+        BMA).  The refinement re-decides *bases*, not lengths, so frame
+        shifts present in the initial estimate survive; initialising from
+        the NW consensus (fewer shifts) trades time for accuracy.
+    """
+
+    def __init__(
+        self,
+        p_ins: float = 0.02,
+        p_del: float = 0.02,
+        p_sub: float = 0.02,
+        sweeps: int = 2,
+        max_cluster: int = 16,
+        initial: Optional[Reconstructor] = None,
+    ):
+        if min(p_ins, p_del, p_sub) < 0 or p_ins + p_del + p_sub >= 1:
+            raise ValueError("channel rates must be non-negative and sum below 1")
+        if sweeps < 1:
+            raise ValueError("sweeps must be at least 1")
+        if max_cluster < 1:
+            raise ValueError("max_cluster must be at least 1")
+        self.p_ins = p_ins
+        self.p_del = p_del
+        self.p_sub = p_sub
+        self.p_copy = 1.0 - p_ins - p_del - p_sub
+        self.sweeps = sweeps
+        self.max_cluster = max_cluster
+        self._initial = initial or DoubleSidedBMAReconstructor()
+
+    # ------------------------------------------------------------------
+
+    def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
+        reads = self._validate(cluster)[: self.max_cluster]
+        estimate = self._initial.reconstruct(reads, expected_length)
+        encoded_reads = [self._encode(read) for read in reads if read]
+        for _ in range(self.sweeps):
+            log_posterior = np.zeros((expected_length, 4))
+            for read in encoded_reads:
+                posterior = self._read_posterior(estimate, read)
+                log_posterior += np.log(posterior + _EPS)
+            decided = log_posterior.argmax(axis=1)
+            updated = "".join(BASES[b] for b in decided)
+            if updated == estimate:
+                break
+            estimate = updated
+        return estimate
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _encode(read: str) -> np.ndarray:
+        return np.fromiter(
+            (_BASE_INDEX[base] for base in read), dtype=np.int64, count=len(read)
+        )
+
+    def _emissions(self, source: np.ndarray, read: np.ndarray) -> np.ndarray:
+        """em[i, j] = P(read[j] emitted | source base i), shape (L, m)."""
+        match = source[:, None] == read[None, :]
+        return np.where(match, self.p_copy, self.p_sub / 3.0)
+
+    def _read_posterior(self, estimate: str, read: np.ndarray) -> np.ndarray:
+        """Per-position base posterior for one read, shape (L, 4)."""
+        source = self._encode(estimate)
+        length, m = len(source), len(read)
+        emissions = self._emissions(source, read)
+        ins = self.p_ins / 4.0
+        p_del = self.p_del
+
+        # Scaled forward pass: F[i, j] ~ P(read[:j] | estimate[:i]).
+        forward = np.zeros((length + 1, m + 1))
+        forward[0, 0] = 1.0
+        # Row 0: only insertions can consume read characters.
+        for j in range(1, m + 1):
+            forward[0, j] = forward[0, j - 1] * ins
+        for i in range(1, length + 1):
+            row = forward[i]
+            prev = forward[i - 1]
+            row[0] = prev[0] * p_del
+            # diagonal + delete transitions, vectorised over j
+            row[1:] = prev[1:] * p_del + prev[:-1] * emissions[i - 1]
+            # insertion chain: row[j] += row[j-1] * ins, resolved serially
+            # via cumulative products is numerically messy; a single python
+            # loop over j stays fast enough at strand scale.
+            acc = row[0]
+            for j in range(1, m + 1):
+                acc = row[j] + acc * ins
+                row[j] = acc
+            total = row.sum()
+            if total > 0:
+                row /= total
+
+        # Scaled backward pass: B[i, j] ~ P(read[j:] | estimate[i:]).
+        backward = np.zeros((length + 1, m + 1))
+        backward[length, m] = 1.0
+        for j in range(m - 1, -1, -1):
+            backward[length, j] = backward[length, j + 1] * ins
+        for i in range(length - 1, -1, -1):
+            row = backward[i]
+            nxt = backward[i + 1]
+            row[m] = nxt[m] * p_del
+            row[:-1] = nxt[:-1] * p_del + nxt[1:] * emissions[i]
+            acc = row[m]
+            for j in range(m - 1, -1, -1):
+                acc = row[j] + acc * ins
+                row[j] = acc
+            total = row.sum()
+            if total > 0:
+                row /= total
+
+        # Posterior over the base at each position i: combine transitions
+        # (i, j) -> (i+1, j) [deletion, base-independent] and
+        # (i, j) -> (i+1, j+1) [emission of read[j] by candidate base b].
+        posterior = np.empty((length, 4))
+        read_onehot = np.zeros((m, 4))
+        read_onehot[np.arange(m), read] = 1.0
+        for i in range(length):
+            f_row = forward[i]
+            b_next = backward[i + 1]
+            deletion_mass = float((f_row * b_next).sum()) * p_del
+            # emission term per candidate base: sum_j F[i,j] B[i+1,j+1] e(b, y_j)
+            weights = f_row[:-1] * b_next[1:]
+            matched = weights @ read_onehot  # mass where y_j equals b
+            total_weight = weights.sum()
+            per_base = matched * self.p_copy + (total_weight - matched) * (
+                self.p_sub / 3.0
+            )
+            per_base += deletion_mass
+            norm = per_base.sum()
+            posterior[i] = per_base / norm if norm > 0 else 0.25
+        return posterior

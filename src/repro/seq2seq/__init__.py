@@ -1,0 +1,29 @@
+"""The GRU + attention channel simulator (Figure 4 of the paper).
+
+A sequence-to-sequence model with a bi-directional GRU encoder, Bahdanau
+(additive) attention and an autoregressive GRU decoder, trained to model
+``Pr(noisy | clean)`` on paired strands.  Once trained it acts as a regular
+:class:`~repro.simulation.channel.Channel`: transmitting a strand means
+sampling a noisy read token by token from the decoder's predictive
+distribution.
+
+Everything runs on the toolkit's own numpy autograd
+(:mod:`repro.autograd`); no deep-learning framework is required.
+"""
+
+from repro.seq2seq.vocab import Vocabulary
+from repro.seq2seq.layers import Dense, Embedding, GRUCell
+from repro.seq2seq.attention import BahdanauAttention
+from repro.seq2seq.model import Seq2SeqChannelModel
+from repro.seq2seq.training import Seq2SeqTrainer, TrainingConfig
+
+__all__ = [
+    "Vocabulary",
+    "Dense",
+    "Embedding",
+    "GRUCell",
+    "BahdanauAttention",
+    "Seq2SeqChannelModel",
+    "Seq2SeqTrainer",
+    "TrainingConfig",
+]

@@ -1,0 +1,55 @@
+"""Bahdanau (additive) attention over encoder annotations.
+
+At every decoder step the attention assigns a weight to each encoder
+annotation and passes their weighted average (the *context*) to the
+decoder.  This is the alignment mechanism of Figure 4: it lets the decoder
+track which clean-strand position it is currently corrupting, which is what
+makes the model's insertions/deletions positionally faithful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.seq2seq.layers import Dense, Module
+
+
+class BahdanauAttention(Module):
+    """``score(s, h_i) = v^T tanh(W_s s + W_h h_i)``."""
+
+    def __init__(self, state_size: int, annotation_size: int, attention_size: int, rng: np.random.Generator):
+        self.project_state = Dense(state_size, attention_size, rng, bias=False)
+        self.project_annotation = Dense(annotation_size, attention_size, rng, bias=False)
+        self.score_vector = Dense(attention_size, 1, rng, bias=False)
+
+    def __call__(self, state: Tensor, annotations: Tensor, projected: Tensor) -> Tensor:
+        """Return the context vector for one decoder step.
+
+        Parameters
+        ----------
+        state:
+            Decoder hidden state, shape ``(batch, state_size)``.
+        annotations:
+            Encoder annotations, shape ``(batch, length, annotation_size)``.
+        projected:
+            ``project_annotations(annotations)`` — precomputed once per
+            sequence because it does not depend on the decoder state.
+
+        Returns
+        -------
+        Context tensor of shape ``(batch, annotation_size)``.
+        """
+        batch, length, _ = annotations.shape
+        # (batch, 1, attention) broadcast against (batch, length, attention)
+        state_term = self.project_state(state).reshape(batch, 1, -1)
+        energies = self.score_vector(F.tanh(projected + state_term))
+        weights = F.softmax(energies.reshape(batch, length), axis=1)
+        # Weighted sum over the length axis.
+        context = (annotations * weights.reshape(batch, length, 1)).sum(axis=1)
+        return context
+
+    def project_annotations(self, annotations: Tensor) -> Tensor:
+        """Precompute the annotation projection for a whole sequence."""
+        return self.project_annotation(annotations)

@@ -1,0 +1,97 @@
+"""Neural layers used by the channel simulator, built on the autograd."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+
+
+class Module:
+    """Base class: recursively collects parameters from attributes."""
+
+    def parameters(self) -> List[Tensor]:
+        collected: List[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                collected.append(value)
+            elif isinstance(value, Module):
+                collected.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        collected.extend(item.parameters())
+        return collected
+
+    def parameter_count(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+
+def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+class Dense(Module):
+    """Affine map ``x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True):
+        self.weight = Tensor(_glorot(rng, in_features, out_features), requires_grad=True)
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+        )
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token embedding table."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator):
+        self.weight = Tensor(
+            rng.normal(scale=0.1, size=(vocab_size, dim)), requires_grad=True
+        )
+
+    def __call__(self, indices: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, indices)
+
+
+class GRUCell(Module):
+    """A Gated Recurrent Unit cell (Cho et al. 2014).
+
+    One step maps ``(input (B, I), hidden (B, H)) -> hidden (B, H)`` with
+
+    .. math::
+        z &= \\sigma(x W_z + h U_z + b_z) \\\\
+        r &= \\sigma(x W_r + h U_r + b_r) \\\\
+        \\tilde h &= \\tanh(x W_h + (r \\odot h) U_h + b_h) \\\\
+        h' &= (1 - z) \\odot h + z \\odot \\tilde h
+
+    The paper chooses GRUs over LSTMs for their resistance to overfitting
+    on the modest paired datasets available in DNA storage.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.hidden_size = hidden_size
+        self.w_z = Dense(input_size, hidden_size, rng)
+        self.u_z = Dense(hidden_size, hidden_size, rng, bias=False)
+        self.w_r = Dense(input_size, hidden_size, rng)
+        self.u_r = Dense(hidden_size, hidden_size, rng, bias=False)
+        self.w_h = Dense(input_size, hidden_size, rng)
+        self.u_h = Dense(hidden_size, hidden_size, rng, bias=False)
+
+    def __call__(self, x: Tensor, hidden: Tensor) -> Tensor:
+        update = F.sigmoid(self.w_z(x) + self.u_z(hidden))
+        reset = F.sigmoid(self.w_r(x) + self.u_r(hidden))
+        candidate = F.tanh(self.w_h(x) + self.u_h(reset * hidden))
+        return (1.0 - update) * hidden + update * candidate
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))

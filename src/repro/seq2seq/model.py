@@ -1,0 +1,206 @@
+"""The encoder-decoder channel simulator (Figure 4 of the paper).
+
+``Pr(s_noisy | s_clean)`` is modelled directly: a bi-directional GRU encoder
+turns the clean strand into annotations, and an autoregressive GRU decoder
+with Bahdanau attention emits the noisy read token by token.  Trained with
+teacher forcing; at simulation time each token is sampled from the decoder's
+predictive distribution ("greedy sampling" in the paper's terminology:
+sample immediately once the position's distribution is available).
+
+The trained model is a drop-in :class:`~repro.simulation.channel.Channel`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd import functional as F
+from repro.simulation.channel import Channel
+from repro.seq2seq.attention import BahdanauAttention
+from repro.seq2seq.layers import Dense, Embedding, GRUCell, Module
+from repro.seq2seq.vocab import Vocabulary
+
+
+class Seq2SeqChannelModel(Module, Channel):
+    """Bi-GRU encoder + attention + GRU decoder over the strand vocabulary.
+
+    Parameters
+    ----------
+    hidden_size:
+        GRU hidden width for each direction of the encoder and for the
+        decoder (the paper's best configuration uses 128; smaller widths
+        train faster on CPU with little fidelity loss at toolkit scale).
+    embed_dim / attention_size:
+        Token embedding width and additive-attention projection width.
+    max_expansion:
+        Transmitted reads are cut off at ``max_expansion * len(strand)``
+        tokens, bounding pathological insertion loops early in training.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int = 64,
+        embed_dim: int = 16,
+        attention_size: int = 48,
+        max_expansion: float = 1.6,
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        self.vocab = Vocabulary()
+        self.hidden_size = hidden_size
+        self.max_expansion = max_expansion
+        vocab_size = len(self.vocab)
+        annotation_size = 2 * hidden_size
+
+        self.embed = Embedding(vocab_size, embed_dim, rng)
+        self.encoder_forward = GRUCell(embed_dim, hidden_size, rng)
+        self.encoder_backward = GRUCell(embed_dim, hidden_size, rng)
+        self.bridge = Dense(annotation_size, hidden_size, rng)
+        self.decoder_cell = GRUCell(embed_dim + annotation_size, hidden_size, rng)
+        self.attention = BahdanauAttention(
+            hidden_size, annotation_size, attention_size, rng
+        )
+        self.output = Dense(
+            hidden_size + annotation_size + embed_dim, vocab_size, rng
+        )
+
+    # ------------------------------------------------------------------
+    # Encoder
+    # ------------------------------------------------------------------
+
+    def encode(self, clean_tokens: np.ndarray):
+        """Run the bi-directional encoder.
+
+        Parameters
+        ----------
+        clean_tokens:
+            Integer array of shape ``(batch, length)``; all strands in a
+            batch share one length (no padding needed on the clean side).
+
+        Returns
+        -------
+        (annotations, initial_state):
+            ``annotations`` has shape ``(batch, length, 2 * hidden)``;
+            ``initial_state`` is the bridged decoder start state.
+        """
+        batch, length = clean_tokens.shape
+        embedded = self.embed(clean_tokens)  # (batch, length, embed)
+        forward_states: List[Tensor] = []
+        state = self.encoder_forward.initial_state(batch)
+        for t in range(length):
+            state = self.encoder_forward(embedded[:, t, :], state)
+            forward_states.append(state)
+        backward_states: List[Tensor] = [None] * length  # type: ignore[list-item]
+        state = self.encoder_backward.initial_state(batch)
+        for t in reversed(range(length)):
+            state = self.encoder_backward(embedded[:, t, :], state)
+            backward_states[t] = state
+        annotations = F.stack(
+            [
+                F.concat([forward_states[t], backward_states[t]], axis=1)
+                for t in range(length)
+            ],
+            axis=1,
+        )
+        final = F.concat([forward_states[-1], backward_states[0]], axis=1)
+        initial_state = F.tanh(self.bridge(final))
+        return annotations, initial_state
+
+    # ------------------------------------------------------------------
+    # Training loss (teacher forcing)
+    # ------------------------------------------------------------------
+
+    def loss(self, clean_tokens: np.ndarray, noisy_tokens: np.ndarray) -> Tensor:
+        """Mean next-token cross-entropy under teacher forcing.
+
+        ``noisy_tokens`` has shape ``(batch, target_length)`` and is padded
+        with PAD after each read's EOS; padded positions are masked out of
+        the loss.
+        """
+        annotations, state = self.encode(clean_tokens)
+        projected = self.attention.project_annotations(annotations)
+        batch, target_length = noisy_tokens.shape
+        previous = np.full(batch, self.vocab.SOS, dtype=np.int64)
+        total = None
+        steps = 0
+        for t in range(target_length):
+            targets = noisy_tokens[:, t]
+            mask = targets != self.vocab.PAD
+            logits, state = self._step(previous, state, annotations, projected)
+            if mask.any():
+                rows = np.nonzero(mask)[0]
+                step_loss = F.cross_entropy_logits(logits[rows], targets[rows])
+                total = step_loss if total is None else total + step_loss
+                steps += 1
+            previous = targets.copy()
+            # Feed PAD rows their previous token to keep shapes uniform;
+            # their loss is masked so the value is irrelevant.
+            previous[~mask] = self.vocab.PAD
+        if total is None:
+            raise ValueError("loss() received only padding targets")
+        return total * (1.0 / steps)
+
+    def _step(self, previous_tokens, state, annotations, projected):
+        embedded = self.embed(np.asarray(previous_tokens))
+        context = self.attention(state, annotations, projected)
+        state = self.decoder_cell(F.concat([embedded, context], axis=1), state)
+        logits = self.output(F.concat([state, context, embedded], axis=1))
+        return logits, state
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def transmit(self, strand: str, rng: random.Random) -> str:
+        """Sample one noisy read of *strand* from the learned channel."""
+        if not strand:
+            return ""
+        with no_grad():
+            tokens = self.vocab.encode(strand).reshape(1, -1)
+            annotations, state = self.encode(tokens)
+            projected = self.attention.project_annotations(annotations)
+            previous = np.array([self.vocab.SOS], dtype=np.int64)
+            max_length = max(4, int(self.max_expansion * len(strand)))
+            output: List[int] = []
+            for _ in range(max_length):
+                logits, state = self._step(previous, state, annotations, projected)
+                probabilities = _softmax_row(logits.data[0])
+                token = _sample(probabilities, rng)
+                if token == self.vocab.EOS:
+                    break
+                if token not in (self.vocab.PAD, self.vocab.SOS):
+                    output.append(token)
+                previous = np.array([token], dtype=np.int64)
+        return self.vocab.decode(output)
+
+
+def _softmax_row(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exps = np.exp(shifted)
+    return exps / exps.sum()
+
+
+def _sample(probabilities: np.ndarray, rng: random.Random) -> int:
+    draw = rng.random()
+    cumulative = 0.0
+    for token, probability in enumerate(probabilities):
+        cumulative += probability
+        if draw < cumulative:
+            return token
+    return int(len(probabilities) - 1)
+
+
+def pad_targets(
+    vocab: Vocabulary, noisy_strands: Sequence[str]
+) -> np.ndarray:
+    """Encode noisy strands with EOS and pad them into one target matrix."""
+    encoded = [vocab.encode(strand, add_eos=True) for strand in noisy_strands]
+    longest = max(len(tokens) for tokens in encoded)
+    matrix = np.full((len(encoded), longest), vocab.PAD, dtype=np.int64)
+    for row, tokens in enumerate(encoded):
+        matrix[row, : len(tokens)] = tokens
+    return matrix

@@ -1,0 +1,117 @@
+"""Training loop for the seq2seq channel simulator.
+
+The paper trains on paired (clean, noisy) strands from sequencing runs,
+with a cluster-level train/validation/test split.  This trainer consumes
+the same pair lists that :class:`~repro.simulation.dataset.PairedDataset`
+produces, batches pairs that share a clean-strand length, and optimises
+next-token cross-entropy with Adam and gradient clipping.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import Adam
+from repro.seq2seq.model import Seq2SeqChannelModel, pad_targets
+
+
+@dataclass
+class TrainingConfig:
+    """Hyperparameters for :class:`Seq2SeqTrainer`."""
+
+    epochs: int = 5
+    batch_size: int = 16
+    learning_rate: float = 2e-3
+    gradient_clip: float = 5.0
+    seed: int = 0
+    #: print progress every this many batches (0 = silent)
+    log_every: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss curves."""
+
+    train_losses: List[float] = field(default_factory=list)
+    val_losses: List[float] = field(default_factory=list)
+    seconds: float = 0.0
+
+
+class Seq2SeqTrainer:
+    """Fits a :class:`Seq2SeqChannelModel` on (clean, noisy) pairs."""
+
+    def __init__(
+        self,
+        model: Seq2SeqChannelModel,
+        config: Optional[TrainingConfig] = None,
+    ):
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+
+    def fit(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        val_pairs: Sequence[Tuple[str, str]] = (),
+    ) -> TrainingHistory:
+        """Train on *pairs*; returns per-epoch train/validation losses."""
+        if not pairs:
+            raise ValueError("fit requires at least one training pair")
+        rng = random.Random(self.config.seed)
+        history = TrainingHistory()
+        start = time.perf_counter()
+        for _ in range(self.config.epochs):
+            batches = self._make_batches(pairs, rng)
+            epoch_loss = 0.0
+            for count, (clean_batch, noisy_batch) in enumerate(batches, start=1):
+                loss = self.model.loss(clean_batch, noisy_batch)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.clip_gradients(self.config.gradient_clip)
+                self.optimizer.step()
+                epoch_loss += loss.item()
+                if self.config.log_every and count % self.config.log_every == 0:
+                    print(f"batch {count}/{len(batches)} loss={loss.item():.4f}")
+            history.train_losses.append(epoch_loss / max(1, len(batches)))
+            if val_pairs:
+                history.val_losses.append(self.evaluate(val_pairs))
+        history.seconds = time.perf_counter() - start
+        return history
+
+    def evaluate(self, pairs: Sequence[Tuple[str, str]]) -> float:
+        """Mean teacher-forced loss on *pairs* (no parameter updates)."""
+        if not pairs:
+            raise ValueError("evaluate requires at least one pair")
+        batches = self._make_batches(pairs, random.Random(0))
+        total = 0.0
+        for clean_batch, noisy_batch in batches:
+            total += self.model.loss(clean_batch, noisy_batch).item()
+        return total / len(batches)
+
+    def _make_batches(
+        self, pairs: Sequence[Tuple[str, str]], rng: random.Random
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Shuffle and bucket pairs by clean length, then pad targets."""
+        by_length: Dict[int, List[Tuple[str, str]]] = {}
+        for clean, noisy in pairs:
+            if not clean or not noisy:
+                continue  # empty reads carry no training signal
+            by_length.setdefault(len(clean), []).append((clean, noisy))
+        if not by_length:
+            raise ValueError("all training pairs were empty")
+        batches: List[Tuple[np.ndarray, np.ndarray]] = []
+        vocab = self.model.vocab
+        for bucket in by_length.values():
+            rng.shuffle(bucket)
+            for start in range(0, len(bucket), self.config.batch_size):
+                chunk = bucket[start : start + self.config.batch_size]
+                clean_batch = np.stack([vocab.encode(clean) for clean, _ in chunk])
+                noisy_batch = pad_targets(vocab, [noisy for _, noisy in chunk])
+                batches.append((clean_batch, noisy_batch))
+        rng.shuffle(batches)
+        return batches

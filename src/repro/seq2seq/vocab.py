@@ -1,0 +1,62 @@
+"""Token vocabulary for strand sequences.
+
+Four nucleotide tokens plus PAD (batch padding), SOS (decoder start) and
+EOS (end of the noisy read — the model must learn where reads stop, since
+indels change read lengths).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.dna.alphabet import BASES
+
+
+class Vocabulary:
+    """Fixed 7-token vocabulary: PAD, SOS, EOS, A, C, G, T."""
+
+    PAD = 0
+    SOS = 1
+    EOS = 2
+
+    def __init__(self) -> None:
+        self._base_to_token = {
+            base: index + 3 for index, base in enumerate(BASES)
+        }
+        self._token_to_base = {
+            token: base for base, token in self._base_to_token.items()
+        }
+
+    def __len__(self) -> int:
+        return 3 + len(self._base_to_token)
+
+    def encode(self, strand: str, add_eos: bool = False) -> np.ndarray:
+        """Map a strand to int64 tokens, optionally appending EOS."""
+        try:
+            tokens = [self._base_to_token[base] for base in strand]
+        except KeyError as error:
+            raise ValueError(f"invalid base {error.args[0]!r} in strand") from None
+        if add_eos:
+            tokens.append(self.EOS)
+        return np.asarray(tokens, dtype=np.int64)
+
+    def decode(self, tokens) -> str:
+        """Map tokens back to a strand, stopping at EOS and skipping PAD/SOS."""
+        bases: List[str] = []
+        for token in np.asarray(tokens).tolist():
+            if token == self.EOS:
+                break
+            if token in (self.PAD, self.SOS):
+                continue
+            base = self._token_to_base.get(int(token))
+            if base is None:
+                raise ValueError(f"unknown token {token}")
+            bases.append(base)
+        return "".join(bases)
+
+    @property
+    def base_tokens(self) -> List[int]:
+        """The tokens that correspond to nucleotides, in A,C,G,T order."""
+        return [self._base_to_token[base] for base in BASES]

@@ -1,0 +1,53 @@
+"""Wetlab simulation: synthesis, storage and sequencing noise (Section V).
+
+The channels in this subpackage turn clean encoded strands into noisy
+*reads*.  Three families are provided, mirroring the paper:
+
+* :class:`~repro.simulation.iid.IIDChannel` — the naive baseline following
+  Rashtchian et al.: independent insertion/deletion/substitution trials with
+  identical probabilities at every index.
+* :class:`~repro.simulation.solqc.SOLQCChannel` — a probabilistic model with
+  error probabilities conditioned on the nucleotide, including
+  pre-insertions (but not post-insertions).
+* data-driven models — :class:`~repro.simulation.learned_profile.LearnedProfileChannel`
+  (alignment-fitted positional statistics) and the GRU+attention seq2seq
+  model in :mod:`repro.seq2seq`, both trained on paired clean/noisy strands.
+
+:class:`~repro.simulation.wetlab_reference.WetlabReferenceChannel` plays the
+role of the *real wetlab*: a position-dependent, bursty channel whose
+internals are hidden from the models under evaluation (see DESIGN.md §4).
+"""
+
+from repro.simulation.channel import Channel, ComposedChannel, IdentityChannel
+from repro.simulation.iid import IIDChannel
+from repro.simulation.solqc import SOLQCChannel, SOLQCRates
+from repro.simulation.wetlab_reference import WetlabReferenceChannel
+from repro.simulation.learned_profile import LearnedProfileChannel
+from repro.simulation.coverage import (
+    ConstantCoverage,
+    CoverageModel,
+    NegativeBinomialCoverage,
+    PoissonCoverage,
+    SequencingRun,
+    sequence_pool,
+)
+from repro.simulation.dataset import PairedDataset, make_paired_dataset
+
+__all__ = [
+    "Channel",
+    "ComposedChannel",
+    "IdentityChannel",
+    "IIDChannel",
+    "SOLQCChannel",
+    "SOLQCRates",
+    "WetlabReferenceChannel",
+    "LearnedProfileChannel",
+    "CoverageModel",
+    "ConstantCoverage",
+    "PoissonCoverage",
+    "NegativeBinomialCoverage",
+    "SequencingRun",
+    "sequence_pool",
+    "PairedDataset",
+    "make_paired_dataset",
+]

@@ -1,0 +1,52 @@
+"""The noisy-channel interface every wetlab simulator implements."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+
+class Channel(ABC):
+    """A stochastic transformation from a clean strand to one noisy read.
+
+    Channels are stateless with respect to the strands they transmit; all
+    randomness flows through the caller-supplied generator so that whole
+    experiments are reproducible from a single seed.
+    """
+
+    @abstractmethod
+    def transmit(self, strand: str, rng: random.Random) -> str:
+        """Return one noisy read of *strand*."""
+
+    def transmit_many(self, strand: str, copies: int, rng: random.Random) -> list:
+        """Return *copies* independent noisy reads of *strand*."""
+        if copies < 0:
+            raise ValueError(f"copies must be non-negative, got {copies}")
+        return [self.transmit(strand, rng) for _ in range(copies)]
+
+
+class IdentityChannel(Channel):
+    """A noiseless channel; useful for pipeline plumbing tests."""
+
+    def transmit(self, strand: str, rng: random.Random) -> str:
+        return strand
+
+
+class ComposedChannel(Channel):
+    """Apply several channels in sequence (e.g. synthesis then sequencing).
+
+    Real pipelines accumulate noise across stages — synthesis, storage decay,
+    and sequencing — each with its own profile; composing per-stage channels
+    models that layering directly.
+    """
+
+    def __init__(self, stages: Sequence[Channel]):
+        if not stages:
+            raise ValueError("ComposedChannel requires at least one stage")
+        self.stages = list(stages)
+
+    def transmit(self, strand: str, rng: random.Random) -> str:
+        for stage in self.stages:
+            strand = stage.transmit(strand, rng)
+        return strand

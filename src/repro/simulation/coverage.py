@@ -1,0 +1,144 @@
+"""Sequencing coverage models and whole-pool sequencing.
+
+Synthesis produces millions of physical copies of each designed strand; PCR
+and sampling then determine how many *reads* of each strand the sequencer
+reports.  The average reads-per-strand is the *sequencing coverage*
+(Section II-E).  Real coverage is overdispersed — some strands are read far
+more often than others and a few drop out entirely — which the
+negative-binomial model captures.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.simulation.channel import Channel
+
+
+class CoverageModel(ABC):
+    """Distribution of the number of reads obtained per designed strand."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> int:
+        """Draw a read count for one strand."""
+
+
+class ConstantCoverage(CoverageModel):
+    """Exactly *coverage* reads per strand (the paper's Table II/III setup)."""
+
+    def __init__(self, coverage: int):
+        if coverage < 0:
+            raise ValueError(f"coverage must be non-negative, got {coverage}")
+        self.coverage = coverage
+
+    def sample(self, rng: random.Random) -> int:
+        return self.coverage
+
+
+class PoissonCoverage(CoverageModel):
+    """Poisson-distributed read counts (ideal random sampling)."""
+
+    def __init__(self, mean: float):
+        if mean < 0:
+            raise ValueError(f"mean must be non-negative, got {mean}")
+        self.mean = mean
+
+    def sample(self, rng: random.Random) -> int:
+        # Knuth's algorithm is fine for the means used here (< ~100).
+        threshold = math.exp(-self.mean)
+        count, product = 0, rng.random()
+        while product > threshold:
+            count += 1
+            product *= rng.random()
+        return count
+
+
+class NegativeBinomialCoverage(CoverageModel):
+    """Overdispersed read counts (gamma-mixed Poisson).
+
+    ``dispersion`` is the gamma shape; smaller values mean more skewed
+    coverage.  As ``dispersion -> inf`` this converges to Poisson.
+    """
+
+    def __init__(self, mean: float, dispersion: float = 4.0):
+        if mean < 0:
+            raise ValueError(f"mean must be non-negative, got {mean}")
+        if dispersion <= 0:
+            raise ValueError(f"dispersion must be positive, got {dispersion}")
+        self.mean = mean
+        self.dispersion = dispersion
+
+    def sample(self, rng: random.Random) -> int:
+        rate = rng.gammavariate(self.dispersion, self.mean / self.dispersion)
+        return PoissonCoverage(rate).sample(rng)
+
+
+@dataclass
+class SequencingRun:
+    """The output of sequencing a pool: noisy reads plus ground truth.
+
+    ``origins[i]`` is the index (into ``references``) of the strand that
+    produced ``reads[i]`` — the label clustering is evaluated against.
+    ``dropouts`` lists reference indices that received zero reads.
+    """
+
+    reads: List[str]
+    origins: List[int]
+    references: List[str]
+    dropouts: List[int] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        """Mean reads per reference strand."""
+        if not self.references:
+            return 0.0
+        return len(self.reads) / len(self.references)
+
+    def true_clusters(self) -> Dict[int, List[int]]:
+        """Ground-truth clustering: reference index -> read indices."""
+        clusters: Dict[int, List[int]] = {}
+        for read_index, origin in enumerate(self.origins):
+            clusters.setdefault(origin, []).append(read_index)
+        return clusters
+
+
+def sequence_pool(
+    references: List[str],
+    channel: Channel,
+    coverage: CoverageModel,
+    rng: Optional[random.Random] = None,
+    shuffle: bool = True,
+) -> SequencingRun:
+    """Simulate sequencing a pool of strands.
+
+    Each reference strand receives a read count drawn from *coverage*; each
+    read is an independent transmission through *channel*.  Reads are
+    shuffled by default, because a sequencer does not report reads grouped
+    by molecule — clustering has to undo exactly this mixing.
+    """
+    rng = rng or random.Random()
+    reads: List[str] = []
+    origins: List[int] = []
+    dropouts: List[int] = []
+    for reference_index, reference in enumerate(references):
+        count = coverage.sample(rng)
+        if count == 0:
+            dropouts.append(reference_index)
+            continue
+        for _ in range(count):
+            read = channel.transmit(reference, rng)
+            if read:
+                reads.append(read)
+                origins.append(reference_index)
+    if shuffle:
+        order = list(range(len(reads)))
+        rng.shuffle(order)
+        reads = [reads[i] for i in order]
+        origins = [origins[i] for i in order]
+    return SequencingRun(
+        reads=reads, origins=origins, references=list(references), dropouts=dropouts
+    )

@@ -1,0 +1,185 @@
+"""An alignment-fitted, data-driven channel model.
+
+This is the statistical counterpart of the paper's RNN simulator: instead of
+assuming identical, independent error rates at every index (Section V-A's
+baseline), it *learns* the channel from paired (clean, noisy) strands —
+
+* per-position-bin insertion, deletion and substitution rates,
+* an empirical deletion/insertion **run-length** distribution (errors come
+  in batches in real data; Section V-A),
+* a base-conditioned substitution matrix and insertion base distribution.
+
+Fitting aligns each pair with Needleman-Wunsch and tallies the implied edit
+script.  The model never sees the generating channel's parameters, only its
+outputs — mirroring how the paper's models are trained on wetlab reads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dna.alphabet import BASES
+from repro.dna.alignment import edit_operations
+from repro.simulation.channel import Channel
+
+_MAX_RUN = 30
+
+
+class LearnedProfileChannel(Channel):
+    """Channel with positional rates estimated from paired data.
+
+    Use :meth:`fit` (or the :func:`fit_learned_profile` convenience) before
+    transmitting; an unfitted channel raises :class:`RuntimeError`.
+
+    Parameters
+    ----------
+    bins:
+        Number of relative-position bins the strand is divided into when
+        estimating and replaying positional rates.
+    """
+
+    def __init__(self, bins: int = 25):
+        if bins <= 0:
+            raise ValueError(f"bins must be positive, got {bins}")
+        self.bins = bins
+        self._fitted = False
+        self.p_ins: List[float] = []
+        self.p_del: List[float] = []
+        self.p_sub: List[float] = []
+        self.del_run_lengths: List[int] = []
+        self.del_run_weights: List[float] = []
+        self.ins_run_lengths: List[int] = []
+        self.ins_run_weights: List[float] = []
+        self.sub_tables: Dict[str, Tuple[List[str], List[float]]] = {}
+        self.ins_bases: Tuple[List[str], List[float]] = (list(BASES), [0.25] * 4)
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, pairs: Sequence[Tuple[str, str]]) -> "LearnedProfileChannel":
+        """Estimate the channel from ``(clean, noisy)`` strand pairs."""
+        if not pairs:
+            raise ValueError("fit requires at least one (clean, noisy) pair")
+        bin_positions = [0] * self.bins
+        bin_ins_runs = [0] * self.bins
+        bin_del_runs = [0] * self.bins
+        bin_subs = [0] * self.bins
+        del_runs: Dict[int, int] = {}
+        ins_runs: Dict[int, int] = {}
+        sub_counts: Dict[str, Dict[str, int]] = {
+            base: {b: 0 for b in BASES if b != base} for base in BASES
+        }
+        ins_base_counts = {base: 0 for base in BASES}
+
+        for clean, noisy in pairs:
+            if not clean:
+                raise ValueError("clean strands must be non-empty")
+            length = len(clean)
+            ops = edit_operations(clean, noisy)
+            index = 0
+            while index < len(ops):
+                op = ops[index]
+                bin_index = self._bin(op.ref_pos, length)
+                if op.kind in ("match", "sub"):
+                    bin_positions[bin_index] += 1
+                    if op.kind == "sub":
+                        bin_subs[bin_index] += 1
+                        sub_counts[op.ref_base][op.query_base] += 1
+                    index += 1
+                    continue
+                run = 1
+                while index + run < len(ops) and ops[index + run].kind == op.kind:
+                    run += 1
+                run_capped = min(run, _MAX_RUN)
+                if op.kind == "del":
+                    bin_del_runs[bin_index] += 1
+                    for offset in range(run):
+                        pos_bin = self._bin(op.ref_pos + offset, length)
+                        bin_positions[pos_bin] += 1
+                    del_runs[run_capped] = del_runs.get(run_capped, 0) + 1
+                else:  # insertion run
+                    bin_ins_runs[bin_index] += 1
+                    ins_runs[run_capped] = ins_runs.get(run_capped, 0) + 1
+                    for offset in range(run):
+                        ins_base_counts[ops[index + offset].query_base] += 1
+                index += run
+
+        self.p_ins = []
+        self.p_del = []
+        self.p_sub = []
+        for b in range(self.bins):
+            positions = max(1, bin_positions[b])
+            self.p_ins.append(min(0.95, bin_ins_runs[b] / positions))
+            self.p_del.append(min(0.95, bin_del_runs[b] / positions))
+            self.p_sub.append(min(0.95, bin_subs[b] / positions))
+
+        self.del_run_lengths, self.del_run_weights = _distribution(del_runs)
+        self.ins_run_lengths, self.ins_run_weights = _distribution(ins_runs)
+        self.sub_tables = {}
+        for base, counts in sub_counts.items():
+            total = sum(counts.values())
+            alternatives = sorted(counts)
+            if total == 0:
+                weights = [1.0 / len(alternatives)] * len(alternatives)
+            else:
+                weights = [counts[b] / total for b in alternatives]
+            self.sub_tables[base] = (alternatives, weights)
+        total_ins = sum(ins_base_counts.values())
+        if total_ins:
+            bases = sorted(ins_base_counts)
+            self.ins_bases = (bases, [ins_base_counts[b] / total_ins for b in bases])
+        self._fitted = True
+        return self
+
+    def _bin(self, position: int, length: int) -> int:
+        if length <= 1:
+            return 0
+        relative = min(position, length - 1) / (length - 1)
+        return min(self.bins - 1, int(relative * self.bins))
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def transmit(self, strand: str, rng: random.Random) -> str:
+        if not self._fitted:
+            raise RuntimeError("LearnedProfileChannel must be fitted before use")
+        length = len(strand)
+        output = []
+        position = 0
+        while position < length:
+            bin_index = self._bin(position, length)
+            if rng.random() < self.p_ins[bin_index]:
+                run = rng.choices(self.ins_run_lengths, weights=self.ins_run_weights)[0]
+                bases, weights = self.ins_bases
+                output.extend(rng.choices(bases, weights=weights, k=run))
+            draw = rng.random()
+            if draw < self.p_del[bin_index]:
+                run = rng.choices(self.del_run_lengths, weights=self.del_run_weights)[0]
+                position += run
+                continue
+            base = strand[position]
+            if draw < self.p_del[bin_index] + self.p_sub[bin_index]:
+                alternatives, weights = self.sub_tables[base]
+                output.append(rng.choices(alternatives, weights=weights)[0])
+            else:
+                output.append(base)
+            position += 1
+        return "".join(output)
+
+
+def _distribution(counts: Dict[int, int]) -> Tuple[List[int], List[float]]:
+    if not counts:
+        return [1], [1.0]
+    lengths = sorted(counts)
+    total = sum(counts.values())
+    return lengths, [counts[length] / total for length in lengths]
+
+
+def fit_learned_profile(
+    pairs: Sequence[Tuple[str, str]], bins: int = 25
+) -> LearnedProfileChannel:
+    """Convenience: construct and fit a :class:`LearnedProfileChannel`."""
+    return LearnedProfileChannel(bins=bins).fit(pairs)

@@ -1,0 +1,111 @@
+"""A SOLQC-style channel: error rates conditioned on the nucleotide.
+
+SOLQC (Sabary et al., *Bioinformatics* 2021) characterises synthetic oligo
+libraries with per-nucleotide error statistics.  Following the description
+in Section V-A of the paper, this channel draws insertion, deletion and
+substitution events with probabilities that depend on the *current base*,
+and models **pre-insertions only** (a base may be inserted before the
+current base, never after it).  The paper notes this asymmetry makes forward
+trace reconstruction harder than reverse reconstruction — an effect visible
+in the per-index error profiles this toolkit reproduces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dna.alphabet import BASES
+from repro.simulation.channel import Channel
+
+
+def _uniform_substitutes(base: str) -> Dict[str, float]:
+    others = [b for b in BASES if b != base]
+    return {b: 1.0 / len(others) for b in others}
+
+
+@dataclass
+class SOLQCRates:
+    """Error statistics for one nucleotide.
+
+    ``substitution_distribution`` gives the conditional probability of each
+    replacement base given that a substitution happened; it defaults to
+    uniform over the other three bases.
+    """
+
+    pre_insertion: float = 0.008
+    deletion: float = 0.01
+    substitution: float = 0.008
+    substitution_distribution: Optional[Dict[str, float]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        for name in ("pre_insertion", "deletion", "substitution"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.deletion + self.substitution > 1.0:
+            raise ValueError("deletion + substitution must not exceed 1")
+
+
+#: A default profile loosely patterned on published Illumina/Twist
+#: statistics: G and T are more error-prone than A and C, deletions dominate.
+DEFAULT_PROFILE: Dict[str, SOLQCRates] = {
+    "A": SOLQCRates(pre_insertion=0.006, deletion=0.008, substitution=0.006),
+    "C": SOLQCRates(pre_insertion=0.006, deletion=0.009, substitution=0.007),
+    "G": SOLQCRates(pre_insertion=0.009, deletion=0.013, substitution=0.010),
+    "T": SOLQCRates(pre_insertion=0.008, deletion=0.012, substitution=0.009),
+}
+
+
+class SOLQCChannel(Channel):
+    """Nucleotide-conditioned channel with pre-insertions only."""
+
+    def __init__(self, profile: Optional[Dict[str, SOLQCRates]] = None):
+        profile = dict(profile or DEFAULT_PROFILE)
+        missing = set(BASES) - set(profile)
+        if missing:
+            raise ValueError(f"profile missing rates for bases: {sorted(missing)}")
+        self.profile = profile
+        self._sub_tables = {}
+        for base, rates in profile.items():
+            distribution = rates.substitution_distribution or _uniform_substitutes(base)
+            if base in distribution:
+                raise ValueError(
+                    f"substitution distribution for {base} must not include itself"
+                )
+            total = sum(distribution.values())
+            if total <= 0:
+                raise ValueError(f"substitution distribution for {base} sums to 0")
+            bases = sorted(distribution)
+            weights = [distribution[b] / total for b in bases]
+            self._sub_tables[base] = (bases, weights)
+
+    @classmethod
+    def scaled(cls, factor: float) -> "SOLQCChannel":
+        """Return a channel with the default profile scaled by *factor*."""
+        profile = {
+            base: SOLQCRates(
+                pre_insertion=min(1.0, rates.pre_insertion * factor),
+                deletion=min(1.0, rates.deletion * factor),
+                substitution=min(1.0, rates.substitution * factor),
+            )
+            for base, rates in DEFAULT_PROFILE.items()
+        }
+        return cls(profile)
+
+    def transmit(self, strand: str, rng: random.Random) -> str:
+        output = []
+        for base in strand:
+            rates = self.profile[base]
+            if rng.random() < rates.pre_insertion:
+                output.append(rng.choice(BASES))
+            draw = rng.random()
+            if draw < rates.deletion:
+                continue
+            if draw < rates.deletion + rates.substitution:
+                bases, weights = self._sub_tables[base]
+                output.append(rng.choices(bases, weights=weights)[0])
+            else:
+                output.append(base)
+        return "".join(output)

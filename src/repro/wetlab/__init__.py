@@ -1,0 +1,22 @@
+"""Handling real sequencing data (Section VIII of the paper).
+
+When strands are actually synthesized and sequenced, the sequencer's fastq
+output replaces the simulation module.  Before clustering, reads must be
+
+1. oriented — sequencers report both the 5'->3' strand and its reverse
+   complement, so 3'->5' reads are flipped by comparing their ends against
+   the primer library;
+2. assigned to a file — by identifying which primer pair tags them;
+3. trimmed — primer sites are stripped so only the payload (index + data)
+   reaches the clustering module.
+"""
+
+from repro.wetlab.orientation import OrientedRead, orient_read
+from repro.wetlab.preprocess import PreprocessStats, WetlabPreprocessor
+
+__all__ = [
+    "OrientedRead",
+    "orient_read",
+    "PreprocessStats",
+    "WetlabPreprocessor",
+]

@@ -1,0 +1,100 @@
+"""Read orientation against a primer pair.
+
+A synthesized strand reads ``forward + body + revcomp(reverse)`` in the
+5'->3' direction.  A sequencer may report the complementary strand instead,
+which reads ``reverse + revcomp(body) + revcomp(forward)``.  Orientation is
+decided by scoring the read's two ends against the primer pair in both
+hypotheses and keeping the better one.
+
+Scores are *edit* distances of the primer against the read boundary, not
+Hamming distances: a single indel inside a primer site shifts every
+following base, which would make a positional comparison reject otherwise
+perfectly usable reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.codec.primers import PrimerPair
+from repro.dna.alphabet import reverse_complement
+from repro.dna.distance import prefix_edit_distance
+
+#: Extra bases of read boundary considered beyond the primer length, to
+#: absorb indel-induced drift of the primer site.
+_BOUNDARY_SLACK = 5
+
+
+def locate_primer_sites(read: str, pair: PrimerPair) -> Tuple[int, int, int]:
+    """Locate the payload boundaries of *read* under *pair*.
+
+    Returns ``(mismatches, payload_start, payload_end)``: the summed edit
+    distance of both primer sites and the read slice containing the payload.
+    The forward primer is matched against the head of the read, and the
+    reverse-complemented reverse primer against the (reversed) tail, so the
+    boundaries track indels instead of assuming fixed primer widths.
+    """
+    forward_site = pair.forward
+    reverse_site = reverse_complement(pair.reverse)
+    head_window = read[: len(forward_site) + _BOUNDARY_SLACK]
+    head_distance, payload_start = prefix_edit_distance(forward_site, head_window)
+    tail_window = read[max(0, len(read) - len(reverse_site) - _BOUNDARY_SLACK) :]
+    tail_distance, tail_extent = prefix_edit_distance(
+        reverse_site[::-1], tail_window[::-1]
+    )
+    payload_end = len(read) - tail_extent
+    if payload_end < payload_start:
+        payload_end = payload_start
+    return head_distance + tail_distance, payload_start, payload_end
+
+
+@dataclass(frozen=True)
+class OrientedRead:
+    """The 5'->3' read plus how confidently it matched the primer pair.
+
+    ``mismatches`` is the summed edit distance of the two primer sites
+    under the chosen orientation; ``flipped`` records whether the read was
+    reverse-complemented; ``payload_start``/``payload_end`` delimit the
+    payload (primers excluded) in ``sequence``.
+    """
+
+    sequence: str
+    mismatches: int
+    flipped: bool
+    payload_start: int = 0
+    payload_end: int = 0
+
+    @property
+    def payload(self) -> str:
+        return self.sequence[self.payload_start : self.payload_end]
+
+
+def orient_read(read: str, pair: PrimerPair) -> OrientedRead:
+    """Return *read* in the 5'->3' orientation relative to *pair*.
+
+    Both the read and its reverse complement are scored against the primer
+    sites; the orientation with the lower summed primer edit distance wins
+    (ties keep the original orientation).
+    """
+    if not read:
+        worst = len(pair.forward) + len(pair.reverse)
+        return OrientedRead(sequence="", mismatches=worst, flipped=False)
+    as_is, start, end = locate_primer_sites(read, pair)
+    flipped_read = reverse_complement(read)
+    flipped, flipped_start, flipped_end = locate_primer_sites(flipped_read, pair)
+    if flipped < as_is:
+        return OrientedRead(
+            sequence=flipped_read,
+            mismatches=flipped,
+            flipped=True,
+            payload_start=flipped_start,
+            payload_end=flipped_end,
+        )
+    return OrientedRead(
+        sequence=read,
+        mismatches=as_is,
+        flipped=False,
+        payload_start=start,
+        payload_end=end,
+    )

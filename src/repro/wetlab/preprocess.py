@@ -1,0 +1,129 @@
+"""fastq-to-clustering preprocessing (Section VIII).
+
+The preprocessor turns raw sequencer output into the payload reads the
+clustering module expects: it fixes orientation, assigns every read to the
+primer pair (file) it matches best, rejects reads that match no pair well
+enough or fail basic quality/length screens, and strips the primer sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.codec.primers import PrimerPair
+from repro.dna.fastq import FastqRecord
+from repro.wetlab.orientation import orient_read
+
+
+@dataclass
+class PreprocessStats:
+    """Accounting of what happened to each input read."""
+
+    total: int = 0
+    accepted: int = 0
+    flipped: int = 0
+    rejected_primer: int = 0
+    rejected_quality: int = 0
+    rejected_length: int = 0
+    per_pair: Dict[int, int] = field(default_factory=dict)
+
+
+class WetlabPreprocessor:
+    """Converts fastq records into per-file payload reads.
+
+    Parameters
+    ----------
+    primer_library:
+        The primer pairs in use; each read is assigned to the best-matching
+        pair.
+    max_primer_mismatches:
+        Reject reads whose best pair still mismatches more than this many
+        bases across both primer sites.
+    min_mean_quality:
+        Reject reads whose mean Phred quality is lower (0 disables; reads
+        without quality scores always pass).
+    expected_body_length / length_tolerance:
+        When given, reject payloads outside
+        ``expected +- tolerance * expected``.
+    """
+
+    def __init__(
+        self,
+        primer_library: Sequence[PrimerPair],
+        max_primer_mismatches: int = 10,
+        min_mean_quality: float = 0.0,
+        expected_body_length: Optional[int] = None,
+        length_tolerance: float = 0.35,
+    ):
+        if not primer_library:
+            raise ValueError("primer_library must not be empty")
+        self.primer_library = list(primer_library)
+        self.max_primer_mismatches = max_primer_mismatches
+        self.min_mean_quality = min_mean_quality
+        self.expected_body_length = expected_body_length
+        self.length_tolerance = length_tolerance
+
+    def process(
+        self, records: Iterable[Union[FastqRecord, str]]
+    ) -> Tuple[Dict[int, List[str]], PreprocessStats]:
+        """Process *records* (fastq records or bare sequences).
+
+        Returns
+        -------
+        (by_pair, stats):
+            ``by_pair`` maps primer-library indices to the payload reads
+            assigned to that pair, primers stripped and orientation fixed.
+        """
+        stats = PreprocessStats()
+        by_pair: Dict[int, List[str]] = {}
+        for record in records:
+            stats.total += 1
+            if isinstance(record, FastqRecord):
+                sequence = record.sequence
+                if (
+                    self.min_mean_quality > 0
+                    and record.qualities
+                    and record.mean_quality() < self.min_mean_quality
+                ):
+                    stats.rejected_quality += 1
+                    continue
+            else:
+                sequence = record
+
+            best_index, oriented = self._assign(sequence)
+            if oriented is None or oriented.mismatches > self.max_primer_mismatches:
+                stats.rejected_primer += 1
+                continue
+            payload = oriented.payload
+            if not self._length_ok(payload):
+                stats.rejected_length += 1
+                continue
+            stats.accepted += 1
+            if oriented.flipped:
+                stats.flipped += 1
+            stats.per_pair[best_index] = stats.per_pair.get(best_index, 0) + 1
+            by_pair.setdefault(best_index, []).append(payload)
+        return by_pair, stats
+
+    # ------------------------------------------------------------------
+
+    def _assign(self, sequence: str):
+        best_index, best = None, None
+        for index, pair in enumerate(self.primer_library):
+            oriented = orient_read(sequence, pair)
+            if best is None or oriented.mismatches < best.mismatches:
+                best_index, best = index, oriented
+        return best_index, best
+
+    def _length_ok(self, payload: str) -> bool:
+        if not payload:
+            return False
+        if self.expected_body_length is None:
+            return True
+        slack = self.length_tolerance * self.expected_body_length
+        return (
+            self.expected_body_length - slack
+            <= len(payload)
+            <= self.expected_body_length + slack
+        )

@@ -1,0 +1,67 @@
+"""Information-density accounting tests."""
+
+import pytest
+
+from repro.analysis import density_report
+from repro.codec import EncodingParameters
+from repro.codec.constrained import ROTATING_CODE_DENSITY
+from repro.codec.primers import PrimerPair
+
+
+class TestDensityReport:
+    def test_fractions_consistent(self):
+        params = EncodingParameters()
+        report = density_report(params)
+        assert 0 < report.net_bits_per_nt < 2.0
+        overhead_free = (
+            report.payload_fraction + report.index_fraction + report.primer_fraction
+        )
+        assert overhead_free <= 1.0
+
+    def test_primerless_has_zero_primer_fraction(self):
+        report = density_report(EncodingParameters())
+        assert report.primer_fraction == 0.0
+
+    def test_primers_cost_density(self):
+        pair = PrimerPair("A" * 20, "C" * 20)
+        with_primers = density_report(EncodingParameters(primer_pair=pair))
+        without = density_report(EncodingParameters())
+        assert with_primers.net_bits_per_nt < without.net_bits_per_nt
+        assert with_primers.primer_fraction > 0
+
+    def test_more_parity_lowers_density(self):
+        low = density_report(
+            EncodingParameters(data_columns=60, parity_columns=10)
+        )
+        high = density_report(
+            EncodingParameters(data_columns=60, parity_columns=40)
+        )
+        assert high.net_bits_per_nt < low.net_bits_per_nt
+        assert high.parity_molecule_fraction > low.parity_molecule_fraction
+
+    def test_constrained_mapping_lowers_density(self):
+        params = EncodingParameters()
+        unconstrained = density_report(params)
+        constrained = density_report(
+            params, mapping_bits_per_nt=ROTATING_CODE_DENSITY
+        )
+        assert constrained.net_bits_per_nt < unconstrained.net_bits_per_nt
+
+    def test_exact_accounting_small_case(self):
+        # 1 byte payload, 1 data + 1 parity column, 1 index byte, no primers:
+        # strand = 8 nt, unit = 16 nt, payload bits = 8.
+        params = EncodingParameters(
+            payload_bytes=1, data_columns=1, parity_columns=1, index_bytes=1
+        )
+        report = density_report(params)
+        assert report.unit_nt == 16
+        assert report.unit_payload_bits == 8
+        assert report.net_bits_per_nt == pytest.approx(0.5)
+
+    def test_invalid_mapping_density(self):
+        with pytest.raises(ValueError):
+            density_report(EncodingParameters(), mapping_bits_per_nt=0)
+
+    def test_as_rows(self):
+        rows = density_report(EncodingParameters()).as_rows()
+        assert len(rows) == 5

@@ -1,0 +1,73 @@
+"""Per-index error profile tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fidelity_metrics,
+    per_index_error_profile,
+    perfect_reconstructions,
+)
+from repro.analysis.error_profile import ErrorProfile, smooth_profile
+
+
+class TestPerIndexProfile:
+    def test_perfect_reconstructions(self):
+        refs = ["ACGT", "TTTT"]
+        profile = per_index_error_profile(refs, refs)
+        assert profile.perfect == 2
+        assert profile.mean_rate == 0.0
+
+    def test_single_position_error(self):
+        profile = per_index_error_profile(["ACGT"], ["ACTT"])
+        assert profile.rates.tolist() == [0.0, 0.0, 1.0, 0.0]
+        assert profile.perfect == 0
+
+    def test_short_reconstruction_counts_tail_errors(self):
+        profile = per_index_error_profile(["ACGT"], ["AC"])
+        assert profile.rates.tolist() == [0.0, 0.0, 1.0, 1.0]
+
+    def test_mismatched_counts_raise(self):
+        with pytest.raises(ValueError):
+            per_index_error_profile(["ACGT"], [])
+
+    def test_unequal_reference_lengths_raise(self):
+        with pytest.raises(ValueError):
+            per_index_error_profile(["ACGT", "AC"], ["ACGT", "AC"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            per_index_error_profile([], [])
+
+    def test_perfect_count_helper(self):
+        assert perfect_reconstructions(["AA", "CC"], ["AA", "CG"]) == 1
+
+
+class TestFidelityMetrics:
+    def test_table_one_metrics(self):
+        real = ErrorProfile(rates=np.array([0.1, 0.2]), strands=10, perfect=5)
+        simulated = ErrorProfile(rates=np.array([0.1, 0.1]), strands=10, perfect=7)
+        metrics = fidelity_metrics("sim", simulated, real)
+        assert metrics.mean_error_rate == pytest.approx(0.1)
+        assert metrics.deviation_from_real == pytest.approx(0.05)
+        assert metrics.perfect_strands == 7
+        assert len(metrics.as_row()) == 4
+
+    def test_deviation_requires_same_length(self):
+        a = ErrorProfile(rates=np.array([0.1]), strands=1, perfect=0)
+        b = ErrorProfile(rates=np.array([0.1, 0.2]), strands=1, perfect=0)
+        with pytest.raises(ValueError):
+            a.deviation_from(b)
+
+
+class TestSmoothing:
+    def test_constant_series_unchanged(self):
+        assert smooth_profile([0.5] * 5, window=3) == [0.5] * 5
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            smooth_profile([0.1], window=0)
+
+    def test_smooths_spike(self):
+        smoothed = smooth_profile([0, 0, 1, 0, 0], window=3)
+        assert smoothed[2] == pytest.approx(1 / 3)

@@ -1,0 +1,64 @@
+"""Pool synthesis-screen tests."""
+
+import random
+
+import pytest
+
+from repro.analysis.poolstats import pool_statistics
+from repro.codec import DNAEncoder, EncodingParameters, design_primer_library
+
+
+class TestPoolStatistics:
+    def test_whitened_pool_is_statistically_healthy(self):
+        # Whitening cannot forbid long runs outright (that would be
+        # constrained coding); it makes them rare and short.
+        pool = DNAEncoder(EncodingParameters()).encode(bytes(4000))
+        stats = pool_statistics(pool.references)
+        assert stats.gc_violations == 0
+        assert 0.4 < stats.gc_mean < 0.6
+        assert stats.homopolymer_violations / stats.strands < 0.05
+        assert stats.homopolymer_max <= 10
+
+    def test_unwhitened_pathological_pool_flagged(self):
+        params = EncodingParameters(randomize=False)
+        pool = DNAEncoder(params).encode(bytes(4000))  # all-zero payloads
+        whitened = DNAEncoder(EncodingParameters()).encode(bytes(4000))
+        stats = pool_statistics(pool.references)
+        healthy = pool_statistics(whitened.references)
+        assert stats.homopolymer_violations > healthy.homopolymer_violations
+        assert stats.homopolymer_max > healthy.homopolymer_max
+        assert not stats.clean
+
+    def test_gc_violations_counted(self):
+        stats = pool_statistics(["GCGCGCGC", "ATATATAT", "ACGTACGT"])
+        assert stats.gc_violations == 2
+        assert stats.gc_min == 0.0
+        assert stats.gc_max == 1.0
+
+    def test_histogram_covers_all_strands(self):
+        stats = pool_statistics(["ACGT", "AACC", "AAAA"])
+        assert sum(stats.homopolymer_histogram.values()) == 3
+        assert stats.homopolymer_histogram[4] == 1
+
+    def test_primer_collisions(self):
+        pairs = design_primer_library(1, rng=random.Random(2))
+        colliding = "ACGT" + pairs[0].forward + "TGCA"
+        stats = pool_statistics(
+            [colliding], foreign_primers=pairs, primer_min_distance=4
+        )
+        assert stats.primer_collisions == 1
+        assert not stats.clean
+
+    def test_random_strands_do_not_collide(self, rng):
+        pairs = design_primer_library(1, rng=random.Random(2))
+        from repro.dna.alphabet import random_sequence
+
+        strands = [random_sequence(80, rng) for _ in range(20)]
+        stats = pool_statistics(
+            strands, foreign_primers=pairs, primer_min_distance=4
+        )
+        assert stats.primer_collisions == 0
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            pool_statistics([])

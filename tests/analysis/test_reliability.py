@@ -1,0 +1,74 @@
+"""Reliability-profile estimation tests."""
+
+import random
+
+import pytest
+
+from repro.analysis.reliability import (
+    pilot_row_reliability,
+    profile_to_row_reliability,
+)
+from repro.reconstruction import DoubleSidedBMAReconstructor
+from repro.simulation import IIDChannel, WetlabReferenceChannel
+
+
+class TestProfileConversion:
+    def test_row_scores_average_nucleotide_rates(self):
+        # 0 index nt, 2 rows of 4 nt each; no smoothing.
+        rates = [0.0, 0.0, 0.0, 0.0, 0.2, 0.2, 0.2, 0.2]
+        scores = profile_to_row_reliability(rates, 2, 0, smoothing_window=1)
+        assert scores[0] == pytest.approx(1.0)
+        assert scores[1] == pytest.approx(0.8)
+
+    def test_index_region_excluded(self):
+        rates = [0.9] * 4 + [0.1] * 4  # terrible index region, fine payload
+        scores = profile_to_row_reliability(rates, 1, 4, smoothing_window=1)
+        assert scores == [pytest.approx(0.9)]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            profile_to_row_reliability([0.1] * 10, 2, 4)
+
+    def test_invalid_rows_raise(self):
+        with pytest.raises(ValueError):
+            profile_to_row_reliability([0.1] * 8, 0, 8)
+
+
+class TestPilot:
+    def test_pilot_detects_middle_skew(self):
+        rng = random.Random(4)
+        scores = pilot_row_reliability(
+            IIDChannel.from_total_rate(0.09),
+            DoubleSidedBMAReconstructor(),
+            payload_bytes=20,
+            index_nt=12,
+            pilot_strands=60,
+            coverage=8,
+            rng=rng,
+        )
+        assert len(scores) == 20
+        # DBMA concentrates errors in the middle rows.
+        middle = sum(scores[8:12]) / 4
+        edges = (sum(scores[:3]) + sum(scores[-3:])) / 6
+        assert middle < edges
+
+    def test_scores_bounded(self):
+        rng = random.Random(4)
+        scores = pilot_row_reliability(
+            WetlabReferenceChannel(),
+            DoubleSidedBMAReconstructor(),
+            payload_bytes=10,
+            pilot_strands=20,
+            coverage=6,
+            rng=rng,
+        )
+        assert all(0.0 <= score <= 1.0 for score in scores)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pilot_row_reliability(
+                IIDChannel.from_total_rate(0.05),
+                DoubleSidedBMAReconstructor(),
+                payload_bytes=10,
+                pilot_strands=0,
+            )

@@ -1,0 +1,57 @@
+"""Report formatting tests."""
+
+import pytest
+
+from repro.analysis import format_series, format_table
+from repro.analysis.reporting import sparkline
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["a", "1"], ["long-name", "22"]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or "-+-" in line for line in lines)
+
+    def test_title(self):
+        assert format_table(["x"], [["1"]], title="Table I").startswith("Table I")
+
+    def test_ragged_rows_raise(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+
+class TestFormatSeries:
+    def test_values_formatted(self):
+        series = format_series("err", [0.1, 0.25], precision=2)
+        assert "err[0] = 0.10" in series
+        assert "err[1] = 0.25" in series
+
+    def test_stride(self):
+        series = format_series("s", [1.0, 2.0, 3.0, 4.0], stride=2)
+        assert "s[0]" in series and "s[2]" in series
+        assert "s[1]" not in series
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1.0], stride=0)
+
+
+class TestSparkline:
+    def test_shape(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        assert set(sparkline([1.0, 1.0])) == {" "}
+
+    def test_subsampling(self):
+        assert len(sparkline(list(range(1000)), width=50)) == 50

@@ -1,0 +1,73 @@
+"""Optimiser behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, SGD, Tensor
+
+
+def quadratic_loss(x: Tensor) -> Tensor:
+    target = Tensor(np.array([1.0, -2.0, 3.0]))
+    return ((x - target) ** 2).sum()
+
+
+class TestSGD:
+    def test_minimises_quadratic(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = SGD([x], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(x)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(x.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            x = Tensor(np.zeros(3), requires_grad=True)
+            optimizer = SGD([x], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                loss = quadratic_loss(x)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            return quadratic_loss(x).item()
+
+        assert run(0.9) < run(0.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.zeros(1), requires_grad=True)], lr=0.0)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = Adam([x], lr=0.1)
+        for _ in range(200):
+            loss = quadratic_loss(x)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(x.data, [1.0, -2.0, 3.0], atol=1e-2)
+
+    def test_no_trainable_parameters_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor(np.zeros(1))])
+
+
+class TestClipping:
+    def test_clip_scales_down(self):
+        x = Tensor(np.zeros(4), requires_grad=True)
+        optimizer = SGD([x], lr=0.1)
+        (x * 100.0).sum().backward()
+        norm = optimizer.clip_gradients(1.0)
+        assert norm == pytest.approx(200.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0)
+
+    def test_clip_leaves_small_gradients(self):
+        x = Tensor(np.zeros(4), requires_grad=True)
+        optimizer = SGD([x], lr=0.1)
+        (x * 0.01).sum().backward()
+        optimizer.clip_gradients(1.0)
+        assert np.allclose(x.grad, 0.01)

@@ -1,0 +1,162 @@
+"""Numeric gradient checks for the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd import functional as F
+
+RNG = np.random.default_rng(7)
+
+
+def numeric_gradient(make_loss, tensor, eps=1e-6):
+    gradient = np.zeros_like(tensor.data)
+    iterator = np.nditer(tensor.data, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = tensor.data[index]
+        tensor.data[index] = original + eps
+        high = make_loss().item()
+        tensor.data[index] = original - eps
+        low = make_loss().item()
+        tensor.data[index] = original
+        gradient[index] = (high - low) / (2 * eps)
+        iterator.iternext()
+    return gradient
+
+
+def assert_gradients_match(make_loss, *tensors, tolerance=1e-5):
+    for tensor in tensors:
+        tensor.zero_grad()
+    make_loss().backward()
+    for tensor in tensors:
+        expected = numeric_gradient(make_loss, tensor)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(expected)
+        assert np.abs(expected - actual).max() < tolerance
+
+
+@pytest.fixture
+def a():
+    return Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+
+
+@pytest.fixture
+def b():
+    return Tensor(RNG.normal(size=(4, 5)), requires_grad=True)
+
+
+class TestArithmeticGradients:
+    def test_add_mul_matmul(self, a, b):
+        bias = Tensor(RNG.normal(size=(5,)))
+        assert_gradients_match(lambda: (((a @ b) + bias) * (a @ b)).sum(), a, b)
+
+    def test_sub_neg(self, a):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        assert_gradients_match(lambda: ((a - other) * (-a)).sum(), a)
+
+    def test_div(self, a):
+        denominator = Tensor(2.0 + np.abs(RNG.normal(size=(4,))))
+        assert_gradients_match(lambda: (a / denominator).sum(), a)
+
+    def test_pow(self, a):
+        weights = Tensor(RNG.normal(size=(3, 4)))
+        assert_gradients_match(lambda: ((a**3) * weights).sum(), a)
+
+    def test_broadcasting_bias(self):
+        bias = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        x = Tensor(RNG.normal(size=(3, 4)))
+        assert_gradients_match(lambda: ((x + bias) ** 2).sum(), bias)
+
+
+class TestNonlinearityGradients:
+    def test_sigmoid_tanh(self, a, b):
+        assert_gradients_match(
+            lambda: (F.sigmoid(a @ b) * F.tanh(a @ b)).sum(), a, b
+        )
+
+    def test_relu(self, a):
+        assert_gradients_match(lambda: (F.relu(a) ** 2).sum(), a)
+
+    def test_exp_log(self, a):
+        assert_gradients_match(lambda: F.log(F.exp(a) + 1.0).sum(), a)
+
+    def test_softmax(self, a):
+        weights = Tensor(RNG.normal(size=(3, 4)))
+        assert_gradients_match(lambda: (F.softmax(a) * weights).sum(), a)
+
+
+class TestShapeOpGradients:
+    def test_reshape_transpose_mean(self, a):
+        assert_gradients_match(lambda: (a.reshape(4, 3).transpose() ** 2).mean(), a)
+
+    def test_concat(self):
+        x = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        y = Tensor(RNG.normal(size=(2, 2)), requires_grad=True)
+        assert_gradients_match(lambda: (F.concat([x, y], axis=1) ** 2).sum(), x, y)
+
+    def test_stack_and_slice(self):
+        x = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        assert_gradients_match(
+            lambda: (F.stack([x[0], x[2]], axis=0) ** 2).sum(), x
+        )
+
+    def test_sum_axis_keepdims(self, a):
+        assert_gradients_match(lambda: (a.sum(axis=1, keepdims=True) ** 2).sum(), a)
+
+
+class TestSpecializedGradients:
+    def test_embedding(self):
+        table = Tensor(RNG.normal(size=(6, 4)), requires_grad=True)
+        indices = np.array([1, 3, 5, 1])  # repeated index accumulates
+        weights = Tensor(RNG.normal(size=(4, 4)))
+        assert_gradients_match(
+            lambda: (F.embedding(table, indices) * weights).sum(), table
+        )
+
+    def test_cross_entropy(self):
+        logits = Tensor(RNG.normal(size=(7, 5)), requires_grad=True)
+        targets = RNG.integers(0, 5, size=7)
+        assert_gradients_match(
+            lambda: F.cross_entropy_logits(logits, targets), logits
+        )
+
+    def test_cross_entropy_requires_2d(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy_logits(Tensor(np.zeros(3), requires_grad=True), [0])
+
+
+class TestEngineSemantics:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2).sum()
+        assert not y.requires_grad
+
+    def test_backward_on_no_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_gradient_accumulates_across_backwards(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 2).sum().backward()
+        assert np.allclose(x.grad, 4.0)
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_gradient(self):
+        # y = x*x used twice downstream: gradients must sum over both paths.
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * x
+        z = (y + y).sum()
+        z.backward()
+        assert np.allclose(x.grad, 12.0)
+
+    def test_tensor_exponent_rejected(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(TypeError):
+            x ** Tensor(np.ones(2))

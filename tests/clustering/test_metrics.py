@@ -1,0 +1,74 @@
+"""Clustering metric tests on crafted cases."""
+
+import pytest
+
+from repro.clustering import cluster_purity, clustering_accuracy, confusion_counts
+
+
+TRUTH = [[0, 1, 2], [3, 4], [5]]
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert clustering_accuracy(TRUTH, TRUTH) == 1.0
+
+    def test_split_cluster_not_recovered(self):
+        predicted = [[0, 1], [2], [3, 4], [5]]
+        assert clustering_accuracy(predicted, TRUTH) == pytest.approx(2 / 3)
+
+    def test_split_recovered_with_lower_gamma(self):
+        predicted = [[0, 1], [2], [3, 4], [5]]
+        assert clustering_accuracy(predicted, TRUTH, gamma=0.6) == 1.0
+
+    def test_contaminated_cluster_not_recovered(self):
+        predicted = [[0, 1, 2, 5], [3, 4]]
+        # Cluster {5} is inside a foreign cluster and {0,1,2} is impure.
+        assert clustering_accuracy(predicted, TRUTH) == pytest.approx(1 / 3)
+
+    def test_merged_clusters_not_recovered(self):
+        predicted = [[0, 1, 2, 3, 4], [5]]
+        assert clustering_accuracy(predicted, TRUTH) == pytest.approx(1 / 3)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            clustering_accuracy(TRUTH, TRUTH, gamma=0.0)
+
+    def test_empty_truth_raises(self):
+        with pytest.raises(ValueError):
+            clustering_accuracy(TRUTH, [])
+
+    def test_duplicate_read_raises(self):
+        with pytest.raises(ValueError):
+            clustering_accuracy([[0, 1], [1, 2]], TRUTH)
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert cluster_purity(TRUTH, TRUTH) == 1.0
+
+    def test_mixed_cluster(self):
+        predicted = [[0, 1, 3], [2, 4, 5]]
+        # Majorities: {0,1} (size 2) in the first cluster, any single read
+        # in the second (all three have distinct true labels) -> 3/6.
+        assert cluster_purity(predicted, TRUTH) == pytest.approx(3 / 6)
+
+    def test_empty_prediction(self):
+        assert cluster_purity([], TRUTH) == 0.0
+
+
+class TestConfusion:
+    def test_perfect_has_no_fp_fn(self):
+        tp, fp, fn, tn = confusion_counts(TRUTH, TRUTH)
+        assert fp == 0 and fn == 0
+        assert tp == 3 + 1  # pairs within {0,1,2} (3) and {3,4} (1)
+
+    def test_merged_increases_fp(self):
+        predicted = [[0, 1, 2, 3, 4, 5]]
+        tp, fp, fn, tn = confusion_counts(predicted, TRUTH)
+        assert fn == 0
+        assert fp == 15 - 4  # all pairs predicted same; only 4 truly same
+
+    def test_split_increases_fn(self):
+        predicted = [[0], [1], [2], [3], [4], [5]]
+        tp, fp, fn, tn = confusion_counts(predicted, TRUTH)
+        assert tp == 0 and fp == 0 and fn == 4

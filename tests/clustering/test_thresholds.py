@@ -1,0 +1,75 @@
+"""Threshold auto-configuration tests."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.clustering import estimate_thresholds
+from repro.clustering.thresholds import sample_signature_distances
+from repro.dna.qgram import QGramSignature, sample_grams
+
+
+class TestEstimateThresholds:
+    def test_bimodal_separation(self, rng):
+        # Mostly inter distances near 40, a few intra near 5.
+        distances = [rng.gauss(40, 3) for _ in range(950)]
+        distances += [rng.gauss(5, 1.5) for _ in range(50)]
+        estimate = estimate_thresholds(distances)
+        assert 5 < estimate.theta_low < estimate.theta_high < 40
+        assert estimate.inter_center == pytest.approx(40, abs=3)
+
+    def test_ordering_invariant(self, rng):
+        distances = [rng.gauss(30, 4) for _ in range(500)]
+        estimate = estimate_thresholds(distances)
+        assert 0 <= estimate.theta_low <= estimate.theta_high
+
+    def test_degenerate_identical_distances(self):
+        estimate = estimate_thresholds([10.0] * 100)
+        assert estimate.theta_high < 10.0
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(ValueError):
+            estimate_thresholds([1.0, 2.0])
+
+    def test_sigma_ordering_validation(self):
+        with pytest.raises(ValueError):
+            estimate_thresholds([1.0] * 20, low_sigmas=1.0, high_sigmas=2.0)
+
+    def test_histogram_export(self, rng):
+        distances = [rng.gauss(30, 4) for _ in range(200)]
+        estimate = estimate_thresholds(distances)
+        counts, edges = estimate.histogram(bins=10)
+        assert counts.sum() == 200
+        assert len(edges) == 11
+
+
+class TestSampling:
+    def test_sample_counts(self, rng):
+        grams = sample_grams(16, 3, rng)
+        scheme = QGramSignature(grams)
+        signatures = [
+            scheme.compute("".join(rng.choice("ACGT") for _ in range(40)))
+            for _ in range(100)
+        ]
+        distances = sample_signature_distances(
+            signatures, QGramSignature.distance, probes=5, sample_size=20, rng=rng
+        )
+        assert len(distances) == 5 * 20
+
+    def test_probe_excluded_from_sample(self, rng):
+        signatures = [np.array([i], dtype=np.int32) for i in range(10)]
+
+        def distance(a, b):
+            assert not np.array_equal(a, b) or True
+            return abs(int(a[0]) - int(b[0]))
+
+        distances = sample_signature_distances(
+            signatures, distance, probes=10, sample_size=9, rng=rng
+        )
+        # A probe never compares against itself, so no zero distances.
+        assert 0.0 not in distances
+
+    def test_too_few_signatures_raise(self, rng):
+        with pytest.raises(ValueError):
+            sample_signature_distances([np.zeros(1)], lambda a, b: 0, rng=rng)

@@ -1,0 +1,68 @@
+"""Tests for the Clover-style prefix-tree clusterer."""
+
+import pytest
+
+from repro.clustering import (
+    TreeClusterer,
+    TreeClusteringConfig,
+    clustering_accuracy,
+)
+from repro.dna.alphabet import random_sequence
+from repro.simulation import ConstantCoverage, IdentityChannel, IIDChannel, sequence_pool
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeClusteringConfig(probe_length=0)
+        with pytest.raises(ValueError):
+            TreeClusteringConfig(probe_offsets=())
+        with pytest.raises(ValueError):
+            TreeClusteringConfig(wobble=-1)
+
+    def test_empty_reads_raise(self):
+        with pytest.raises(ValueError):
+            TreeClusterer().cluster([])
+
+
+class TestClustering:
+    def test_noiseless_reads_cluster_perfectly(self, rng):
+        references = [random_sequence(80, rng) for _ in range(40)]
+        run = sequence_pool(references, IdentityChannel(), ConstantCoverage(5), rng)
+        result = TreeClusterer().cluster(run.reads)
+        accuracy = clustering_accuracy(
+            result.clusters, list(run.true_clusters().values())
+        )
+        assert accuracy == 1.0
+
+    def test_low_noise_accuracy(self, rng):
+        references = [random_sequence(100, rng) for _ in range(60)]
+        run = sequence_pool(
+            references, IIDChannel.from_total_rate(0.02), ConstantCoverage(8), rng
+        )
+        result = TreeClusterer().cluster(run.reads)
+        accuracy = clustering_accuracy(
+            result.clusters, list(run.true_clusters().values()), gamma=0.8
+        )
+        assert accuracy >= 0.8
+
+    def test_no_edit_distance_calls(self, rng):
+        references = [random_sequence(80, rng) for _ in range(20)]
+        run = sequence_pool(references, IdentityChannel(), ConstantCoverage(4), rng)
+        result = TreeClusterer().cluster(run.reads)
+        assert result.edit_comparisons == 0
+
+    def test_clusters_partition_reads(self, rng):
+        references = [random_sequence(80, rng) for _ in range(30)]
+        run = sequence_pool(
+            references, IIDChannel.from_total_rate(0.05), ConstantCoverage(5), rng
+        )
+        result = TreeClusterer().cluster(run.reads)
+        flattened = sorted(i for cluster in result.clusters for i in cluster)
+        assert flattened == list(range(len(run.reads)))
+
+    def test_unrelated_reads_stay_apart(self, rng):
+        reads = [random_sequence(100, rng) for _ in range(50)]
+        result = TreeClusterer().cluster(reads)
+        # Random 100-mers share 12-base windows with vanishing probability.
+        assert len(result.clusters) >= 48

@@ -1,0 +1,65 @@
+"""Union-find invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clustering import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_all_singletons(self):
+        uf = UnionFind(5)
+        assert uf.components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_connects(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.components == 3
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.components == 3
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_groups_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = uf.groups()
+        flattened = sorted(x for group in groups for x in group)
+        assert flattened == list(range(6))
+        assert len(groups) == uf.components
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=60),
+    )
+    def test_components_match_groups(self, size, unions):
+        uf = UnionFind(size)
+        for left, right in unions:
+            if left < size and right < size:
+                uf.union(left, right)
+        assert len(uf.groups()) == uf.components
+        # connected() agrees with group membership
+        groups = uf.groups()
+        label = {}
+        for g, members in enumerate(groups):
+            for m in members:
+                label[m] = g
+        for left, right in unions:
+            if left < size and right < size:
+                assert label[left] == label[right]

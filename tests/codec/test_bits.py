@@ -1,0 +1,33 @@
+"""Tests for the 2-bit/nucleotide mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.bits import bases_to_bytes, bytes_to_bases
+
+
+class TestMapping:
+    def test_known_values(self):
+        assert bytes_to_bases([0x00]) == "AAAA"
+        assert bytes_to_bases([0xFF]) == "TTTT"
+        assert bytes_to_bases([0x1B]) == "ACGT"  # 00 01 10 11
+
+    def test_four_bases_per_byte(self):
+        assert len(bytes_to_bases(bytes(10))) == 40
+
+    @given(st.binary(max_size=200))
+    def test_roundtrip(self, data):
+        assert bases_to_bytes(bytes_to_bases(data)) == data
+
+    def test_length_not_multiple_of_four_raises(self):
+        with pytest.raises(ValueError):
+            bases_to_bytes("ACG")
+
+    def test_invalid_base_raises(self):
+        with pytest.raises(ValueError):
+            bases_to_bytes("ACGU")
+
+    def test_empty(self):
+        assert bytes_to_bases(b"") == ""
+        assert bases_to_bytes("") == b""

@@ -1,0 +1,54 @@
+"""Tests for the homopolymer-free rotating codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.constrained import ROTATING_CODE_DENSITY, RotatingCodec
+from repro.dna.sequence import max_homopolymer
+
+
+class TestRotatingCodec:
+    @given(st.binary(min_size=0, max_size=120).filter(lambda d: len(d) % 4 == 0))
+    def test_roundtrip_aligned(self, data):
+        codec = RotatingCodec()
+        assert codec.decode(codec.encode(data)) == data
+
+    @given(st.binary(max_size=150))
+    def test_roundtrip_with_length(self, data):
+        codec = RotatingCodec()
+        assert codec.decode_with_length(codec.encode_with_length(data)) == data
+
+    @given(st.binary(max_size=200))
+    def test_no_homopolymers_by_construction(self, data):
+        strand = RotatingCodec().encode_with_length(data)
+        assert max_homopolymer(strand) <= 1 or strand == ""
+
+    def test_density_is_32_over_21(self):
+        data = bytes(range(240))
+        strand = RotatingCodec().encode(data)
+        bits = len(data) * 8
+        assert bits / len(strand) == pytest.approx(ROTATING_CODE_DENSITY, rel=0.01)
+
+    def test_unaligned_encode_raises(self):
+        with pytest.raises(ValueError):
+            RotatingCodec().encode(b"abc")
+
+    def test_repeated_base_rejected_on_decode(self):
+        with pytest.raises(ValueError, match="repeated"):
+            RotatingCodec(start_base="A").decode("CC" + "GT" * 20)
+
+    def test_bad_start_base(self):
+        with pytest.raises(ValueError):
+            RotatingCodec(start_base="X")
+
+    def test_start_base_changes_encoding(self):
+        data = b"\x01\x02\x03\x04"
+        a = RotatingCodec(start_base="A").encode(data)
+        c = RotatingCodec(start_base="C").encode(data)
+        assert a != c
+        assert RotatingCodec(start_base="C").decode(c) == data
+
+    def test_wrong_trit_count_rejected(self):
+        with pytest.raises(ValueError, match="trits"):
+            RotatingCodec().decode("CGT")

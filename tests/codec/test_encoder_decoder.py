@@ -1,0 +1,191 @@
+"""Integration tests: file -> strands -> file, with damage in between."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import (
+    DNADecoder,
+    DNAEncoder,
+    EncodingParameters,
+    GiniLayout,
+    DNAMapperLayout,
+)
+from repro.codec.primers import PrimerPair
+
+FAST = EncodingParameters(
+    payload_bytes=10, data_columns=12, parity_columns=6, index_bytes=2
+)
+
+
+def corrupt_substitution(strand: str, position: int) -> str:
+    replacement = "C" if strand[position] != "C" else "G"
+    return strand[:position] + replacement + strand[position + 1 :]
+
+
+class TestCleanRoundTrip:
+    @given(st.binary(max_size=600))
+    @settings(max_examples=20)
+    def test_roundtrip(self, data):
+        pool = DNAEncoder(FAST).encode(data)
+        decoded, report = DNADecoder(FAST).decode(
+            pool.references, expected_units=pool.num_units
+        )
+        assert decoded == data
+        assert report.success
+
+    def test_empty_file(self):
+        pool = DNAEncoder(FAST).encode(b"")
+        decoded, report = DNADecoder(FAST).decode(pool.references)
+        assert decoded == b""
+        assert report.success
+
+    def test_strand_lengths(self):
+        pool = DNAEncoder(FAST).encode(b"some data")
+        assert all(len(s) == FAST.body_nt for s in pool.references)
+
+    def test_strand_count_is_units_times_columns(self):
+        data = bytes(range(256))
+        pool = DNAEncoder(FAST).encode(data)
+        assert len(pool.strands) == pool.num_units * FAST.total_columns
+
+    def test_gini_and_dnamapper_roundtrip(self):
+        data = bytes(range(200))
+        for layout in (GiniLayout(), DNAMapperLayout(list(range(10)))):
+            params = EncodingParameters(
+                payload_bytes=10,
+                data_columns=12,
+                parity_columns=6,
+                index_bytes=2,
+                layout=layout,
+            )
+            pool = DNAEncoder(params).encode(data)
+            decoded, report = DNADecoder(params).decode(pool.references)
+            assert decoded == data and report.success
+
+    def test_primer_tagging(self):
+        pair = PrimerPair(forward="ACGTACGTACGTACGTACGT", reverse="TGCATGCATGCATGCATGCA")
+        params = EncodingParameters(
+            payload_bytes=10,
+            data_columns=12,
+            parity_columns=6,
+            index_bytes=2,
+            primer_pair=pair,
+        )
+        pool = DNAEncoder(params).encode(b"tagged")
+        assert all(s.startswith(pair.forward) for s in pool.strands)
+        bodies = [pair.payload_slice(s) for s in pool.strands]
+        decoded, report = DNADecoder(params).decode(bodies)
+        assert decoded == b"tagged" and report.success
+
+
+class TestDamageTolerance:
+    def test_survives_missing_strands(self):
+        data = bytes(range(250))
+        pool = DNAEncoder(FAST).encode(data)
+        survivors = [s for i, s in enumerate(pool.references) if i % 4 != 0][
+            : len(pool.references)
+        ]
+        # Dropping every 4th strand stays within 6 erasures per 18-column unit.
+        decoded, report = DNADecoder(FAST).decode(
+            survivors, expected_units=pool.num_units
+        )
+        assert decoded == data
+        assert report.missing_columns > 0
+
+    def test_survives_substitutions(self):
+        data = b"substitution tolerance" * 4
+        pool = DNAEncoder(FAST).encode(data)
+        strands = list(pool.references)
+        for i in (0, 3, 7):
+            strands[i] = corrupt_substitution(strands[i], 30)
+        decoded, report = DNADecoder(FAST).decode(strands, expected_units=pool.num_units)
+        assert decoded == data
+        assert report.corrected_rows > 0
+
+    def test_survives_wrong_length_strands(self):
+        data = b"length damage" * 5
+        pool = DNAEncoder(FAST).encode(data)
+        strands = list(pool.references)
+        strands[0] = strands[0][:-3]          # truncated
+        strands[1] = strands[1] + "ACGT"      # extended
+        decoded, report = DNADecoder(FAST).decode(strands, expected_units=pool.num_units)
+        assert decoded == data
+        assert report.length_adjusted == 2
+
+    def test_duplicate_strands_resolved_by_majority(self):
+        data = b"duplicates"
+        pool = DNAEncoder(FAST).encode(data)
+        strands = list(pool.references)
+        corrupted_copy = corrupt_substitution(strands[0], 20)
+        strands += [strands[0], corrupted_copy]
+        decoded, report = DNADecoder(FAST).decode(strands, expected_units=pool.num_units)
+        assert decoded == data
+        assert report.duplicate_columns >= 1
+
+    def test_too_much_damage_reports_failure(self):
+        data = bytes(range(200))
+        pool = DNAEncoder(FAST).encode(data)
+        survivors = pool.references[:: 3]  # drop two thirds
+        decoded, report = DNADecoder(FAST).decode(
+            survivors, expected_units=pool.num_units
+        )
+        assert not report.success
+
+    def test_bad_index_counted(self):
+        data = b"bad index"
+        pool = DNAEncoder(FAST).encode(data)
+        strands = list(pool.references)
+        # Rewrite one strand's index region with garbage that decodes to a
+        # column far outside the single encoding unit.
+        strands[0] = "T" * 8 + strands[0][8:]
+        _, report = DNADecoder(FAST).decode(strands, expected_units=pool.num_units)
+        assert report.bad_index >= 1 or report.duplicate_columns >= 1
+
+
+class TestInference:
+    def test_units_inferred_without_hint(self):
+        data = bytes(range(250)) * 2
+        pool = DNAEncoder(FAST).encode(data)
+        decoded, report = DNADecoder(FAST).decode(pool.references)
+        assert decoded == data
+        assert report.success
+
+    def test_empty_input(self):
+        decoded, report = DNADecoder(FAST).decode([])
+        assert decoded == b""
+        assert not report.success
+
+
+class TestParameterValidation:
+    def test_too_many_columns(self):
+        with pytest.raises(ValueError):
+            EncodingParameters(data_columns=250, parity_columns=20)
+
+    def test_non_positive_payload(self):
+        with pytest.raises(ValueError):
+            EncodingParameters(payload_bytes=0)
+
+    def test_index_capacity_enforced(self):
+        tiny = EncodingParameters(
+            payload_bytes=1, data_columns=2, parity_columns=2, index_bytes=1
+        )
+        encoder = DNAEncoder(tiny)
+        with pytest.raises(ValueError, match="index"):
+            encoder.encode(bytes(1000))
+
+    def test_randomization_changes_strands(self):
+        data = bytes(64)
+        plain = EncodingParameters(
+            payload_bytes=10, data_columns=12, parity_columns=6, randomize=False
+        )
+        whitened = EncodingParameters(
+            payload_bytes=10, data_columns=12, parity_columns=6, randomize=True
+        )
+        pool_plain = DNAEncoder(plain).encode(data)
+        pool_whitened = DNAEncoder(whitened).encode(data)
+        assert pool_plain.references != pool_whitened.references
+        decoded, _ = DNADecoder(whitened).decode(pool_whitened.references)
+        assert decoded == data

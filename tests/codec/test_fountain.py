@@ -1,0 +1,135 @@
+"""Tests for the DNA-Fountain-style LT codec."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.fountain import Droplet, FountainCodec, robust_soliton
+
+
+class TestRobustSoliton:
+    def test_is_a_distribution(self):
+        for k in (1, 5, 50, 500):
+            weights = robust_soliton(k)
+            assert len(weights) == k + 1
+            assert weights[0] == 0.0
+            assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+            assert all(w >= 0 for w in weights)
+
+    def test_degree_one_mass_positive(self):
+        # The peeling decoder needs degree-1 droplets to get started.
+        weights = robust_soliton(100)
+        assert weights[1] > 0.01
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            robust_soliton(0)
+
+
+class TestBlocks:
+    @given(st.binary(max_size=400))
+    def test_split_join_roundtrip(self, data):
+        codec = FountainCodec(block_bytes=16)
+        assert codec.join_blocks(codec.split_blocks(data)) == data
+
+    def test_blocks_equal_size(self):
+        codec = FountainCodec(block_bytes=16)
+        blocks = codec.split_blocks(bytes(100))
+        assert all(len(block) == 16 for block in blocks)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            FountainCodec(block_bytes=0)
+
+
+class TestEncodeDecode:
+    @settings(max_examples=15)
+    @given(st.binary(min_size=1, max_size=500))
+    def test_roundtrip(self, data):
+        codec = FountainCodec(block_bytes=16)
+        blocks = codec.split_blocks(data)
+        droplets = codec.encode(data, overhead=2.0)
+        assert codec.decode(droplets, len(blocks)) == data
+
+    def test_rateless_robust_to_droplet_loss(self):
+        data = bytes(range(256)) * 2
+        codec = FountainCodec(block_bytes=16)
+        blocks = codec.split_blocks(data)
+        droplets = codec.encode(data, overhead=2.5)
+        rng = random.Random(5)
+        survivors = [d for d in droplets if rng.random() > 0.25]
+        assert codec.decode(survivors, len(blocks)) == data
+
+    def test_insufficient_droplets_raise(self):
+        data = bytes(200)
+        codec = FountainCodec(block_bytes=16)
+        blocks = codec.split_blocks(data)
+        droplets = codec.encode(data, overhead=1.5)[:3]
+        with pytest.raises(ValueError, match="insufficient"):
+            codec.decode(droplets, len(blocks))
+
+    def test_damaged_droplets_skipped(self):
+        data = bytes(range(128))
+        codec = FountainCodec(block_bytes=16)
+        blocks = codec.split_blocks(data)
+        droplets = codec.encode(data, overhead=2.5)
+        droplets.append(Droplet(seed=9999, payload=b"short"))
+        assert codec.decode(droplets, len(blocks)) == data
+
+    def test_droplets_deterministic_in_seed(self):
+        data = bytes(range(64))
+        codec = FountainCodec(block_bytes=16)
+        blocks = codec.split_blocks(data)
+        assert codec.make_droplet(blocks, 7) == codec.make_droplet(blocks, 7)
+
+    def test_overhead_validation(self):
+        with pytest.raises(ValueError):
+            FountainCodec().encode(b"x", overhead=0.5)
+
+    def test_seed_range_validation(self):
+        codec = FountainCodec()
+        with pytest.raises(ValueError):
+            codec.make_droplet([b"x" * 32], 2**32)
+
+
+class TestStrandSerialisation:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip(self, seed):
+        codec = FountainCodec(block_bytes=8)
+        droplet = Droplet(seed=seed, payload=bytes(range(8)))
+        strand = codec.droplet_to_strand(droplet)
+        assert len(strand) == codec.strand_nt
+        assert codec.strand_to_droplet(strand) == droplet
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            FountainCodec(block_bytes=8).strand_to_droplet("ACGT")
+
+    def test_damaged_strand_rejected_by_checksum(self):
+        codec = FountainCodec(block_bytes=8)
+        strand = codec.droplet_to_strand(Droplet(seed=5, payload=bytes(8)))
+        flipped = ("C" if strand[10] != "C" else "G")
+        damaged = strand[:10] + flipped + strand[11:]
+        with pytest.raises(ValueError, match="checksum"):
+            codec.strand_to_droplet(damaged)
+
+    def test_crc_is_stable(self):
+        from repro.codec.fountain import crc16
+
+        assert crc16(b"123456789") == 0x29B1  # CRC-16/CCITT-FALSE check value
+        assert crc16(b"") == 0xFFFF
+
+    def test_end_to_end_through_strands(self):
+        data = b"fountain codes are rateless!" * 3
+        codec = FountainCodec(block_bytes=12)
+        blocks = codec.split_blocks(data)
+        strands = [
+            codec.droplet_to_strand(d) for d in codec.encode(data, overhead=2.2)
+        ]
+        recovered = codec.decode(
+            [codec.strand_to_droplet(s) for s in strands], len(blocks)
+        )
+        assert recovered == data

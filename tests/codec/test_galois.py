@@ -1,0 +1,101 @@
+"""Field-axiom tests for GF(256)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.galois import GF256
+
+field = GF256()
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+polys = st.lists(elements, min_size=1, max_size=12)
+
+
+class TestScalarArithmetic:
+    @given(elements, elements)
+    def test_add_is_xor_and_self_inverse(self, a, b):
+        total = GF256.add(a, b)
+        assert GF256.add(total, b) == a
+
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert field.mul(a, b) == field.mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        left = field.mul(a, GF256.add(b, c))
+        right = GF256.add(field.mul(a, b), field.mul(a, c))
+        assert left == right
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert field.mul(a, field.inverse(a)) == 1
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert field.mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert field.mul(a, 0) == 0
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            field.div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            field.inverse(0)
+
+    @given(nonzero, nonzero)
+    def test_div_inverts_mul(self, a, b):
+        assert field.div(field.mul(a, b), b) == a
+
+    @given(nonzero, st.integers(min_value=-300, max_value=300))
+    def test_power_consistent_with_repeated_mul(self, base, exponent):
+        expected = 1
+        if exponent >= 0:
+            for _ in range(exponent):
+                expected = field.mul(expected, base)
+        else:
+            inverse = field.inverse(base)
+            for _ in range(-exponent):
+                expected = field.mul(expected, inverse)
+        assert field.power(base, exponent) == expected
+
+
+class TestPolynomialArithmetic:
+    @given(polys, elements)
+    def test_scale_evaluates_consistently(self, poly, point):
+        scaled = field.poly_scale(poly, 7)
+        assert field.poly_eval(scaled, point) == field.mul(
+            7, field.poly_eval(poly, point)
+        )
+
+    @given(polys, polys, elements)
+    def test_mul_evaluates_consistently(self, a, b, point):
+        product = field.poly_mul(a, b)
+        assert field.poly_eval(product, point) == field.mul(
+            field.poly_eval(a, point), field.poly_eval(b, point)
+        )
+
+    @given(polys, polys, elements)
+    def test_add_evaluates_consistently(self, a, b, point):
+        total = GF256.poly_add(a, b)
+        assert field.poly_eval(total, point) == GF256.add(
+            field.poly_eval(a, point), field.poly_eval(b, point)
+        )
+
+    @given(polys)
+    def test_divmod_remainder_degree(self, dividend):
+        divisor = [1, 7, 11]
+        padded = list(dividend) + [0, 0]
+        remainder = field.poly_divmod(padded, divisor)
+        assert len(remainder) == len(divisor) - 1
+
+    def test_horner_known_value(self):
+        # p(x) = x^2 + 1 at x = 2 -> 4 ^ 1 = 5 in GF(256)
+        assert field.poly_eval([1, 0, 1], 2) == 5

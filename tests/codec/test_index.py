@@ -1,0 +1,54 @@
+"""Tests for the molecule index codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.index import IndexCodec
+from repro.codec.randomizer import Randomizer
+
+
+class TestIndexCodec:
+    @given(st.integers(min_value=0, max_value=256**3 - 1))
+    def test_roundtrip(self, index):
+        codec = IndexCodec(3)
+        assert codec.decode(codec.encode(index)) == index
+
+    @given(st.integers(min_value=0, max_value=256**2 - 1))
+    def test_whitened_roundtrip(self, index):
+        codec = IndexCodec(2, randomizer=Randomizer(seed=77))
+        assert codec.decode(codec.encode(index)) == index
+
+    def test_whitening_changes_encoding(self):
+        plain = IndexCodec(3)
+        whitened = IndexCodec(3, randomizer=Randomizer(seed=77))
+        assert plain.encode(0) != whitened.encode(0)
+
+    def test_whitening_kills_homopolymer_prefix(self):
+        # Index 0 must not encode as AAAAAAAAAAAA.
+        whitened = IndexCodec(3, randomizer=Randomizer(seed=77))
+        assert whitened.encode(0) != "A" * 12
+
+    def test_out_of_range_raises(self):
+        codec = IndexCodec(1)
+        with pytest.raises(ValueError):
+            codec.encode(256)
+        with pytest.raises(ValueError):
+            codec.encode(-1)
+
+    def test_nt_width(self):
+        assert IndexCodec(3).index_nt == 12
+        assert IndexCodec(3).capacity == 256**3
+
+    def test_decode_short_sequence_raises(self):
+        with pytest.raises(ValueError):
+            IndexCodec(3).decode("ACGT")
+
+    def test_decode_uses_prefix_only(self):
+        codec = IndexCodec(2)
+        encoded = codec.encode(1234)
+        assert codec.decode(encoded + "ACGTACGT") == 1234
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(ValueError):
+            IndexCodec(0)

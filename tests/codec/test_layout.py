@@ -1,0 +1,129 @@
+"""Tests for the Baseline/Gini/DNAMapper matrix layouts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.layout import (
+    BaselineLayout,
+    DNAMapperLayout,
+    GiniLayout,
+    make_layout,
+)
+
+
+def matrices(min_rows=1, max_rows=12, min_cols=1, max_cols=12):
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda rows: st.integers(min_cols, max_cols).flatmap(
+            lambda cols: st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=255),
+                    min_size=cols,
+                    max_size=cols,
+                ),
+                min_size=rows,
+                max_size=rows,
+            )
+        )
+    )
+
+
+class TestRoundTrips:
+    @given(matrices())
+    def test_baseline_inverse(self, codewords):
+        layout = BaselineLayout()
+        assert layout.extract(layout.place(codewords)) == [
+            list(row) for row in codewords
+        ]
+
+    @given(matrices())
+    def test_gini_inverse(self, codewords):
+        layout = GiniLayout()
+        assert layout.extract(layout.place(codewords)) == [
+            list(row) for row in codewords
+        ]
+
+    @given(matrices(min_rows=2, max_rows=8))
+    def test_dnamapper_inverse(self, codewords):
+        reliability = list(range(len(codewords)))[::-1]
+        layout = DNAMapperLayout(reliability)
+        assert layout.extract(layout.place(codewords)) == [
+            list(row) for row in codewords
+        ]
+
+
+class TestGiniProperties:
+    def test_diagonal_placement(self):
+        codewords = [[10, 11, 12], [20, 21, 22], [30, 31, 32]]
+        matrix = GiniLayout().place(codewords)
+        # Byte j of codeword i lives at row (i + j) % R.
+        for i in range(3):
+            for j in range(3):
+                assert matrix[(i + j) % 3][j] == codewords[i][j]
+
+    def test_every_codeword_visits_every_row(self):
+        rows, cols = 5, 5
+        codewords = [[100 * i + j for j in range(cols)] for i in range(rows)]
+        matrix = GiniLayout().place(codewords)
+        for i in range(rows):
+            rows_visited = set()
+            for j in range(cols):
+                for r in range(rows):
+                    if matrix[r][j] == codewords[i][j]:
+                        rows_visited.add(r)
+                        break
+            assert rows_visited == set(range(rows))
+
+    @given(matrices())
+    def test_place_is_permutation(self, codewords):
+        from collections import Counter
+
+        matrix = GiniLayout().place(codewords)
+        original = Counter(x for row in codewords for x in row)
+        placed = Counter(x for row in matrix for x in row)
+        assert original == placed
+
+
+class TestDNAMapper:
+    def test_priority_on_most_reliable_row(self):
+        codewords = [[1, 1], [2, 2], [3, 3]]
+        # Row 2 most reliable, then 0, then 1.
+        layout = DNAMapperLayout([0.5, 0.1, 0.9])
+        matrix = layout.place(codewords)
+        assert matrix[2] == [1, 1]  # highest priority -> most reliable
+        assert matrix[0] == [2, 2]
+        assert matrix[1] == [3, 3]
+
+    def test_identity_without_profile(self):
+        codewords = [[1], [2]]
+        assert DNAMapperLayout().place(codewords) == codewords
+
+    def test_profile_size_mismatch_raises(self):
+        layout = DNAMapperLayout([1.0, 2.0])
+        with pytest.raises(ValueError):
+            layout.place([[1], [2], [3]])
+
+
+class TestValidation:
+    def test_empty_matrix_raises(self):
+        with pytest.raises(ValueError):
+            BaselineLayout().place([])
+
+    def test_ragged_matrix_raises(self):
+        with pytest.raises(ValueError):
+            GiniLayout().place([[1, 2], [3]])
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(ValueError):
+            GiniLayout().place([[], []])
+
+
+class TestFactory:
+    def test_make_layout(self):
+        assert make_layout("baseline").name == "baseline"
+        assert make_layout("gini").name == "gini"
+        assert make_layout("dnamapper").name == "dnamapper"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_layout("zigzag")

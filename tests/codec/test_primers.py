@@ -1,0 +1,66 @@
+"""Tests for primer library design."""
+
+import random
+
+import pytest
+
+from repro.codec.primers import PrimerPair, design_primer_library
+from repro.dna.alphabet import reverse_complement
+from repro.dna.distance import hamming_distance
+from repro.dna.sequence import gc_content, max_homopolymer
+
+
+class TestPrimerPair:
+    def test_tag_structure(self):
+        pair = PrimerPair(forward="AAAA", reverse="CCCC")
+        assert pair.tag("GGTT") == "AAAA" + "GGTT" + reverse_complement("CCCC")
+
+    def test_payload_slice_inverts_tag(self):
+        pair = PrimerPair(forward="ACGTACGT", reverse="TTGGCCAA")
+        assert pair.payload_slice(pair.tag("GATTACA")) == "GATTACA"
+
+
+class TestDesign:
+    def test_constraints_hold(self):
+        pairs = design_primer_library(
+            3, length=20, min_distance=8, rng=random.Random(5)
+        )
+        primers = [p.forward for p in pairs] + [p.reverse for p in pairs]
+        assert len(primers) == 6
+        for primer in primers:
+            assert len(primer) == 20
+            assert 0.4 <= gc_content(primer) <= 0.6
+            assert max_homopolymer(primer) <= 3
+        for i, a in enumerate(primers):
+            for b in primers[i + 1 :]:
+                assert hamming_distance(a, b) >= 8
+                assert hamming_distance(reverse_complement(a), b) >= 8
+
+    def test_self_reverse_complement_distance(self):
+        pairs = design_primer_library(2, rng=random.Random(5))
+        for pair in pairs:
+            for primer in (pair.forward, pair.reverse):
+                assert hamming_distance(primer, reverse_complement(primer)) >= 8
+
+    def test_deterministic_under_seed(self):
+        a = design_primer_library(2, rng=random.Random(1))
+        b = design_primer_library(2, rng=random.Random(1))
+        assert a == b
+
+    def test_zero_pairs_raises(self):
+        with pytest.raises(ValueError):
+            design_primer_library(0)
+
+    def test_impossible_distance_raises(self):
+        with pytest.raises(ValueError):
+            design_primer_library(1, length=5, min_distance=10)
+
+    def test_infeasible_constraints_exhaust_attempts(self):
+        with pytest.raises(RuntimeError):
+            design_primer_library(
+                50,
+                length=8,
+                min_distance=8,
+                rng=random.Random(0),
+                max_attempts=200,
+            )

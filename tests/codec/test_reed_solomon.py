@@ -1,0 +1,129 @@
+"""Reed-Solomon errors+erasures decoding tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.reed_solomon import ReedSolomonCodec, RSDecodeError
+
+codec16 = ReedSolomonCodec(nsym=16)
+messages = st.lists(
+    st.integers(min_value=0, max_value=255), min_size=1, max_size=200
+)
+
+
+class TestEncode:
+    def test_systematic_prefix(self):
+        message = [1, 2, 3, 4, 5]
+        codeword = codec16.encode(message)
+        assert codeword[:5] == message
+        assert len(codeword) == 5 + 16
+
+    def test_codeword_checks_clean(self):
+        assert codec16.check(codec16.encode([9] * 30))
+
+    def test_too_long_raises(self):
+        with pytest.raises(ValueError):
+            codec16.encode([0] * 240)
+
+    def test_invalid_symbol_raises(self):
+        with pytest.raises(ValueError):
+            codec16.encode([256])
+
+    def test_invalid_nsym(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCodec(nsym=0)
+        with pytest.raises(ValueError):
+            ReedSolomonCodec(nsym=255)
+
+
+class TestDecode:
+    @given(messages)
+    def test_clean_roundtrip(self, message):
+        assert codec16.decode(codec16.encode(message)) == message
+
+    @given(messages, st.data())
+    def test_corrects_up_to_half_nsym_errors(self, message, data):
+        codeword = codec16.encode(message)
+        error_count = data.draw(st.integers(min_value=1, max_value=8))
+        positions = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(codeword) - 1),
+                min_size=error_count,
+                max_size=error_count,
+                unique=True,
+            )
+        )
+        corrupted = list(codeword)
+        for position in positions:
+            corrupted[position] ^= data.draw(st.integers(min_value=1, max_value=255))
+        assert codec16.decode(corrupted) == message
+
+    @given(messages, st.data())
+    def test_corrects_up_to_nsym_erasures(self, message, data):
+        codeword = codec16.encode(message)
+        erasure_count = data.draw(st.integers(min_value=1, max_value=16))
+        positions = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(codeword) - 1),
+                min_size=erasure_count,
+                max_size=erasure_count,
+                unique=True,
+            )
+        )
+        corrupted = list(codeword)
+        for position in positions:
+            corrupted[position] = data.draw(st.integers(min_value=0, max_value=255))
+        assert codec16.decode(corrupted, erasures=positions) == message
+
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_mixed_errata_within_capability(self, data):
+        rng = random.Random(data.draw(st.integers(0, 10_000)))
+        message = [rng.randrange(256) for _ in range(rng.randint(1, 150))]
+        codeword = codec16.encode(message)
+        erasures = rng.randint(0, 16)
+        errors = rng.randint(0, (16 - erasures) // 2)
+        positions = rng.sample(range(len(codeword)), erasures + errors)
+        corrupted = list(codeword)
+        for position in positions[:erasures]:
+            corrupted[position] = rng.randrange(256)
+        for position in positions[erasures:]:
+            corrupted[position] ^= rng.randrange(1, 256)
+        assert codec16.decode(corrupted, erasures=positions[:erasures]) == message
+
+    def test_too_many_erasures_raises(self):
+        codeword = codec16.encode([1] * 20)
+        with pytest.raises(RSDecodeError):
+            codec16.decode(codeword, erasures=list(range(17)))
+
+    def test_beyond_capability_raises_or_mismatches(self):
+        codec = ReedSolomonCodec(nsym=4)
+        message = list(range(50))
+        corrupted = list(codec.encode(message))
+        for position in (0, 10, 20):
+            corrupted[position] ^= 0x55
+        try:
+            decoded = codec.decode(corrupted)
+        except RSDecodeError:
+            return  # detected, the desired outcome
+        assert decoded != message  # miscorrection is possible but never silent success
+
+    def test_erasure_position_out_of_range(self):
+        codeword = codec16.encode([1, 2, 3])
+        with pytest.raises(ValueError):
+            codec16.decode(codeword, erasures=[99])
+
+    def test_codeword_shorter_than_parity_raises(self):
+        with pytest.raises(ValueError):
+            codec16.decode([0] * 10)
+
+    def test_erasure_values_are_ignored(self):
+        message = [42] * 30
+        codeword = codec16.encode(message)
+        corrupted = list(codeword)
+        corrupted[3] = 0
+        corrupted[7] = 255
+        assert codec16.decode(corrupted, erasures=[3, 7]) == message

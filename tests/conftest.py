@@ -1,0 +1,22 @@
+"""Shared fixtures and hypothesis configuration."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Property tests exercise algorithmic code whose runtime varies widely per
+# example; wall-clock deadlines only produce flaky failures there.
+settings.register_profile(
+    "toolkit",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("toolkit")
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator per test."""
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,75 @@
+"""Tests for Needleman-Wunsch alignment and edit scripts."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dna.alignment import NWAligner, align_pair, edit_operations
+from repro.dna.distance import levenshtein_distance
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=50)
+
+
+class TestAlignPair:
+    def test_identical(self):
+        ref, query = align_pair("ACGT", "ACGT")
+        assert ref == query == "ACGT"
+
+    def test_gap_placement_deletion(self):
+        ref, query = align_pair("ACGT", "ACT")
+        assert ref.replace("-", "") == "ACGT"
+        assert query.replace("-", "") == "ACT"
+        assert len(ref) == len(query)
+
+    @given(dna, dna)
+    def test_alignment_preserves_strings(self, a, b):
+        ref, query = align_pair(a, b)
+        assert ref.replace("-", "") == a
+        assert query.replace("-", "") == b
+        assert len(ref) == len(query)
+
+    @given(dna, dna)
+    def test_no_double_gap_columns(self, a, b):
+        ref, query = align_pair(a, b)
+        assert all(not (r == "-" and q == "-") for r, q in zip(ref, query))
+
+
+class TestScore:
+    def test_unit_cost_score_matches_edit_distance(self):
+        # With match=0, mismatch=-1, gap=-1 the negated optimal score is
+        # exactly the Levenshtein distance.
+        aligner = NWAligner(match=0, mismatch=-1, gap=-1)
+        for a, b in [("ACGT", "AGT"), ("AAAA", "TTTT"), ("GATTACA", "GCATGCT")]:
+            _, _, score = aligner.align(a, b)
+            assert -score == levenshtein_distance(a, b)
+
+    @given(dna, dna)
+    def test_unit_cost_property(self, a, b):
+        aligner = NWAligner(match=0, mismatch=-1, gap=-1)
+        _, _, score = aligner.align(a, b)
+        assert -score == levenshtein_distance(a, b)
+
+
+class TestEditOperations:
+    @given(dna, dna)
+    def test_script_transforms_reference_into_query(self, a, b):
+        result = []
+        for op in edit_operations(a, b):
+            if op.kind in ("match", "sub", "ins"):
+                result.append(op.query_base if op.kind != "match" else op.ref_base)
+        assert "".join(result) == b
+
+    @given(dna, dna)
+    def test_ref_positions_are_monotone(self, a, b):
+        positions = [op.ref_pos for op in edit_operations(a, b)]
+        assert positions == sorted(positions)
+
+    @given(dna)
+    def test_identity_script_is_all_matches(self, a):
+        assert all(op.kind == "match" for op in edit_operations(a, a))
+
+    @given(dna, dna)
+    def test_edit_count_bounded_by_distance(self, a, b):
+        # The NW default scoring may not minimise raw edit count, but the
+        # script's non-match ops can never beat the true edit distance.
+        edits = sum(1 for op in edit_operations(a, b) if op.kind != "match")
+        assert edits >= levenshtein_distance(a, b)

@@ -1,0 +1,79 @@
+"""Tests for the DNA alphabet primitives."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dna.alphabet import (
+    BASES,
+    BASE_TO_INDEX,
+    complement,
+    is_dna,
+    random_sequence,
+    reverse_complement,
+)
+
+dna = st.text(alphabet=BASES, max_size=200)
+
+
+class TestIsDna:
+    def test_accepts_valid(self):
+        assert is_dna("ACGTACGT")
+
+    def test_accepts_empty(self):
+        assert is_dna("")
+
+    def test_rejects_other_letters(self):
+        assert not is_dna("ACGU")
+
+    def test_rejects_lowercase(self):
+        assert not is_dna("acgt")
+
+
+class TestComplement:
+    def test_known_pairs(self):
+        assert complement("ACGT") == "TGCA"
+
+    @given(dna)
+    def test_involution(self, sequence):
+        assert complement(complement(sequence)) == sequence
+
+    @given(dna)
+    def test_reverse_complement_involution(self, sequence):
+        assert reverse_complement(reverse_complement(sequence)) == sequence
+
+    @given(dna)
+    def test_reverse_complement_is_reversed_complement(self, sequence):
+        assert reverse_complement(sequence) == complement(sequence)[::-1]
+
+    @given(dna)
+    def test_preserves_alphabet(self, sequence):
+        assert is_dna(reverse_complement(sequence))
+
+
+class TestRandomSequence:
+    def test_length(self, rng):
+        assert len(random_sequence(137, rng)) == 137
+
+    def test_zero_length(self, rng):
+        assert random_sequence(0, rng) == ""
+
+    def test_negative_length_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_sequence(-1, rng)
+
+    def test_deterministic_under_seed(self):
+        a = random_sequence(50, random.Random(7))
+        b = random_sequence(50, random.Random(7))
+        assert a == b
+
+    def test_uses_all_bases_eventually(self, rng):
+        sequence = random_sequence(500, rng)
+        assert set(sequence) == set(BASES)
+
+
+def test_base_index_tables_are_inverse():
+    for base, index in BASE_TO_INDEX.items():
+        assert BASES[index] == base

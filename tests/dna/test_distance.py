@@ -1,0 +1,117 @@
+"""Tests for distance metrics, including banded Levenshtein correctness."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dna.distance import (
+    hamming_distance,
+    levenshtein_distance,
+    prefix_edit_distance,
+)
+
+dna = st.text(alphabet="ACGT", max_size=60)
+
+
+def reference_levenshtein(left: str, right: str) -> int:
+    """Textbook O(nm) implementation used as the oracle."""
+    previous = list(range(len(right) + 1))
+    for i, a in enumerate(left, start=1):
+        current = [i]
+        for j, b in enumerate(right, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (a != b),
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+class TestHamming:
+    def test_zero_on_equal(self):
+        assert hamming_distance("ACGT", "ACGT") == 0
+
+    def test_counts_mismatches(self):
+        assert hamming_distance("AAAA", "ATAT") == 2
+
+    def test_raises_on_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance("A", "AA")
+
+    @given(dna, dna)
+    def test_symmetry(self, a, b):
+        if len(a) != len(b):
+            return
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+
+class TestLevenshtein:
+    @given(dna, dna)
+    def test_matches_reference(self, a, b):
+        assert levenshtein_distance(a, b) == reference_levenshtein(a, b)
+
+    @given(dna, dna)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(dna)
+    def test_identity(self, a):
+        assert levenshtein_distance(a, a) == 0
+
+    @given(dna, dna, dna)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(dna, dna, st.integers(min_value=0, max_value=70))
+    def test_banded_agrees_within_bound(self, a, b, bound):
+        exact = reference_levenshtein(a, b)
+        banded = levenshtein_distance(a, b, bound=bound)
+        if exact <= bound:
+            assert banded == exact
+        else:
+            assert banded == bound + 1
+
+    def test_negative_bound_raises(self):
+        with pytest.raises(ValueError):
+            levenshtein_distance("A", "C", bound=-1)
+
+    def test_empty_strings(self):
+        assert levenshtein_distance("", "ACGT") == 4
+        assert levenshtein_distance("", "") == 0
+
+
+class TestPrefixEditDistance:
+    def test_exact_prefix(self):
+        distance, end = prefix_edit_distance("ACGT", "ACGTTTTT")
+        assert distance == 0
+        assert end == 4
+
+    def test_empty_pattern(self):
+        assert prefix_edit_distance("", "ACGT") == (0, 0)
+
+    def test_insertion_shifts_end(self):
+        # Pattern appears with one inserted base inside.
+        distance, end = prefix_edit_distance("ACGT", "ACTGTAAA")
+        assert distance == 1
+        assert end == 5
+
+    def test_deletion_shortens_end(self):
+        distance, end = prefix_edit_distance("ACGT", "AGTCCCC")
+        assert distance == 1
+        assert end == 3
+
+    @given(dna, dna)
+    def test_never_worse_than_whole_text(self, pattern, text):
+        distance, end = prefix_edit_distance(pattern, text)
+        assert 0 <= end <= len(text)
+        assert distance <= reference_levenshtein(pattern, text)
+
+    @given(dna)
+    def test_self_prefix_is_free(self, pattern):
+        distance, end = prefix_edit_distance(pattern, pattern + "ACGT")
+        assert distance == 0

@@ -1,0 +1,68 @@
+"""Tests for fastq I/O."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dna.fastq import FastqRecord, parse_fastq, read_fastq, write_fastq
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=60)
+
+
+class TestFastqRecord:
+    def test_quality_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            FastqRecord("r1", "ACGT", [40, 40])
+
+    def test_mean_quality(self):
+        record = FastqRecord("r1", "ACGT", [10, 20, 30, 40])
+        assert record.mean_quality() == 25.0
+
+    def test_mean_quality_empty(self):
+        assert FastqRecord("r1", "ACGT").mean_quality() == 0.0
+
+
+class TestRoundTrip:
+    @given(st.lists(dna, min_size=1, max_size=10))
+    def test_write_then_parse(self, sequences):
+        records = [
+            FastqRecord(f"read{i}", sequence, [40] * len(sequence))
+            for i, sequence in enumerate(sequences)
+        ]
+        buffer = io.StringIO()
+        write_fastq(records, buffer)
+        parsed = list(parse_fastq(io.StringIO(buffer.getvalue())))
+        assert [r.sequence for r in parsed] == sequences
+        assert [r.identifier for r in parsed] == [r.identifier for r in records]
+        assert all(r.qualities == [40] * len(r.sequence) for r in parsed)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "reads.fastq"
+        records = [FastqRecord("a", "ACGT", [1, 2, 3, 4])]
+        write_fastq(records, path)
+        loaded = read_fastq(path)
+        assert loaded == records
+
+
+class TestMalformed:
+    def test_missing_at(self):
+        with pytest.raises(ValueError, match="header"):
+            list(parse_fastq(["read1\n", "ACGT\n", "+\n", "IIII\n"]))
+
+    def test_truncated_record(self):
+        with pytest.raises(ValueError, match="truncated"):
+            list(parse_fastq(["@read1\n", "ACGT\n"]))
+
+    def test_bad_separator(self):
+        with pytest.raises(ValueError, match=r"\+"):
+            list(parse_fastq(["@r\n", "ACGT\n", "x\n", "IIII\n"]))
+
+    def test_quality_length_mismatch(self):
+        with pytest.raises(ValueError, match="quality"):
+            list(parse_fastq(["@r\n", "ACGT\n", "+\n", "II\n"]))
+
+    def test_blank_lines_skipped(self):
+        records = list(parse_fastq(["\n", "@r\n", "AC\n", "+\n", "II\n", "\n"]))
+        assert len(records) == 1

@@ -1,0 +1,97 @@
+"""Tests for partial-order alignment and consensus."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dna.alphabet import random_sequence
+from repro.dna.distance import levenshtein_distance
+from repro.dna.poa import PartialOrderGraph, poa_consensus
+from repro.simulation.iid import IIDChannel
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+class TestGraphConstruction:
+    def test_single_sequence_is_a_chain(self):
+        graph = PartialOrderGraph()
+        graph.add_sequence("ACGT")
+        assert graph.bases == list("ACGT")
+        assert graph.topological_order() == [0, 1, 2, 3]
+
+    def test_identical_sequences_fuse(self):
+        graph = PartialOrderGraph()
+        graph.add_sequence("ACGT")
+        graph.add_sequence("ACGT")
+        assert len(graph.bases) == 4
+        assert len(graph.paths) == 2
+
+    def test_substitution_branches_within_group(self):
+        graph = PartialOrderGraph()
+        graph.add_sequence("ACGT")
+        graph.add_sequence("ATGT")
+        # One extra node for the substituted base, same aligned group.
+        assert len(graph.bases) == 5
+        groups = {graph.group_of[node] for node in range(len(graph.bases))}
+        assert len(groups) == 4
+
+    def test_empty_sequence_raises(self):
+        graph = PartialOrderGraph()
+        with pytest.raises(ValueError):
+            graph.add_sequence("")
+
+    @given(st.lists(dna, min_size=1, max_size=6))
+    def test_graph_is_acyclic(self, sequences):
+        graph = PartialOrderGraph()
+        for sequence in sequences:
+            graph.add_sequence(sequence)
+        order = graph.topological_order()
+        assert len(order) == len(graph.bases)
+
+
+class TestConsensus:
+    def test_consensus_of_identical_reads(self):
+        assert poa_consensus(["ACGTACGT"] * 5) == "ACGTACGT"
+
+    def test_consensus_outvotes_substitution(self):
+        reads = ["ACGTACGT", "ACGAACGT", "ACGTACGT"]
+        assert poa_consensus(reads) == "ACGTACGT"
+
+    def test_consensus_outvotes_deletion(self):
+        reads = ["ACGTACGT", "ACGACGT", "ACGTACGT"]
+        assert poa_consensus(reads) == "ACGTACGT"
+
+    def test_consensus_outvotes_insertion(self):
+        reads = ["ACGTACGT", "ACGTTACGT", "ACGTACGT"]
+        assert poa_consensus(reads) == "ACGTACGT"
+
+    def test_expected_length_trims(self):
+        reads = ["ACGTTACGT", "ACGTTACGT", "ACGTACGT"]
+        consensus = poa_consensus(reads, expected_length=8)
+        assert len(consensus) <= 9
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ValueError):
+            poa_consensus([])
+
+    def test_all_empty_reads_raise(self):
+        with pytest.raises(ValueError):
+            poa_consensus(["", ""])
+
+    def test_single_read_consensus_is_the_read(self):
+        assert poa_consensus(["GATTACA"]) == "GATTACA"
+
+    def test_noisy_cluster_recovers_reference(self):
+        rng = random.Random(3)
+        channel = IIDChannel(p_ins=0.02, p_del=0.02, p_sub=0.02)
+        reference = random_sequence(80, rng)
+        reads = [channel.transmit(reference, rng) for _ in range(12)]
+        consensus = poa_consensus(reads, expected_length=80)
+        assert levenshtein_distance(consensus, reference) <= 2
+
+    @given(st.lists(dna, min_size=1, max_size=5))
+    def test_consensus_is_dna(self, sequences):
+        consensus = poa_consensus(sequences)
+        assert set(consensus) <= set("ACGT")

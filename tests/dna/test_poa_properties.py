@@ -1,0 +1,87 @@
+"""Structural property tests for the partial-order alignment graph."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.alphabet import random_sequence
+from repro.dna.poa import PartialOrderGraph, poa_consensus
+from repro.simulation.iid import IIDChannel
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=30)
+
+
+class TestGraphInvariants:
+    @given(st.lists(dna, min_size=1, max_size=5))
+    def test_paths_traverse_edges(self, sequences):
+        graph = PartialOrderGraph()
+        for sequence in sequences:
+            graph.add_sequence(sequence)
+        for path in graph.paths:
+            for src, dst in zip(path, path[1:]):
+                assert dst in graph.succs[src]
+                assert src in graph.preds[dst]
+
+    @given(st.lists(dna, min_size=1, max_size=5))
+    def test_path_spells_its_read(self, sequences):
+        graph = PartialOrderGraph()
+        for sequence in sequences:
+            graph.add_sequence(sequence)
+        for sequence, path in zip(sequences, graph.paths):
+            assert "".join(graph.bases[node] for node in path) == sequence
+
+    @given(st.lists(dna, min_size=1, max_size=5))
+    def test_columns_partition_nodes(self, sequences):
+        graph = PartialOrderGraph()
+        for sequence in sequences:
+            graph.add_sequence(sequence)
+        seen = []
+        for column in graph.columns():
+            seen.extend(column)
+        assert sorted(seen) == list(range(len(graph.bases)))
+
+    @given(st.lists(dna, min_size=1, max_size=5))
+    def test_column_members_have_distinct_bases(self, sequences):
+        graph = PartialOrderGraph()
+        for sequence in sequences:
+            graph.add_sequence(sequence)
+        for column in graph.columns():
+            bases = [graph.bases[node] for node in column]
+            assert len(bases) == len(set(bases))
+
+    @given(st.lists(dna, min_size=1, max_size=5))
+    def test_every_path_node_belongs_to_a_column(self, sequences):
+        # Note: a path may touch one aligned group more than once — POA
+        # groups are not strict antichains (spoa behaves the same) — so we
+        # assert membership, not uniqueness.
+        graph = PartialOrderGraph()
+        for sequence in sequences:
+            graph.add_sequence(sequence)
+        column_of = {}
+        for index, column in enumerate(graph.columns()):
+            for node in column:
+                column_of[node] = index
+        for path in graph.paths:
+            assert all(node in column_of for node in path)
+
+
+class TestConsensusProperties:
+    @settings(max_examples=20)
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_consensus_deterministic(self, seed):
+        rng = random.Random(seed)
+        channel = IIDChannel.from_total_rate(0.08)
+        reference = random_sequence(40, rng)
+        reads = [channel.transmit(reference, rng) for _ in range(5)]
+        reads = [read for read in reads if read] or [reference]
+        assert poa_consensus(reads, 40) == poa_consensus(reads, 40)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_trimming_never_exceeds_expected_length(self, seed):
+        rng = random.Random(seed)
+        channel = IIDChannel(p_ins=0.1, p_del=0.0, p_sub=0.02)
+        reference = random_sequence(40, rng)
+        reads = [channel.transmit(reference, rng) for _ in range(5)]
+        assert len(poa_consensus(reads, expected_length=40)) <= 40

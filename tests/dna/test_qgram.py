@@ -1,0 +1,84 @@
+"""Tests for q-gram and w-gram signatures."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
+
+dna = st.text(alphabet="ACGT", max_size=80)
+
+
+class TestSampleGrams:
+    def test_count_and_length(self, rng):
+        grams = sample_grams(10, 4, rng)
+        assert len(grams) == 10
+        assert all(len(g) == 4 for g in grams)
+        assert len(set(grams)) == 10
+
+    def test_too_many_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_grams(5, 1, rng)  # only 4 distinct 1-grams exist
+
+    def test_invalid_length(self, rng):
+        with pytest.raises(ValueError):
+            sample_grams(1, 0, rng)
+
+    def test_deterministic(self):
+        a = sample_grams(8, 3, random.Random(1))
+        b = sample_grams(8, 3, random.Random(1))
+        assert a == b
+
+
+class TestQGramSignature:
+    def test_presence_bits(self):
+        scheme = QGramSignature(["AC", "GG", "TT"])
+        signature = scheme.compute("ACGT")
+        assert signature.tolist() == [1, 0, 0]
+
+    def test_distance_is_hamming(self):
+        a = np.array([1, 0, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert QGramSignature.distance(a, b) == 2
+
+    def test_empty_grams_raise(self):
+        with pytest.raises(ValueError):
+            QGramSignature([])
+
+    @given(dna)
+    def test_self_distance_zero(self, sequence):
+        scheme = QGramSignature(sample_grams(16, 3, random.Random(0)))
+        signature = scheme.compute(sequence)
+        assert QGramSignature.distance(signature, signature) == 0
+
+
+class TestWGramSignature:
+    def test_positions(self):
+        scheme = WGramSignature(["AC", "GT", "CA"])
+        signature = scheme.compute("ACGT")
+        assert signature.tolist() == [0, 2, 4]  # CA absent -> sentinel len=4
+
+    def test_distance_is_l1(self):
+        a = np.array([0, 5, 10], dtype=np.int32)
+        b = np.array([2, 5, 4], dtype=np.int32)
+        assert WGramSignature.distance(a, b) == 8
+
+    @given(dna, dna)
+    def test_distance_symmetric(self, a, b):
+        scheme = WGramSignature(sample_grams(8, 3, random.Random(0)))
+        sig_a, sig_b = scheme.compute(a), scheme.compute(b)
+        assert WGramSignature.distance(sig_a, sig_b) == WGramSignature.distance(
+            sig_b, sig_a
+        )
+
+    @given(dna)
+    def test_first_occurrence_semantics(self, sequence):
+        grams = sample_grams(8, 2, random.Random(0))
+        scheme = WGramSignature(grams)
+        signature = scheme.compute(sequence)
+        for gram, position in zip(grams, signature.tolist()):
+            found = sequence.find(gram)
+            assert position == (len(sequence) if found < 0 else found)

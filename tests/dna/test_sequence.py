@@ -1,0 +1,71 @@
+"""Tests for sequence statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dna.sequence import gc_content, homopolymer_runs, kmers, max_homopolymer
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=100)
+
+
+class TestGCContent:
+    def test_balanced(self):
+        assert gc_content("ACGT") == 0.5
+
+    def test_all_gc(self):
+        assert gc_content("GGCC") == 1.0
+
+    def test_no_gc(self):
+        assert gc_content("ATAT") == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            gc_content("")
+
+    @given(dna)
+    def test_bounded(self, sequence):
+        assert 0.0 <= gc_content(sequence) <= 1.0
+
+
+class TestHomopolymerRuns:
+    def test_runs(self):
+        assert homopolymer_runs("AACGGG") == [("A", 2), ("C", 1), ("G", 3)]
+
+    def test_empty(self):
+        assert homopolymer_runs("") == []
+
+    @given(dna)
+    def test_runs_reconstruct_sequence(self, sequence):
+        rebuilt = "".join(base * length for base, length in homopolymer_runs(sequence))
+        assert rebuilt == sequence
+
+    @given(dna)
+    def test_adjacent_runs_differ(self, sequence):
+        runs = homopolymer_runs(sequence)
+        for (base_a, _), (base_b, _) in zip(runs, runs[1:]):
+            assert base_a != base_b
+
+    def test_max_homopolymer(self):
+        assert max_homopolymer("ACGTTTTA") == 4
+        assert max_homopolymer("") == 0
+
+
+class TestKmers:
+    def test_enumerates_all(self):
+        assert list(kmers("ACGT", 2)) == ["AC", "CG", "GT"]
+
+    def test_k_equal_length(self):
+        assert list(kmers("ACG", 3)) == ["ACG"]
+
+    def test_k_too_large(self):
+        assert list(kmers("AC", 3)) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            list(kmers("ACGT", 0))
+
+    @given(dna, st.integers(min_value=1, max_value=10))
+    def test_count(self, sequence, k):
+        expected = max(0, len(sequence) - k + 1)
+        assert len(list(kmers(sequence, k))) == expected

@@ -1,0 +1,100 @@
+"""End-to-end pipeline integration tests (small, fast configurations)."""
+
+import pytest
+
+from repro.codec import EncodingParameters, design_primer_library
+from repro.clustering import ClusteringConfig
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.reconstruction import BMAReconstructor, DoubleSidedBMAReconstructor
+from repro.simulation import ConstantCoverage, IIDChannel
+
+import random
+
+FAST_ENCODING = EncodingParameters(
+    payload_bytes=12, data_columns=16, parity_columns=8, index_bytes=2
+)
+FAST_CLUSTERING = ClusteringConfig(rounds=12, num_grams=48, seed=1)
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        encoding=FAST_ENCODING,
+        channel=IIDChannel.from_total_rate(0.04),
+        coverage=ConstantCoverage(8),
+        clustering=FAST_CLUSTERING,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+class TestEndToEnd:
+    def test_roundtrip(self):
+        data = b"end to end dna storage" * 10
+        result = Pipeline(fast_config()).run(data)
+        assert result.success
+        assert result.data == data
+
+    def test_stage_timings_populated(self):
+        result = Pipeline(fast_config()).run(b"timing check" * 5)
+        timings = result.timings.as_dict()
+        for stage in ("encoding", "simulation", "clustering", "reconstruction"):
+            assert timings[stage] > 0
+        assert timings["total"] == pytest.approx(
+            sum(v for k, v in timings.items() if k != "total")
+        )
+
+    def test_intermediate_artifacts_exposed(self):
+        result = Pipeline(fast_config()).run(b"artifacts" * 8)
+        assert result.sequencing is not None
+        assert result.clustering is not None
+        assert len(result.reconstructions) > 0
+        assert result.decode_report is not None
+
+    def test_alternative_reconstructors(self):
+        data = b"swappable stages!" * 6
+        for reconstructor in (BMAReconstructor(), DoubleSidedBMAReconstructor()):
+            result = Pipeline(fast_config(reconstructor=reconstructor)).run(data)
+            assert result.data == data
+
+    def test_primer_tagged_with_orientation_flips(self):
+        pair = design_primer_library(1, rng=random.Random(5))[0]
+        config = fast_config(
+            encoding=EncodingParameters(
+                payload_bytes=12,
+                data_columns=16,
+                parity_columns=8,
+                index_bytes=2,
+                primer_pair=pair,
+            ),
+            reverse_orientation_prob=0.5,
+        )
+        data = b"wetlab-realistic path" * 4
+        result = Pipeline(config).run(data)
+        assert result.data == data
+
+
+class TestRunFromReads:
+    def test_reads_replace_simulation(self):
+        data = b"external reads" * 6
+        pipeline = Pipeline(fast_config())
+        full = pipeline.run(data)
+        reads = full.sequencing.reads
+        replayed = pipeline.run_from_reads(reads, expected_units=full.encoded.num_units)
+        assert replayed.data == data
+        assert replayed.timings.simulation == 0.0
+
+    def test_empty_reads(self):
+        result = Pipeline(fast_config()).run_from_reads([])
+        assert result.data == b""
+        assert not result.success
+
+
+class TestConfigValidation:
+    def test_orientation_requires_primers(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(reverse_orientation_prob=0.5)
+
+    def test_min_cluster_size(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(min_cluster_size=0)

@@ -1,0 +1,112 @@
+"""DNA pool / PCR random-access tests."""
+
+import random
+
+import pytest
+
+from repro.codec import DNAEncoder, EncodingParameters, design_primer_library
+from repro.pipeline import DNAPool, PCRParameters
+
+LIBRARY = design_primer_library(3, rng=random.Random(21))
+FAST = dict(payload_bytes=8, data_columns=6, parity_columns=4, index_bytes=2)
+
+
+def encode_file(data, pair):
+    params = EncodingParameters(primer_pair=pair, **FAST)
+    return DNAEncoder(params).encode(data)
+
+
+class TestStore:
+    def test_store_and_keys(self):
+        pool = DNAPool()
+        encoded = encode_file(b"file a", LIBRARY[0])
+        pool.store("a", LIBRARY[0], encoded.strands)
+        assert pool.keys == ["a"]
+        assert len(pool) == len(encoded.strands)
+        assert pool.primer_pair("a") == LIBRARY[0]
+
+    def test_duplicate_key_raises(self):
+        pool = DNAPool()
+        encoded = encode_file(b"x", LIBRARY[0])
+        pool.store("a", LIBRARY[0], encoded.strands)
+        with pytest.raises(ValueError):
+            pool.store("a", LIBRARY[0], encoded.strands)
+
+    def test_untagged_strands_rejected(self):
+        pool = DNAPool()
+        with pytest.raises(ValueError):
+            pool.store("a", LIBRARY[0], ["ACGTACGT"])
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            DNAPool().primer_pair("missing")
+
+
+class TestPCRSelect:
+    def test_selects_only_matching_file(self, rng):
+        pool = DNAPool()
+        encoded_a = encode_file(b"file a", LIBRARY[0])
+        encoded_b = encode_file(b"file b", LIBRARY[1])
+        pool.store("a", LIBRARY[0], encoded_a.strands)
+        pool.store("b", LIBRARY[1], encoded_b.strands)
+
+        selected = pool.pcr_select(
+            LIBRARY[0], PCRParameters(amplification=1, efficiency=1.0), rng
+        )
+        assert sorted(selected) == sorted(encoded_a.strands)
+
+    def test_amplification_multiplies_copies(self, rng):
+        pool = DNAPool()
+        encoded = encode_file(b"amplify", LIBRARY[0])
+        pool.store("a", LIBRARY[0], encoded.strands)
+        selected = pool.pcr_select(
+            LIBRARY[0], PCRParameters(amplification=5, efficiency=1.0), rng
+        )
+        assert len(selected) == 5 * len(encoded.strands)
+
+    def test_efficiency_drops_molecules(self, rng):
+        pool = DNAPool()
+        encoded = encode_file(b"dropout" * 20, LIBRARY[0])
+        pool.store("a", LIBRARY[0], encoded.strands)
+        selected = pool.pcr_select(
+            LIBRARY[0], PCRParameters(amplification=1, efficiency=0.5), rng
+        )
+        assert 0 < len(selected) < len(encoded.strands)
+
+    def test_mismatch_tolerance(self, rng):
+        pool = DNAPool()
+        encoded = encode_file(b"tolerant", LIBRARY[0])
+        # Damage the first two bases of each forward primer site.
+        damaged = ["TT" + s[2:] for s in encoded.strands]
+        pool._molecules = damaged  # bypass the store() primer check
+        pool._keys["a"] = LIBRARY[0]
+        strict = pool.pcr_select(
+            LIBRARY[0], PCRParameters(max_end_mismatches=0, efficiency=1.0), rng
+        )
+        loose = pool.pcr_select(
+            LIBRARY[0], PCRParameters(max_end_mismatches=3, efficiency=1.0), rng
+        )
+        assert not strict
+        assert len(loose) > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PCRParameters(max_end_mismatches=-1)
+        with pytest.raises(ValueError):
+            PCRParameters(amplification=0)
+        with pytest.raises(ValueError):
+            PCRParameters(efficiency=0.0)
+
+
+class TestSample:
+    def test_sample_fraction(self, rng):
+        pool = DNAPool()
+        encoded = encode_file(b"sample me" * 30, LIBRARY[0])
+        pool.store("a", LIBRARY[0], encoded.strands)
+        aliquot = pool.sample(0.5, rng)
+        assert 0 < len(aliquot) < len(pool)
+        assert aliquot.keys == ["a"]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            DNAPool().sample(0.0)

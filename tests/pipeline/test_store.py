@@ -1,0 +1,78 @@
+"""Key-value storage system tests (Section II-F end to end)."""
+
+import pytest
+
+from repro.clustering import ClusteringConfig
+from repro.pipeline import DNAStorageSystem, StorageSystemConfig
+from repro.simulation import ConstantCoverage, IIDChannel
+
+FILES = {
+    "alpha": b"alpha file contents " * 8,
+    "beta": b"beta file, different payload " * 6,
+}
+
+
+@pytest.fixture(scope="module")
+def system():
+    config = StorageSystemConfig(
+        payload_bytes=12,
+        data_columns=16,
+        parity_columns=8,
+        channel=IIDChannel.from_total_rate(0.04),
+        coverage=ConstantCoverage(8),
+        clustering=ClusteringConfig(rounds=12, num_grams=48, seed=1),
+        max_files=3,
+        seed=9,
+    )
+    storage = DNAStorageSystem(config)
+    for key, data in FILES.items():
+        storage.store(key, data)
+    return storage
+
+
+class TestStore:
+    def test_keys_listed(self, system):
+        assert system.keys == sorted(FILES)
+
+    def test_molecules_accumulate(self, system):
+        assert len(system) > 0
+
+    def test_duplicate_key_rejected(self, system):
+        with pytest.raises(ValueError, match="already stored"):
+            system.store("alpha", b"x")
+
+    def test_library_exhaustion(self, system):
+        system_full = system  # max_files=3, two used
+        system_full.store("gamma", b"third")
+        with pytest.raises(ValueError, match="exhausted"):
+            system_full.store("delta", b"fourth")
+
+
+class TestRetrieve:
+    def test_each_file_recovered_exactly(self, system):
+        for key, data in FILES.items():
+            result = system.retrieve(key)
+            assert result.data == data, key
+            assert result.success
+
+    def test_unknown_key(self, system):
+        with pytest.raises(KeyError):
+            system.retrieve("missing")
+
+    def test_retrievals_are_isolated(self, system):
+        # Retrieving one file never returns another file's bytes.
+        assert system.retrieve("alpha").data != FILES["beta"]
+
+
+class TestSampleCopy:
+    def test_copy_retrieves_independently(self, system):
+        copy = system.sample_copy(0.9)
+        assert copy.keys == system.keys
+        assert len(copy) < len(system) or len(copy) == len(system)
+        result = copy.retrieve("alpha")
+        assert result.data == FILES["alpha"]
+
+    def test_copy_does_not_mutate_original(self, system):
+        before = len(system)
+        system.sample_copy(0.5)
+        assert len(system) == before

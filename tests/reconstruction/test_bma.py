@@ -1,0 +1,80 @@
+"""Tests for BMA-lookahead reconstruction."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis import per_index_error_profile
+from repro.dna.alphabet import random_sequence
+from repro.reconstruction import BMAReconstructor
+from repro.simulation import IIDChannel
+
+
+class TestBasics:
+    def test_clean_cluster(self):
+        reads = ["ACGTACGTAC"] * 5
+        assert BMAReconstructor().reconstruct(reads, 10) == "ACGTACGTAC"
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ValueError):
+            BMAReconstructor().reconstruct([], 10)
+
+    def test_invalid_lookahead(self):
+        with pytest.raises(ValueError):
+            BMAReconstructor(lookahead=0)
+
+    def test_output_length_matches_expected(self, rng):
+        channel = IIDChannel.from_total_rate(0.09)
+        reference = random_sequence(60, rng)
+        reads = [channel.transmit(reference, rng) for _ in range(8)]
+        assert len(BMAReconstructor().reconstruct(reads, 60)) == 60
+
+    def test_exhausted_reads_are_padded(self):
+        # All reads much shorter than expected: the tail must still appear.
+        result = BMAReconstructor().reconstruct(["ACG", "ACG"], 10)
+        assert len(result) == 10
+        assert result.startswith("ACG")
+
+
+class TestErrorHandling:
+    def test_outvotes_substitution(self):
+        reads = ["ACGTACGT", "ACGAACGT", "ACGTACGT"]
+        assert BMAReconstructor().reconstruct(reads, 8) == "ACGTACGT"
+
+    def test_realigns_after_deletion(self):
+        reference = "ACGTACGTTGCA"
+        deleted = reference[:4] + reference[5:]  # deletion at index 4
+        reads = [reference, deleted, reference]
+        assert BMAReconstructor().reconstruct(reads, 12) == reference
+
+    def test_realigns_after_insertion(self):
+        reference = "ACGTACGTTGCA"
+        inserted = reference[:4] + "T" + reference[4:]
+        reads = [reference, inserted, reference]
+        assert BMAReconstructor().reconstruct(reads, 12) == reference
+
+    def test_recovers_noisy_cluster(self, rng):
+        channel = IIDChannel.from_total_rate(0.06)
+        reference = random_sequence(100, rng)
+        reads = [channel.transmit(reference, rng) for _ in range(10)]
+        result = BMAReconstructor().reconstruct(reads, 100)
+        mismatches = sum(1 for a, b in zip(result, reference) if a != b)
+        assert mismatches <= 10
+
+
+class TestErrorPropagation:
+    def test_late_indexes_less_reliable(self, rng):
+        """The defining property of single-sided BMA (paper Figure 6)."""
+        channel = IIDChannel.from_total_rate(0.09)
+        references = [random_sequence(100, rng) for _ in range(60)]
+        clusters = [
+            [channel.transmit(reference, rng) for _ in range(8)]
+            for reference in references
+        ]
+        reconstructor = BMAReconstructor()
+        outputs = [reconstructor.reconstruct(c, 100) for c in clusters]
+        profile = per_index_error_profile(references, outputs)
+        early = float(np.mean(profile.rates[:30]))
+        late = float(np.mean(profile.rates[70:]))
+        assert late > early

@@ -1,0 +1,66 @@
+"""Tests for double-sided BMA."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import per_index_error_profile
+from repro.dna.alphabet import random_sequence
+from repro.reconstruction import BMAReconstructor, DoubleSidedBMAReconstructor
+from repro.simulation import IIDChannel
+
+
+class TestBasics:
+    def test_clean_cluster(self):
+        reads = ["ACGTACGTAC"] * 5
+        assert DoubleSidedBMAReconstructor().reconstruct(reads, 10) == "ACGTACGTAC"
+
+    def test_odd_expected_length(self):
+        reads = ["ACGTACGTA"] * 4
+        assert DoubleSidedBMAReconstructor().reconstruct(reads, 9) == "ACGTACGTA"
+
+    def test_length_one(self):
+        assert DoubleSidedBMAReconstructor().reconstruct(["A", "A"], 1) == "A"
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ValueError):
+            DoubleSidedBMAReconstructor().reconstruct([], 5)
+
+    def test_output_length(self, rng):
+        channel = IIDChannel.from_total_rate(0.09)
+        reference = random_sequence(77, rng)
+        reads = [channel.transmit(reference, rng) for _ in range(8)]
+        assert len(DoubleSidedBMAReconstructor().reconstruct(reads, 77)) == 77
+
+
+class TestErrorConcentration:
+    def test_middle_peak(self, rng):
+        """Errors concentrate in the middle indexes (paper Figure 6)."""
+        channel = IIDChannel.from_total_rate(0.09)
+        references = [random_sequence(100, rng) for _ in range(80)]
+        clusters = [
+            [channel.transmit(reference, rng) for _ in range(8)]
+            for reference in references
+        ]
+        reconstructor = DoubleSidedBMAReconstructor()
+        outputs = [reconstructor.reconstruct(c, 100) for c in clusters]
+        profile = per_index_error_profile(references, outputs)
+        edges = float(np.mean(np.concatenate([profile.rates[:20], profile.rates[80:]])))
+        middle = float(np.mean(profile.rates[40:60]))
+        assert middle > edges
+
+    def test_more_perfect_strands_than_single_sided(self, rng):
+        channel = IIDChannel.from_total_rate(0.09)
+        references = [random_sequence(100, rng) for _ in range(60)]
+        clusters = [
+            [channel.transmit(reference, rng) for _ in range(8)]
+            for reference in references
+        ]
+        single = BMAReconstructor()
+        double = DoubleSidedBMAReconstructor()
+        single_profile = per_index_error_profile(
+            references, [single.reconstruct(c, 100) for c in clusters]
+        )
+        double_profile = per_index_error_profile(
+            references, [double.reconstruct(c, 100) for c in clusters]
+        )
+        assert double_profile.perfect >= single_profile.perfect

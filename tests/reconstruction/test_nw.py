@@ -1,0 +1,93 @@
+"""Tests for the Needleman-Wunsch / POA consensus reconstructor."""
+
+import pytest
+
+from repro.analysis import per_index_error_profile
+from repro.dna.alphabet import random_sequence
+from repro.dna.distance import levenshtein_distance
+from repro.reconstruction import (
+    MajorityVoteReconstructor,
+    NWConsensusReconstructor,
+)
+from repro.simulation import IIDChannel, WetlabReferenceChannel
+
+
+class TestBasics:
+    def test_clean_cluster(self):
+        reads = ["ACGTACGTAC"] * 4
+        assert NWConsensusReconstructor().reconstruct(reads, 10) == "ACGTACGTAC"
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ValueError):
+            NWConsensusReconstructor().reconstruct([], 5)
+
+    def test_invalid_max_cluster(self):
+        with pytest.raises(ValueError):
+            NWConsensusReconstructor(max_cluster=0)
+
+    def test_output_length_is_exact(self, rng):
+        channel = WetlabReferenceChannel()
+        reference = random_sequence(90, rng)
+        reads = [channel.transmit(reference, rng) for _ in range(10)]
+        assert len(NWConsensusReconstructor().reconstruct(reads, 90)) == 90
+
+    def test_max_cluster_caps_reads(self, rng):
+        channel = IIDChannel.from_total_rate(0.06)
+        reference = random_sequence(50, rng)
+        reads = [channel.transmit(reference, rng) for _ in range(40)]
+        result = NWConsensusReconstructor(max_cluster=8).reconstruct(reads, 50)
+        assert len(result) == 50
+
+
+class TestQuality:
+    def test_beats_naive_majority_on_indels(self, rng):
+        channel = IIDChannel(p_ins=0.03, p_del=0.03, p_sub=0.0)
+        references = [random_sequence(80, rng) for _ in range(30)]
+        clusters = [
+            [channel.transmit(reference, rng) for _ in range(10)]
+            for reference in references
+        ]
+        nw = NWConsensusReconstructor()
+        naive = MajorityVoteReconstructor()
+        nw_profile = per_index_error_profile(
+            references, [nw.reconstruct(c, 80) for c in clusters]
+        )
+        naive_profile = per_index_error_profile(
+            references, [naive.reconstruct(c, 80) for c in clusters]
+        )
+        assert nw_profile.mean_rate < naive_profile.mean_rate / 2
+
+    def test_two_pass_improves_perfect_count(self, rng):
+        channel = WetlabReferenceChannel()
+        references = [random_sequence(90, rng) for _ in range(30)]
+        clusters = [
+            [channel.transmit(reference, rng) for _ in range(10)]
+            for reference in references
+        ]
+        one_pass = NWConsensusReconstructor(two_pass=False)
+        two_pass = NWConsensusReconstructor(two_pass=True)
+        one = per_index_error_profile(
+            references, [one_pass.reconstruct(c, 90) for c in clusters]
+        )
+        two = per_index_error_profile(
+            references, [two_pass.reconstruct(c, 90) for c in clusters]
+        )
+        assert two.perfect >= one.perfect
+
+    def test_recovers_bursty_channel(self, rng):
+        channel = WetlabReferenceChannel()
+        reference = random_sequence(100, rng)
+        reads = [channel.transmit(reference, rng) for _ in range(12)]
+        consensus = NWConsensusReconstructor().reconstruct(reads, 100)
+        assert levenshtein_distance(consensus, reference) <= 5
+
+
+class TestMajorityVote:
+    def test_exact_on_substitution_only(self, rng):
+        channel = IIDChannel(p_ins=0.0, p_del=0.0, p_sub=0.1)
+        reference = random_sequence(60, rng)
+        reads = [channel.transmit(reference, rng) for _ in range(15)]
+        assert MajorityVoteReconstructor().reconstruct(reads, 60) == reference
+
+    def test_pads_missing_positions(self):
+        assert MajorityVoteReconstructor().reconstruct(["AC"], 4) == "ACAA"

@@ -1,0 +1,103 @@
+"""Tests for the trellis symbolwise-MAP reconstructor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import per_index_error_profile
+from repro.dna.alphabet import random_sequence
+from repro.reconstruction import (
+    DoubleSidedBMAReconstructor,
+    NWConsensusReconstructor,
+    TrellisMAPReconstructor,
+)
+from repro.simulation import IIDChannel
+
+
+class TestValidation:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            TrellisMAPReconstructor(p_ins=0.5, p_del=0.4, p_sub=0.2)
+        with pytest.raises(ValueError):
+            TrellisMAPReconstructor(p_ins=-0.1)
+
+    def test_sweeps_validation(self):
+        with pytest.raises(ValueError):
+            TrellisMAPReconstructor(sweeps=0)
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ValueError):
+            TrellisMAPReconstructor().reconstruct([], 10)
+
+
+class TestBasics:
+    def test_clean_cluster(self):
+        reads = ["ACGTACGTAC"] * 4
+        assert TrellisMAPReconstructor().reconstruct(reads, 10) == "ACGTACGTAC"
+
+    def test_output_length(self, rng):
+        channel = IIDChannel.from_total_rate(0.06)
+        reference = random_sequence(70, rng)
+        reads = [channel.transmit(reference, rng) for _ in range(6)]
+        assert len(TrellisMAPReconstructor().reconstruct(reads, 70)) == 70
+
+    def test_outvotes_substitutions(self):
+        reads = ["ACGTACGT", "ACGAACGT", "ACGTACGT", "ACGTACGA"]
+        assert TrellisMAPReconstructor().reconstruct(reads, 8) == "ACGTACGT"
+
+
+class TestPosteriorMath:
+    def test_posterior_rows_normalised(self, rng):
+        reconstructor = TrellisMAPReconstructor()
+        estimate = random_sequence(30, rng)
+        read = reconstructor._encode(
+            IIDChannel.from_total_rate(0.06).transmit(estimate, rng)
+        )
+        posterior = reconstructor._read_posterior(estimate, read)
+        assert posterior.shape == (30, 4)
+        assert np.allclose(posterior.sum(axis=1), 1.0)
+
+    def test_posterior_prefers_observed_base(self, rng):
+        reconstructor = TrellisMAPReconstructor()
+        estimate = "ACGT" * 8
+        read = reconstructor._encode(estimate)
+        posterior = reconstructor._read_posterior(estimate, read)
+        decided = posterior.argmax(axis=1)
+        assert "".join("ACGT"[b] for b in decided) == estimate
+
+
+class TestRefinementQuality:
+    def test_no_worse_than_initialisation(self, rng):
+        channel = IIDChannel.from_total_rate(0.09)
+        references = [random_sequence(80, rng) for _ in range(30)]
+        clusters = [
+            [channel.transmit(reference, rng) for _ in range(8)]
+            for reference in references
+        ]
+        initial = DoubleSidedBMAReconstructor()
+        trellis = TrellisMAPReconstructor(p_ins=0.03, p_del=0.03, p_sub=0.03)
+        base_profile = per_index_error_profile(
+            references, [initial.reconstruct(c, 80) for c in clusters]
+        )
+        refined_profile = per_index_error_profile(
+            references, [trellis.reconstruct(c, 80) for c in clusters]
+        )
+        assert refined_profile.mean_rate <= base_profile.mean_rate + 0.005
+
+    def test_nw_initialisation_improves_perfect_count(self, rng):
+        channel = IIDChannel(p_ins=0.02, p_del=0.02, p_sub=0.05)
+        references = [random_sequence(80, rng) for _ in range(25)]
+        clusters = [
+            [channel.transmit(reference, rng) for _ in range(6)]
+            for reference in references
+        ]
+        nw = NWConsensusReconstructor()
+        refined = TrellisMAPReconstructor(
+            p_ins=0.02, p_del=0.02, p_sub=0.05, initial=NWConsensusReconstructor()
+        )
+        nw_profile = per_index_error_profile(
+            references, [nw.reconstruct(c, 80) for c in clusters]
+        )
+        refined_profile = per_index_error_profile(
+            references, [refined.reconstruct(c, 80) for c in clusters]
+        )
+        assert refined_profile.perfect >= nw_profile.perfect

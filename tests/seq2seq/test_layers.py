@@ -1,0 +1,92 @@
+"""Tests for neural layers: shapes and gradient flow."""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.seq2seq import BahdanauAttention, Dense, Embedding, GRUCell
+from repro.seq2seq.layers import Module
+
+RNG = np.random.default_rng(0)
+
+
+class TestDense:
+    def test_shape(self):
+        layer = Dense(4, 7, RNG)
+        out = layer(Tensor(RNG.normal(size=(3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_no_bias(self):
+        layer = Dense(4, 7, RNG, bias=False)
+        assert layer.bias is None
+        zero = layer(Tensor(np.zeros((2, 4))))
+        assert np.allclose(zero.data, 0.0)
+
+    def test_parameters_collected(self):
+        layer = Dense(4, 7, RNG)
+        assert len(layer.parameters()) == 2
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        table = Embedding(10, 5, RNG)
+        out = table(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 5)
+
+
+class TestGRUCell:
+    def test_step_shape(self):
+        cell = GRUCell(6, 8, RNG)
+        state = cell.initial_state(4)
+        new_state = cell(Tensor(RNG.normal(size=(4, 6))), state)
+        assert new_state.shape == (4, 8)
+
+    def test_state_bounded_by_tanh_dynamics(self):
+        cell = GRUCell(6, 8, RNG)
+        state = cell.initial_state(2)
+        for _ in range(30):
+            state = cell(Tensor(RNG.normal(size=(2, 6))), state)
+        assert np.abs(state.data).max() <= 1.0 + 1e-9
+
+    def test_gradients_flow_through_time(self):
+        cell = GRUCell(3, 4, RNG)
+        inputs = [Tensor(RNG.normal(size=(1, 3))) for _ in range(5)]
+        state = cell.initial_state(1)
+        for x in inputs:
+            state = cell(x, state)
+        (state**2).sum().backward()
+        assert all(p.grad is not None for p in cell.parameters())
+
+    def test_parameter_count(self):
+        cell = GRUCell(3, 4, RNG)
+        # 3 input projections (W+b) and 3 hidden projections (no bias).
+        expected = 3 * (3 * 4 + 4) + 3 * (4 * 4)
+        assert cell.parameter_count() == expected
+
+
+class TestAttention:
+    def test_context_shape_and_weights(self):
+        attention = BahdanauAttention(8, 10, 6, RNG)
+        annotations = Tensor(RNG.normal(size=(2, 7, 10)))
+        projected = attention.project_annotations(annotations)
+        context = attention(Tensor(RNG.normal(size=(2, 8))), annotations, projected)
+        assert context.shape == (2, 10)
+
+    def test_context_is_convex_combination(self):
+        attention = BahdanauAttention(4, 5, 3, RNG)
+        # All annotations identical -> the weighted average equals them.
+        row = RNG.normal(size=(1, 1, 5))
+        annotations = Tensor(np.repeat(row, 6, axis=1))
+        projected = attention.project_annotations(annotations)
+        context = attention(Tensor(RNG.normal(size=(1, 4))), annotations, projected)
+        assert np.allclose(context.data, row[0, 0], atol=1e-9)
+
+
+class TestModule:
+    def test_nested_parameter_collection(self):
+        class Stack(Module):
+            def __init__(self):
+                self.layers = [Dense(2, 2, RNG), Dense(2, 2, RNG)]
+                self.head = Dense(2, 1, RNG)
+
+        stack = Stack()
+        assert len(stack.parameters()) == 6

@@ -1,0 +1,109 @@
+"""Tests for the seq2seq channel model and trainer."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.dna.alphabet import random_sequence
+from repro.seq2seq import Seq2SeqChannelModel, Seq2SeqTrainer, TrainingConfig
+from repro.seq2seq.model import pad_targets
+from repro.seq2seq.vocab import Vocabulary
+from repro.simulation import IIDChannel
+
+TINY = dict(hidden_size=12, embed_dim=6, attention_size=8)
+
+
+def make_pairs(rng, count=40, length=10, channel=None):
+    channel = channel or IIDChannel(p_ins=0.0, p_del=0.0, p_sub=0.1)
+    pairs = []
+    for _ in range(count):
+        clean = random_sequence(length, rng)
+        pairs.append((clean, channel.transmit(clean, rng)))
+    return pairs
+
+
+class TestPadTargets:
+    def test_padding_and_eos(self):
+        vocab = Vocabulary()
+        matrix = pad_targets(vocab, ["ACG", "A"])
+        assert matrix.shape == (2, 4)
+        assert matrix[0, 3] == vocab.EOS
+        assert matrix[1, 1] == vocab.EOS
+        assert matrix[1, 2] == vocab.PAD
+
+
+class TestModel:
+    def test_encode_shapes(self):
+        model = Seq2SeqChannelModel(**TINY)
+        tokens = model.vocab.encode("ACGTACGT").reshape(1, -1)
+        annotations, state = model.encode(tokens)
+        assert annotations.shape == (1, 8, 24)
+        assert state.shape == (1, 12)
+
+    def test_loss_is_finite_scalar(self, rng):
+        model = Seq2SeqChannelModel(**TINY)
+        pairs = make_pairs(rng, count=4)
+        clean = np.stack([model.vocab.encode(c) for c, _ in pairs])
+        noisy = pad_targets(model.vocab, [n for _, n in pairs])
+        loss = model.loss(clean, noisy)
+        assert np.isfinite(loss.item())
+
+    def test_transmit_produces_dna(self, rng):
+        model = Seq2SeqChannelModel(**TINY)
+        read = model.transmit("ACGTACGTAC", rng)
+        assert set(read) <= set("ACGT")
+
+    def test_transmit_empty_strand(self, rng):
+        assert Seq2SeqChannelModel(**TINY).transmit("", rng) == ""
+
+    def test_transmit_bounded_length(self, rng):
+        model = Seq2SeqChannelModel(max_expansion=1.5, **TINY)
+        strand = "ACGT" * 5
+        for _ in range(5):
+            assert len(model.transmit(strand, rng)) <= 30
+
+    def test_untrained_model_is_noisy(self, rng):
+        # An untrained model must not accidentally copy its input.
+        model = Seq2SeqChannelModel(**TINY)
+        strand = random_sequence(12, rng)
+        assert any(model.transmit(strand, rng) != strand for _ in range(5))
+
+
+class TestTrainer:
+    def test_loss_decreases(self, rng):
+        model = Seq2SeqChannelModel(seed=3, **TINY)
+        pairs = make_pairs(rng, count=48, length=8)
+        trainer = Seq2SeqTrainer(
+            model, TrainingConfig(epochs=4, batch_size=12, learning_rate=5e-3)
+        )
+        history = trainer.fit(pairs)
+        assert history.train_losses[-1] < history.train_losses[0]
+
+    def test_validation_tracked(self, rng):
+        model = Seq2SeqChannelModel(seed=3, **TINY)
+        pairs = make_pairs(rng, count=24, length=8)
+        trainer = Seq2SeqTrainer(model, TrainingConfig(epochs=2, batch_size=8))
+        history = trainer.fit(pairs[:16], pairs[16:])
+        assert len(history.val_losses) == 2
+
+    def test_empty_pairs_raise(self):
+        trainer = Seq2SeqTrainer(Seq2SeqChannelModel(**TINY), TrainingConfig())
+        with pytest.raises(ValueError):
+            trainer.fit([])
+
+    def test_mixed_lengths_are_bucketed(self, rng):
+        model = Seq2SeqChannelModel(seed=3, **TINY)
+        pairs = make_pairs(rng, count=10, length=8) + make_pairs(
+            rng, count=10, length=12
+        )
+        trainer = Seq2SeqTrainer(model, TrainingConfig(epochs=1, batch_size=4))
+        history = trainer.fit(pairs)
+        assert len(history.train_losses) == 1
+
+    def test_evaluate(self, rng):
+        model = Seq2SeqChannelModel(seed=3, **TINY)
+        pairs = make_pairs(rng, count=12, length=8)
+        trainer = Seq2SeqTrainer(model, TrainingConfig(epochs=1))
+        trainer.fit(pairs)
+        assert np.isfinite(trainer.evaluate(pairs))

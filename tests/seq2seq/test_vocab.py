@@ -1,0 +1,41 @@
+"""Tests for the strand token vocabulary."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seq2seq import Vocabulary
+
+dna = st.text(alphabet="ACGT", max_size=60)
+vocab = Vocabulary()
+
+
+class TestVocabulary:
+    def test_size(self):
+        assert len(vocab) == 7
+
+    @given(dna)
+    def test_roundtrip(self, strand):
+        assert vocab.decode(vocab.encode(strand)) == strand
+
+    @given(dna)
+    def test_eos_terminates_decode(self, strand):
+        tokens = vocab.encode(strand, add_eos=True)
+        extended = np.concatenate([tokens, vocab.encode("ACGT")])
+        assert vocab.decode(extended) == strand
+
+    def test_invalid_base_raises(self):
+        with pytest.raises(ValueError):
+            vocab.encode("ACGU")
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(ValueError):
+            vocab.decode([99])
+
+    def test_pad_and_sos_skipped(self):
+        tokens = [vocab.PAD, vocab.SOS] + list(vocab.encode("AC"))
+        assert vocab.decode(tokens) == "AC"
+
+    def test_base_tokens_ordered(self):
+        assert vocab.decode(vocab.base_tokens) == "ACGT"

@@ -1,0 +1,185 @@
+"""Tests for the wetlab noise channels."""
+
+import random
+
+import pytest
+
+from repro.dna.alphabet import random_sequence
+from repro.dna.alignment import edit_operations
+from repro.simulation import (
+    ComposedChannel,
+    IdentityChannel,
+    IIDChannel,
+    SOLQCChannel,
+    SOLQCRates,
+    WetlabReferenceChannel,
+)
+
+
+def error_rates(channel, strand, reads, rng):
+    """Empirical (ins, del, sub) rates per reference base."""
+    ins = dele = sub = 0
+    for _ in range(reads):
+        noisy = channel.transmit(strand, rng)
+        for op in edit_operations(strand, noisy):
+            if op.kind == "ins":
+                ins += 1
+            elif op.kind == "del":
+                dele += 1
+            elif op.kind == "sub":
+                sub += 1
+    denom = reads * len(strand)
+    return ins / denom, dele / denom, sub / denom
+
+
+class TestIdentity:
+    def test_noiseless(self, rng):
+        strand = random_sequence(50, rng)
+        assert IdentityChannel().transmit(strand, rng) == strand
+
+
+class TestIIDChannel:
+    def test_zero_rates_are_noiseless(self, rng):
+        channel = IIDChannel(0.0, 0.0, 0.0)
+        strand = random_sequence(60, rng)
+        assert channel.transmit(strand, rng) == strand
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IIDChannel(p_ins=-0.1)
+        with pytest.raises(ValueError):
+            IIDChannel(p_ins=0.5, p_del=0.4, p_sub=0.3)
+
+    def test_from_total_rate(self):
+        channel = IIDChannel.from_total_rate(0.09)
+        assert channel.p_ins == pytest.approx(0.03)
+        assert channel.total_rate == pytest.approx(0.09)
+
+    def test_empirical_rates_near_nominal(self, rng):
+        channel = IIDChannel(p_ins=0.02, p_del=0.03, p_sub=0.04)
+        strand = random_sequence(150, rng)
+        ins, dele, sub = error_rates(channel, strand, 150, rng)
+        assert ins == pytest.approx(0.02, abs=0.01)
+        assert dele == pytest.approx(0.03, abs=0.01)
+        assert sub == pytest.approx(0.04, abs=0.012)
+
+    def test_deletion_only_shortens(self, rng):
+        channel = IIDChannel(p_ins=0.0, p_del=0.2, p_sub=0.0)
+        strand = random_sequence(100, rng)
+        assert all(
+            len(channel.transmit(strand, rng)) <= len(strand) for _ in range(20)
+        )
+
+    def test_transmit_many(self, rng):
+        channel = IIDChannel.from_total_rate(0.06)
+        reads = channel.transmit_many("ACGT" * 10, 7, rng)
+        assert len(reads) == 7
+        with pytest.raises(ValueError):
+            channel.transmit_many("ACGT", -1, rng)
+
+
+class TestSOLQCChannel:
+    def test_missing_base_raises(self):
+        with pytest.raises(ValueError):
+            SOLQCChannel({"A": SOLQCRates()})
+
+    def test_self_substitution_rejected(self):
+        profile = {
+            base: SOLQCRates(substitution_distribution={base: 1.0})
+            for base in "ACGT"
+        }
+        with pytest.raises(ValueError):
+            SOLQCChannel(profile)
+
+    def test_base_conditioning(self, rng):
+        # G configured to always delete, A never: outputs keep As, lose Gs.
+        profile = {
+            "A": SOLQCRates(pre_insertion=0.0, deletion=0.0, substitution=0.0),
+            "C": SOLQCRates(pre_insertion=0.0, deletion=0.0, substitution=0.0),
+            "G": SOLQCRates(pre_insertion=0.0, deletion=1.0, substitution=0.0),
+            "T": SOLQCRates(pre_insertion=0.0, deletion=0.0, substitution=0.0),
+        }
+        channel = SOLQCChannel(profile)
+        assert channel.transmit("AGAGAG", rng) == "AAA"
+
+    def test_scaled_profile(self, rng):
+        mild = SOLQCChannel.scaled(0.5)
+        for base in "ACGT":
+            assert mild.profile[base].deletion <= SOLQCChannel().profile[base].deletion
+
+    def test_pre_insertion_only(self, rng):
+        # With insertion probability 1 and no other errors, every base gets
+        # exactly one inserted base before it (never after the last base).
+        profile = {
+            base: SOLQCRates(pre_insertion=1.0, deletion=0.0, substitution=0.0)
+            for base in "ACGT"
+        }
+        channel = SOLQCChannel(profile)
+        noisy = channel.transmit("ACGT", rng)
+        assert len(noisy) == 8
+        assert noisy[1] == "A" and noisy[3] == "C" and noisy[7] == "T"
+
+
+class TestWetlabReferenceChannel:
+    def test_positional_multiplier_rises_at_end(self):
+        channel = WetlabReferenceChannel()
+        length = 100
+        assert channel.position_multiplier(length - 1, length) > channel.position_multiplier(
+            length // 2, length
+        )
+
+    def test_positional_multiplier_elevated_at_start(self):
+        channel = WetlabReferenceChannel()
+        assert channel.position_multiplier(0, 100) > channel.position_multiplier(
+            20, 100
+        )
+
+    def test_end_errors_exceed_middle_errors(self, rng):
+        channel = WetlabReferenceChannel()
+        strand = random_sequence(120, rng)
+        middle_errors = end_errors = 0
+        for _ in range(300):
+            noisy = channel.transmit(strand, rng)
+            for op in edit_operations(strand, noisy):
+                if op.kind == "match":
+                    continue
+                if 40 <= op.ref_pos < 60:
+                    middle_errors += 1
+                elif op.ref_pos >= 100:
+                    end_errors += 1
+        assert end_errors > middle_errors
+
+    def test_truncation_occurs(self, rng):
+        channel = WetlabReferenceChannel(p_truncate=1.0, truncate_window=0.5)
+        strand = random_sequence(100, rng)
+        lengths = [len(channel.transmit(strand, rng)) for _ in range(20)]
+        assert all(length < 100 for length in lengths)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WetlabReferenceChannel(p_del=1.5)
+        with pytest.raises(ValueError):
+            WetlabReferenceChannel(burst_continue=1.0)
+
+    def test_single_base_strand(self, rng):
+        channel = WetlabReferenceChannel()
+        for _ in range(10):
+            channel.transmit("A", rng)  # must not raise
+
+
+class TestComposedChannel:
+    def test_stages_apply_in_order(self, rng):
+        composed = ComposedChannel([IdentityChannel(), IdentityChannel()])
+        assert composed.transmit("ACGT", rng) == "ACGT"
+
+    def test_noise_accumulates(self, rng):
+        single = IIDChannel(p_ins=0.0, p_del=0.05, p_sub=0.0)
+        composed = ComposedChannel([single, single])
+        strand = random_sequence(400, rng)
+        single_lengths = [len(single.transmit(strand, rng)) for _ in range(30)]
+        composed_lengths = [len(composed.transmit(strand, rng)) for _ in range(30)]
+        assert sum(composed_lengths) < sum(single_lengths)
+
+    def test_empty_stages_raise(self):
+        with pytest.raises(ValueError):
+            ComposedChannel([])

@@ -1,0 +1,92 @@
+"""Tests for coverage models and whole-pool sequencing."""
+
+import random
+
+import pytest
+
+from repro.dna.alphabet import random_sequence
+from repro.simulation import (
+    ConstantCoverage,
+    IdentityChannel,
+    IIDChannel,
+    NegativeBinomialCoverage,
+    PoissonCoverage,
+    sequence_pool,
+)
+
+
+class TestCoverageModels:
+    def test_constant(self, rng):
+        model = ConstantCoverage(10)
+        assert all(model.sample(rng) == 10 for _ in range(5))
+
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            ConstantCoverage(-1)
+
+    def test_poisson_mean(self, rng):
+        model = PoissonCoverage(8.0)
+        samples = [model.sample(rng) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(8.0, rel=0.1)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            PoissonCoverage(-1.0)
+
+    def test_negative_binomial_mean_and_overdispersion(self, rng):
+        model = NegativeBinomialCoverage(10.0, dispersion=2.0)
+        samples = [model.sample(rng) for _ in range(3000)]
+        mean = sum(samples) / len(samples)
+        variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert mean == pytest.approx(10.0, rel=0.15)
+        assert variance > mean * 1.5  # overdispersed vs Poisson
+
+    def test_negative_binomial_validation(self):
+        with pytest.raises(ValueError):
+            NegativeBinomialCoverage(10.0, dispersion=0.0)
+
+
+class TestSequencePool:
+    def test_ground_truth_consistency(self, rng):
+        references = [random_sequence(40, rng) for _ in range(20)]
+        run = sequence_pool(references, IdentityChannel(), ConstantCoverage(5), rng)
+        assert len(run.reads) == 100
+        assert run.coverage == pytest.approx(5.0)
+        for read, origin in zip(run.reads, run.origins):
+            assert read == references[origin]
+
+    def test_true_clusters_partition_reads(self, rng):
+        references = [random_sequence(40, rng) for _ in range(10)]
+        run = sequence_pool(
+            references, IIDChannel.from_total_rate(0.06), ConstantCoverage(4), rng
+        )
+        clusters = run.true_clusters()
+        total = sum(len(members) for members in clusters.values())
+        assert total == len(run.reads)
+        for origin, members in clusters.items():
+            assert all(run.origins[i] == origin for i in members)
+
+    def test_dropouts_recorded(self, rng):
+        references = [random_sequence(40, rng) for _ in range(30)]
+        run = sequence_pool(references, IdentityChannel(), PoissonCoverage(0.5), rng)
+        assert run.dropouts  # mean 0.5 drops many strands
+        for index in run.dropouts:
+            assert index not in run.true_clusters()
+
+    def test_shuffling_mixes_origins(self, rng):
+        references = [random_sequence(30, rng) for _ in range(50)]
+        run = sequence_pool(references, IdentityChannel(), ConstantCoverage(4), rng)
+        # Sorted origins would mean no shuffle; with 200 reads this is
+        # astronomically unlikely when shuffled.
+        assert run.origins != sorted(run.origins)
+
+    def test_no_shuffle_option(self, rng):
+        references = [random_sequence(30, rng) for _ in range(10)]
+        run = sequence_pool(
+            references, IdentityChannel(), ConstantCoverage(3), rng, shuffle=False
+        )
+        assert run.origins == sorted(run.origins)
+
+    def test_empty_coverage(self, rng):
+        run = sequence_pool([], IdentityChannel(), ConstantCoverage(3), rng)
+        assert run.reads == [] and run.coverage == 0.0

@@ -1,0 +1,71 @@
+"""Tests for paired dataset generation and splitting."""
+
+import pytest
+
+from repro.simulation import IIDChannel, make_paired_dataset
+
+
+class TestMakePairedDataset:
+    def test_split_partitions_clusters(self, rng):
+        dataset = make_paired_dataset(
+            IIDChannel.from_total_rate(0.06),
+            num_clusters=50,
+            strand_length=30,
+            reads_per_cluster=3,
+            rng=rng,
+        )
+        all_indices = (
+            set(dataset.train_indices)
+            | set(dataset.val_indices)
+            | set(dataset.test_indices)
+        )
+        assert all_indices == set(range(50))
+        assert not set(dataset.train_indices) & set(dataset.test_indices)
+        assert not set(dataset.train_indices) & set(dataset.val_indices)
+
+    def test_split_fractions(self, rng):
+        dataset = make_paired_dataset(
+            IIDChannel.from_total_rate(0.06),
+            num_clusters=100,
+            strand_length=20,
+            reads_per_cluster=2,
+            split=(0.8, 0.1, 0.1),
+            rng=rng,
+        )
+        assert len(dataset.train_indices) == 80
+        assert len(dataset.val_indices) == 10
+        assert len(dataset.test_indices) == 10
+
+    def test_pairs_share_cluster_clean_strand(self, rng):
+        dataset = make_paired_dataset(
+            IIDChannel.from_total_rate(0.06),
+            num_clusters=10,
+            strand_length=25,
+            reads_per_cluster=4,
+            rng=rng,
+        )
+        assert len(dataset.train_pairs) == len(dataset.train_indices) * 4
+        cleans = {clean for clean, _ in dataset.train_pairs}
+        expected = {dataset.clusters[i][0] for i in dataset.train_indices}
+        assert cleans == expected
+
+    def test_no_read_leakage_across_splits(self, rng):
+        dataset = make_paired_dataset(
+            IIDChannel.from_total_rate(0.06),
+            num_clusters=40,
+            strand_length=25,
+            reads_per_cluster=2,
+            rng=rng,
+        )
+        train_cleans = {clean for clean, _ in dataset.train_pairs}
+        test_cleans = {clean for clean, _ in dataset.test_pairs}
+        assert not train_cleans & test_cleans
+
+    def test_validation(self, rng):
+        channel = IIDChannel.from_total_rate(0.06)
+        with pytest.raises(ValueError):
+            make_paired_dataset(channel, 0, 10, 1, rng=rng)
+        with pytest.raises(ValueError):
+            make_paired_dataset(channel, 5, 10, 0, rng=rng)
+        with pytest.raises(ValueError):
+            make_paired_dataset(channel, 5, 10, 1, split=(0.5, 0.2, 0.2), rng=rng)

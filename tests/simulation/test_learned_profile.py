@@ -1,0 +1,98 @@
+"""Tests for the alignment-fitted channel model."""
+
+import random
+
+import pytest
+
+from repro.dna.alphabet import random_sequence
+from repro.dna.alignment import edit_operations
+from repro.simulation import IIDChannel, LearnedProfileChannel, WetlabReferenceChannel
+from repro.simulation.learned_profile import fit_learned_profile
+
+
+def make_pairs(channel, count, length, rng):
+    pairs = []
+    for _ in range(count):
+        clean = random_sequence(length, rng)
+        pairs.append((clean, channel.transmit(clean, rng)))
+    return pairs
+
+
+class TestFitting:
+    def test_unfitted_transmit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            LearnedProfileChannel().transmit("ACGT", rng)
+
+    def test_empty_pairs_raise(self):
+        with pytest.raises(ValueError):
+            LearnedProfileChannel().fit([])
+
+    def test_empty_clean_strand_raises(self):
+        with pytest.raises(ValueError):
+            LearnedProfileChannel().fit([("", "ACGT")])
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            LearnedProfileChannel(bins=0)
+
+    def test_fit_returns_self(self, rng):
+        pairs = make_pairs(IIDChannel.from_total_rate(0.06), 20, 60, rng)
+        channel = LearnedProfileChannel(bins=5)
+        assert channel.fit(pairs) is channel
+
+
+class TestFidelity:
+    def test_learns_overall_error_rate(self, rng):
+        source = IIDChannel(p_ins=0.01, p_del=0.03, p_sub=0.02)
+        pairs = make_pairs(source, 300, 100, rng)
+        learned = fit_learned_profile(pairs, bins=10)
+
+        strand = random_sequence(100, rng)
+        dels = subs = 0
+        trials = 200
+        for _ in range(trials):
+            noisy = learned.transmit(strand, rng)
+            for op in edit_operations(strand, noisy):
+                if op.kind == "del":
+                    dels += 1
+                elif op.kind == "sub":
+                    subs += 1
+        assert dels / (trials * 100) == pytest.approx(0.03, abs=0.015)
+        assert subs / (trials * 100) == pytest.approx(0.02, abs=0.015)
+
+    def test_learns_positional_skew(self, rng):
+        source = WetlabReferenceChannel()
+        pairs = make_pairs(source, 400, 100, rng)
+        learned = fit_learned_profile(pairs, bins=20)
+        # The fitted per-bin deletion rate must rise toward the 3' end,
+        # mirroring the hidden channel's ramp.
+        early = sum(learned.p_del[2:6]) / 4
+        late = sum(learned.p_del[-4:]) / 4
+        assert late > early
+
+    def test_learns_substitution_bias(self, rng):
+        # Source substitutes A only with G.
+        from repro.simulation import SOLQCRates, SOLQCChannel
+
+        profile = {
+            "A": SOLQCRates(
+                pre_insertion=0.0,
+                deletion=0.0,
+                substitution=0.3,
+                substitution_distribution={"G": 1.0},
+            ),
+            "C": SOLQCRates(pre_insertion=0.0, deletion=0.0, substitution=0.0),
+            "G": SOLQCRates(pre_insertion=0.0, deletion=0.0, substitution=0.0),
+            "T": SOLQCRates(pre_insertion=0.0, deletion=0.0, substitution=0.0),
+        }
+        source = SOLQCChannel(profile)
+        pairs = make_pairs(source, 150, 80, rng)
+        learned = fit_learned_profile(pairs, bins=4)
+        alternatives, weights = learned.sub_tables["A"]
+        assert weights[alternatives.index("G")] > 0.8
+
+    def test_transmit_produces_dna(self, rng):
+        pairs = make_pairs(IIDChannel.from_total_rate(0.1), 50, 60, rng)
+        learned = fit_learned_profile(pairs, bins=8)
+        noisy = learned.transmit(random_sequence(60, rng), rng)
+        assert set(noisy) <= set("ACGT")

@@ -1,0 +1,51 @@
+"""Tests for the Illumina/Nanopore channel presets."""
+
+from repro.dna.alphabet import random_sequence
+from repro.dna.alignment import edit_operations
+from repro.simulation import WetlabReferenceChannel
+
+
+def total_error_rate(channel, strand, rng, reads=60):
+    errors = positions = 0
+    for _ in range(reads):
+        noisy = channel.transmit(strand, rng)
+        for op in edit_operations(strand, noisy):
+            if op.kind != "ins":
+                positions += 1
+            if op.kind != "match":
+                errors += 1
+    return errors / positions
+
+
+class TestPresets:
+    def test_nanopore_noisier_than_illumina(self, rng):
+        strand = random_sequence(150, rng)
+        illumina = total_error_rate(WetlabReferenceChannel.illumina(), strand, rng)
+        nanopore = total_error_rate(WetlabReferenceChannel.nanopore(), strand, rng)
+        assert nanopore > 4 * illumina
+
+    def test_illumina_rate_below_one_percent_scale(self, rng):
+        strand = random_sequence(150, rng)
+        rate = total_error_rate(WetlabReferenceChannel.illumina(), strand, rng)
+        assert rate < 0.03
+
+    def test_nanopore_indel_dominated(self, rng):
+        channel = WetlabReferenceChannel.nanopore()
+        strand = random_sequence(150, rng)
+        indels = subs = 0
+        for _ in range(60):
+            for op in edit_operations(strand, channel.transmit(strand, rng)):
+                if op.kind in ("ins", "del"):
+                    indels += 1
+                elif op.kind == "sub":
+                    subs += 1
+        assert indels > subs
+
+    def test_nanopore_truncates_more(self, rng):
+        strand = random_sequence(200, rng)
+        def short_fraction(channel):
+            lengths = [len(channel.transmit(strand, rng)) for _ in range(150)]
+            return sum(1 for l in lengths if l < 170) / len(lengths)
+        assert short_fraction(WetlabReferenceChannel.nanopore()) > short_fraction(
+            WetlabReferenceChannel.illumina()
+        )

@@ -1,0 +1,174 @@
+"""CLI tests: every subcommand, chained the way a user would."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def payload(tmp_path):
+    path = tmp_path / "input.bin"
+    path.write_bytes(bytes((i * 37) % 256 for i in range(500)))
+    return path
+
+
+def run(*argv) -> int:
+    return main([str(arg) for arg in argv])
+
+
+ENCODING_ARGS = ("--data-columns", 20, "--parity-columns", 8)
+
+
+class TestEncodeDecode:
+    def test_encode_writes_strands_and_params(self, payload, tmp_path):
+        strands = tmp_path / "strands.txt"
+        assert run("encode", payload, strands, *ENCODING_ARGS) == 0
+        lines = strands.read_text().splitlines()
+        assert lines and all(set(line) <= set("ACGT") for line in lines)
+        params = json.loads((tmp_path / "strands.txt.params.json").read_text())
+        assert params["data_columns"] == 20
+        assert params["num_units"] >= 1
+
+    def test_clean_roundtrip(self, payload, tmp_path):
+        strands = tmp_path / "strands.txt"
+        recovered = tmp_path / "out.bin"
+        run("encode", payload, strands, *ENCODING_ARGS)
+        assert (
+            run(
+                "decode",
+                strands,
+                recovered,
+                "--params",
+                tmp_path / "strands.txt.params.json",
+            )
+            == 0
+        )
+        assert recovered.read_bytes() == payload.read_bytes()
+
+    def test_decode_reports_failure_exit_code(self, payload, tmp_path):
+        strands = tmp_path / "strands.txt"
+        run("encode", payload, strands, *ENCODING_ARGS)
+        # Keep only a third of the strands: beyond erasure capability.
+        lines = strands.read_text().splitlines()
+        strands.write_text("\n".join(lines[::3]) + "\n")
+        code = run(
+            "decode",
+            strands,
+            tmp_path / "out.bin",
+            "--params",
+            tmp_path / "strands.txt.params.json",
+        )
+        assert code == 1
+
+
+class TestStageChain:
+    def test_full_chain(self, payload, tmp_path):
+        strands = tmp_path / "strands.txt"
+        reads = tmp_path / "reads.txt"
+        clusters = tmp_path / "clusters.txt"
+        consensus = tmp_path / "consensus.txt"
+        recovered = tmp_path / "out.bin"
+
+        run("encode", payload, strands, *ENCODING_ARGS)
+        assert (
+            run(
+                "simulate",
+                strands,
+                reads,
+                "--channel",
+                "iid",
+                "--error-rate",
+                0.04,
+                "--coverage",
+                8,
+                "--seed",
+                3,
+            )
+            == 0
+        )
+        assert run("cluster", reads, clusters, "--seed", 2) == 0
+        assert (
+            run(
+                "reconstruct",
+                reads,
+                clusters,
+                consensus,
+                "--length",
+                132,
+                "--algorithm",
+                "nwa",
+            )
+            == 0
+        )
+        assert (
+            run(
+                "decode",
+                consensus,
+                recovered,
+                "--params",
+                tmp_path / "strands.txt.params.json",
+            )
+            == 0
+        )
+        assert recovered.read_bytes() == payload.read_bytes()
+
+    def test_cluster_file_format(self, payload, tmp_path):
+        strands = tmp_path / "strands.txt"
+        reads = tmp_path / "reads.txt"
+        clusters = tmp_path / "clusters.txt"
+        run("encode", payload, strands, *ENCODING_ARGS)
+        run("simulate", strands, reads, "--coverage", 4, "--seed", 1)
+        run("cluster", reads, clusters)
+        indices = [
+            int(token)
+            for line in clusters.read_text().splitlines()
+            for token in line.split()
+        ]
+        assert sorted(indices) == list(range(len(reads.read_text().splitlines())))
+
+
+class TestPipelineCommand:
+    def test_roundtrip(self, payload, tmp_path, capsys):
+        recovered = tmp_path / "out.bin"
+        code = run(
+            "pipeline",
+            payload,
+            recovered,
+            *ENCODING_ARGS,
+            "--coverage",
+            8,
+            "--error-rate",
+            0.04,
+        )
+        assert code == 0
+        assert recovered.read_bytes() == payload.read_bytes()
+        output = capsys.readouterr().out
+        assert "pipeline latency" in output
+        assert "exact recovery" in output
+
+
+class TestDensityCommand:
+    def test_prints_report(self, capsys):
+        assert run("density", "--parity-columns", 20) == 0
+        output = capsys.readouterr().out
+        assert "net density" in output
+
+
+class TestStatsCommand:
+    def test_clean_pool(self, payload, tmp_path, capsys):
+        strands = tmp_path / "strands.txt"
+        run("encode", payload, strands, *ENCODING_ARGS)
+        code = run("stats", strands, "--max-run", 10)
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in output
+
+    def test_dirty_pool_nonzero_exit(self, tmp_path, capsys):
+        strands = tmp_path / "bad.txt"
+        strands.write_text("AAAAAAAAAAAAAAAA\nGGGGGGGGGGGGGGGG\n")
+        code = run("stats", strands)
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "violations" in output

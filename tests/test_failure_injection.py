@@ -1,0 +1,129 @@
+"""Failure injection: feeding every module hostile inputs.
+
+A toolkit for noisy-channel research must itself be robust to garbage: the
+decoder sees strands with junk characters, reconstruction sees clusters
+polluted with empty or foreign reads, clustering sees wildly varying read
+lengths.  These tests pin down the degradation behaviour (graceful, with
+accounting) rather than just the happy path.
+"""
+
+import random
+
+import pytest
+
+from repro.clustering import ClusteringConfig, RashtchianClusterer
+from repro.codec import DNADecoder, DNAEncoder, EncodingParameters
+from repro.dna.alphabet import random_sequence
+from repro.reconstruction import (
+    BMAReconstructor,
+    DoubleSidedBMAReconstructor,
+    NWConsensusReconstructor,
+)
+from repro.simulation import ConstantCoverage, IIDChannel, sequence_pool
+
+FAST = EncodingParameters(
+    payload_bytes=10, data_columns=12, parity_columns=6, index_bytes=2
+)
+
+
+class TestDecoderHostileInputs:
+    def test_invalid_characters_counted_not_fatal(self):
+        pool = DNAEncoder(FAST).encode(b"hostile")
+        strands = list(pool.references)
+        strands[0] = "N" * len(strands[0])  # basecaller 'N' calls
+        data, report = DNADecoder(FAST).decode(strands, expected_units=pool.num_units)
+        assert data == b"hostile"
+        assert report.bad_symbols == 1
+
+    def test_empty_strands_ignored(self):
+        pool = DNAEncoder(FAST).encode(b"empty strands")
+        strands = list(pool.references) + ["", "", ""]
+        data, report = DNADecoder(FAST).decode(strands, expected_units=pool.num_units)
+        assert data == b"empty strands"
+
+    def test_wild_length_strands(self):
+        pool = DNAEncoder(FAST).encode(b"length chaos")
+        strands = list(pool.references)
+        strands.append("ACGT" * 300)  # absurdly long read
+        strands.append("AC")  # absurdly short read
+        data, report = DNADecoder(FAST).decode(strands, expected_units=pool.num_units)
+        assert data == b"length chaos"
+        assert report.length_adjusted >= 2
+
+    def test_all_garbage_fails_cleanly(self, rng):
+        garbage = [random_sequence(FAST.body_nt, rng) for _ in range(30)]
+        data, report = DNADecoder(FAST).decode(garbage, expected_units=1)
+        assert not report.success
+
+
+class TestReconstructionHostileClusters:
+    @pytest.mark.parametrize(
+        "reconstructor",
+        [BMAReconstructor(), DoubleSidedBMAReconstructor(), NWConsensusReconstructor()],
+        ids=["bma", "dbma", "nw"],
+    )
+    def test_empty_reads_inside_cluster_skipped(self, reconstructor, rng):
+        reference = random_sequence(40, rng)
+        cluster = [reference, "", reference, ""]
+        assert reconstructor.reconstruct(cluster, 40) == reference
+
+    @pytest.mark.parametrize(
+        "reconstructor",
+        [BMAReconstructor(), DoubleSidedBMAReconstructor(), NWConsensusReconstructor()],
+        ids=["bma", "dbma", "nw"],
+    )
+    def test_single_foreign_read_outvoted(self, reconstructor, rng):
+        reference = random_sequence(40, rng)
+        foreign = random_sequence(40, rng)
+        cluster = [reference, reference, reference, foreign]
+        result = reconstructor.reconstruct(cluster, 40)
+        mismatches = sum(1 for a, b in zip(result, reference) if a != b)
+        assert mismatches <= 2
+
+    def test_cluster_of_only_empty_reads_raises(self):
+        with pytest.raises(ValueError):
+            NWConsensusReconstructor().reconstruct(["", ""], 10)
+
+
+class TestClusteringHostileReads:
+    def test_mixed_length_reads_cluster(self, rng):
+        references = [random_sequence(100, rng) for _ in range(15)]
+        run = sequence_pool(
+            references, IIDChannel.from_total_rate(0.04), ConstantCoverage(4), rng
+        )
+        reads = list(run.reads) + [random_sequence(30, rng) for _ in range(5)]
+        result = RashtchianClusterer(
+            ClusteringConfig(rounds=8, num_grams=48, seed=1)
+        ).cluster(reads)
+        flattened = sorted(i for cluster in result.clusters for i in cluster)
+        assert flattened == list(range(len(reads)))
+
+    def test_single_read(self):
+        result = RashtchianClusterer(
+            ClusteringConfig(rounds=2, num_grams=16, seed=1)
+        ).cluster(["ACGTACGTACGT"])
+        assert result.clusters == [[0]]
+
+    def test_identical_reads_all_merge(self):
+        reads = ["ACGTACGTACGTACGTACGT"] * 12
+        result = RashtchianClusterer(
+            ClusteringConfig(rounds=8, num_grams=16, seed=1)
+        ).cluster(reads)
+        assert len(result.clusters) == 1
+
+
+class TestEndToEndUnderHeavyDamage:
+    def test_degrades_with_report_not_exception(self, rng):
+        from repro.pipeline import Pipeline, PipelineConfig
+
+        config = PipelineConfig(
+            encoding=FAST,
+            channel=IIDChannel.from_total_rate(0.25),  # brutal channel
+            coverage=ConstantCoverage(4),
+            clustering=ClusteringConfig(rounds=8, num_grams=48, seed=1),
+            seed=5,
+        )
+        result = Pipeline(config).run(b"probably unrecoverable" * 4)
+        # No exception; outcome recorded in the report either way.
+        assert result.decode_report is not None
+        assert isinstance(result.success, bool)

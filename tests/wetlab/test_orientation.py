@@ -1,0 +1,76 @@
+"""Read orientation tests."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.primers import PrimerPair, design_primer_library
+from repro.dna.alphabet import random_sequence, reverse_complement
+from repro.simulation import IIDChannel
+from repro.wetlab import orient_read
+from repro.wetlab.orientation import locate_primer_sites
+
+PAIR = design_primer_library(1, rng=random.Random(4))[0]
+
+dna = st.text(alphabet="ACGT", min_size=20, max_size=120)
+
+
+class TestOrientRead:
+    @given(dna)
+    def test_forward_reads_kept(self, body):
+        strand = PAIR.tag(body)
+        oriented = orient_read(strand, PAIR)
+        assert not oriented.flipped
+        assert oriented.sequence == strand
+        assert oriented.mismatches == 0
+
+    @given(dna)
+    def test_reverse_reads_flipped(self, body):
+        strand = PAIR.tag(body)
+        oriented = orient_read(reverse_complement(strand), PAIR)
+        assert oriented.flipped
+        assert oriented.sequence == strand
+        assert oriented.mismatches == 0
+
+    @given(dna)
+    def test_payload_boundaries_on_clean_reads(self, body):
+        strand = PAIR.tag(body)
+        oriented = orient_read(strand, PAIR)
+        assert oriented.payload == body
+
+    def test_empty_read(self):
+        oriented = orient_read("", PAIR)
+        assert oriented.sequence == ""
+        assert oriented.mismatches == 40
+
+    def test_noisy_reads_still_orient(self, rng):
+        channel = IIDChannel.from_total_rate(0.08)
+        correct = 0
+        for _ in range(40):
+            body = random_sequence(80, rng)
+            strand = PAIR.tag(body)
+            noisy = channel.transmit(strand, rng)
+            flipped = rng.random() < 0.5
+            read = reverse_complement(noisy) if flipped else noisy
+            oriented = orient_read(read, PAIR)
+            correct += oriented.flipped == flipped
+        assert correct >= 38
+
+
+class TestLocatePrimerSites:
+    def test_exact_sites(self):
+        strand = PAIR.tag("ACGTACGTACGTACGTACGT")
+        mismatches, start, end = locate_primer_sites(strand, PAIR)
+        assert mismatches == 0
+        assert (start, end) == (20, len(strand) - 20)
+
+    def test_indel_in_forward_primer_shifts_start(self):
+        body = "ACGTACGTACGTACGTACGT"
+        strand = PAIR.forward[:10] + PAIR.forward[11:] + body + reverse_complement(
+            PAIR.reverse
+        )
+        mismatches, start, end = locate_primer_sites(strand, PAIR)
+        assert mismatches == 1
+        assert start == 19  # one base shorter primer site
+        assert strand[start:end] == body

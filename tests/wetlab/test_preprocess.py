@@ -1,0 +1,95 @@
+"""Wetlab preprocessing tests."""
+
+import random
+
+import pytest
+
+from repro.codec.primers import design_primer_library
+from repro.dna.alphabet import random_sequence, reverse_complement
+from repro.dna.fastq import FastqRecord
+from repro.simulation import IIDChannel
+from repro.wetlab import WetlabPreprocessor
+
+LIBRARY = design_primer_library(2, rng=random.Random(4))
+
+
+class TestAssignment:
+    def test_reads_routed_to_their_pair(self, rng):
+        bodies_a = [random_sequence(60, rng) for _ in range(5)]
+        bodies_b = [random_sequence(60, rng) for _ in range(7)]
+        reads = [LIBRARY[0].tag(b) for b in bodies_a] + [
+            LIBRARY[1].tag(b) for b in bodies_b
+        ]
+        preprocessor = WetlabPreprocessor(LIBRARY)
+        by_pair, stats = preprocessor.process(reads)
+        assert sorted(by_pair[0]) == sorted(bodies_a)
+        assert sorted(by_pair[1]) == sorted(bodies_b)
+        assert stats.accepted == 12
+
+    def test_mixed_orientations(self, rng):
+        bodies = [random_sequence(60, rng) for _ in range(10)]
+        reads = []
+        for i, body in enumerate(bodies):
+            strand = LIBRARY[0].tag(body)
+            reads.append(reverse_complement(strand) if i % 2 else strand)
+        by_pair, stats = WetlabPreprocessor(LIBRARY).process(reads)
+        assert sorted(by_pair[0]) == sorted(bodies)
+        assert stats.flipped == 5
+
+    def test_junk_rejected(self, rng):
+        junk = [random_sequence(100, rng) for _ in range(10)]
+        by_pair, stats = WetlabPreprocessor(
+            LIBRARY, max_primer_mismatches=8
+        ).process(junk)
+        assert stats.rejected_primer == 10
+        assert not by_pair
+
+    def test_noisy_reads_mostly_accepted(self, rng):
+        channel = IIDChannel.from_total_rate(0.06)
+        reads = [
+            channel.transmit(LIBRARY[0].tag(random_sequence(80, rng)), rng)
+            for _ in range(50)
+        ]
+        _, stats = WetlabPreprocessor(LIBRARY).process(reads)
+        assert stats.accepted >= 45
+
+
+class TestFilters:
+    def test_quality_filter(self):
+        strand = LIBRARY[0].tag("ACGT" * 10)
+        good = FastqRecord("good", strand, [40] * len(strand))
+        bad = FastqRecord("bad", strand, [5] * len(strand))
+        preprocessor = WetlabPreprocessor(LIBRARY, min_mean_quality=20)
+        _, stats = preprocessor.process([good, bad])
+        assert stats.accepted == 1
+        assert stats.rejected_quality == 1
+
+    def test_length_filter(self, rng):
+        short_body = "ACGT"
+        normal_body = random_sequence(60, rng)
+        preprocessor = WetlabPreprocessor(
+            LIBRARY, expected_body_length=60, length_tolerance=0.2
+        )
+        _, stats = preprocessor.process(
+            [LIBRARY[0].tag(short_body), LIBRARY[0].tag(normal_body)]
+        )
+        assert stats.accepted == 1
+        assert stats.rejected_length == 1
+
+    def test_per_pair_stats(self, rng):
+        reads = [LIBRARY[0].tag(random_sequence(40, rng)) for _ in range(3)]
+        reads += [LIBRARY[1].tag(random_sequence(40, rng)) for _ in range(2)]
+        _, stats = WetlabPreprocessor(LIBRARY).process(reads)
+        assert stats.per_pair == {0: 3, 1: 2}
+
+    def test_empty_library_raises(self):
+        with pytest.raises(ValueError):
+            WetlabPreprocessor([])
+
+    def test_accepts_bare_strings_and_records(self, rng):
+        body = random_sequence(40, rng)
+        strand = LIBRARY[0].tag(body)
+        record = FastqRecord("r", strand, [40] * len(strand))
+        by_pair, stats = WetlabPreprocessor(LIBRARY).process([strand, record])
+        assert stats.accepted == 2
+        assert by_pair[0] == [body, body]
