@@ -22,7 +22,10 @@ def format_table(
                 f"row {row!r} has {len(row)} cells, expected {columns}"
             )
     widths = [
-        max(len(str(headers[c])), *(len(str(row[c])) for row in rows)) if rows else len(str(headers[c]))
+        max(
+            len(str(headers[c])),
+            max((len(str(row[c])) for row in rows), default=0),
+        )
         for c in range(columns)
     ]
     lines: List[str] = []

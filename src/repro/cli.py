@@ -14,6 +14,10 @@ swapped from the shell exactly as the library allows from Python:
 
 ``encode`` writes a ``<output>.params.json`` sidecar capturing the encoding
 parameters; ``decode`` reads it back so the two ends always agree.
+
+Every subcommand accepts ``--trace PATH`` to record an observability trace
+(nested spans + counters, JSONL); ``python -m repro trace PATH`` renders a
+saved trace as a per-stage latency/counter report.
 """
 
 from __future__ import annotations
@@ -29,6 +33,13 @@ from repro.analysis import density_report, format_table
 from repro.clustering import ClusteringConfig, RashtchianClusterer
 from repro.codec import DNADecoder, DNAEncoder, EncodingParameters
 from repro.codec.layout import make_layout
+from repro.observability import (
+    Tracer,
+    as_tracer,
+    load_trace,
+    render_report,
+    write_trace,
+)
 from repro.pipeline import Pipeline, PipelineConfig
 from repro.reconstruction import (
     BMAReconstructor,
@@ -109,29 +120,49 @@ def _write_lines(path: str, lines) -> None:
     Path(path).write_text("\n".join(lines) + "\n")
 
 
+def _start_trace(args) -> Optional[Tracer]:
+    """A recording tracer when ``--trace`` was given, else None."""
+    return Tracer() if getattr(args, "trace", None) else None
+
+
+def _finish_trace(args, tracer: Optional[Tracer]) -> None:
+    if tracer is not None:
+        path = write_trace(tracer, args.trace)
+        print(f"trace written to {path}")
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
 
 
 def cmd_encode(args) -> int:
+    tracer = _start_trace(args)
     parameters = _encoding_from_args(args)
     data = Path(args.input).read_bytes()
-    pool = DNAEncoder(parameters).encode(data)
+    with as_tracer(tracer).span("pipeline.encoding", input_bytes=len(data)) as span:
+        pool = DNAEncoder(parameters).encode(data)
+        span.set("strands", len(pool.references))
     _write_lines(args.output, pool.references)
     _save_params(args.output, parameters, pool.num_units)
     print(
         f"encoded {len(data)} B into {len(pool.references)} strands "
         f"({pool.num_units} unit(s)); parameters -> {_params_path(args.output)}"
     )
+    _finish_trace(args, tracer)
     return 0
 
 
 def cmd_decode(args) -> int:
+    tracer = _start_trace(args)
     parameters, num_units = _load_params(args.params)
     strands = _read_lines(args.input)
-    data, report = DNADecoder(parameters).decode(strands, expected_units=num_units)
+    with as_tracer(tracer).span("pipeline.decoding", strands=len(strands)):
+        data, report = DNADecoder(parameters).decode(
+            strands, expected_units=num_units, tracer=tracer
+        )
     Path(args.output).write_bytes(data)
+    _finish_trace(args, tracer)
     status = "OK" if report.success else "FAILED (best effort written)"
     print(
         f"decoded {len(data)} B [{status}] — rows: {report.clean_rows} clean, "
@@ -142,23 +173,32 @@ def cmd_decode(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    tracer = _start_trace(args)
     strands = _read_lines(args.input)
     channel = _channel_from_args(args)
     rng = random.Random(args.seed)
-    run = sequence_pool(strands, channel, ConstantCoverage(args.coverage), rng)
+    with as_tracer(tracer).span(
+        "pipeline.simulation", strands=len(strands), coverage=args.coverage
+    ) as span:
+        run = sequence_pool(strands, channel, ConstantCoverage(args.coverage), rng)
+        span.set("reads", len(run.reads))
+        span.set("dropouts", len(run.dropouts))
     _write_lines(args.output, run.reads)
     print(
         f"sequenced {len(strands)} strands at coverage {args.coverage} "
         f"through {args.channel}: {len(run.reads)} reads "
         f"({len(run.dropouts)} dropouts)"
     )
+    _finish_trace(args, tracer)
     return 0
 
 
 def cmd_cluster(args) -> int:
+    tracer = _start_trace(args)
     reads = _read_lines(args.input)
     config = ClusteringConfig(signature=args.signature, seed=args.seed)
-    result = RashtchianClusterer(config).cluster(reads)
+    with as_tracer(tracer).span("pipeline.clustering", reads=len(reads)):
+        result = RashtchianClusterer(config).cluster(reads, tracer=tracer)
     _write_lines(
         args.output,
         (" ".join(str(i) for i in cluster) for cluster in result.clusters),
@@ -169,29 +209,35 @@ def cmd_cluster(args) -> int:
         f"({result.edit_comparisons} edit-distance calls; "
         f"theta=({result.theta_low:.1f}, {result.theta_high:.1f}))"
     )
+    _finish_trace(args, tracer)
     return 0
 
 
 def cmd_reconstruct(args) -> int:
+    tracer = _start_trace(args)
     reads = _read_lines(args.reads)
     clusters = [
         [int(token) for token in line.split()] for line in _read_lines(args.clusters)
     ]
     reconstructor = _RECONSTRUCTORS[args.algorithm]()
-    consensus = [
-        reconstructor.reconstruct([reads[i] for i in cluster], args.length)
+    kept = [
+        [reads[i] for i in cluster]
         for cluster in clusters
         if len(cluster) >= args.min_cluster_size
     ]
+    with as_tracer(tracer).span("pipeline.reconstruction", clusters=len(kept)):
+        consensus = reconstructor.reconstruct_all(kept, args.length, tracer=tracer)
     _write_lines(args.output, consensus)
     print(
         f"reconstructed {len(consensus)} strands with {args.algorithm} "
         f"(expected length {args.length})"
     )
+    _finish_trace(args, tracer)
     return 0
 
 
 def cmd_pipeline(args) -> int:
+    tracer = _start_trace(args)
     data = Path(args.input).read_bytes()
     config = PipelineConfig(
         encoding=_encoding_from_args(args),
@@ -201,7 +247,7 @@ def cmd_pipeline(args) -> int:
         reconstructor=_RECONSTRUCTORS[args.algorithm](),
         seed=args.seed,
     )
-    result = Pipeline(config).run(data)
+    result = Pipeline(config).run(data, tracer=tracer)
     Path(args.output).write_bytes(result.data)
     rows = [
         [stage, f"{seconds:.2f}"]
@@ -210,20 +256,32 @@ def cmd_pipeline(args) -> int:
     print(format_table(["stage", "seconds"], rows, title="pipeline latency"))
     match = result.data == data
     print(f"round trip: {'exact recovery' if match else 'MISMATCH'}")
+    _finish_trace(args, tracer)
     return 0 if match else 1
 
 
 def cmd_density(args) -> int:
-    report = density_report(_encoding_from_args(args))
+    tracer = _start_trace(args)
+    with as_tracer(tracer).span("analysis.density"):
+        report = density_report(_encoding_from_args(args))
     print(format_table(["quantity", "value"], report.as_rows(), title="density"))
+    _finish_trace(args, tracer)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    trace = load_trace(args.input)
+    print(render_report(trace, title=f"trace report ({args.input})"))
     return 0
 
 
 def cmd_stats(args) -> int:
     from repro.analysis.poolstats import pool_statistics
 
+    tracer = _start_trace(args)
     strands = _read_lines(args.input)
-    stats = pool_statistics(strands, max_run=args.max_run)
+    with as_tracer(tracer).span("analysis.poolstats", strands=len(strands)):
+        stats = pool_statistics(strands, max_run=args.max_run)
     rows = [
         ["strands", str(stats.strands)],
         ["GC mean / min / max", f"{stats.gc_mean:.3f} / {stats.gc_min:.3f} / {stats.gc_max:.3f}"],
@@ -233,6 +291,7 @@ def cmd_stats(args) -> int:
         ["verdict", "clean" if stats.clean else "screen violations present"],
     ]
     print(format_table(["quantity", "value"], rows, title="pool statistics"))
+    _finish_trace(args, tracer)
     return 0 if stats.clean else 1
 
 
@@ -328,6 +387,24 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("input")
     stats.add_argument("--max-run", type=int, default=6)
     stats.set_defaults(handler=cmd_stats)
+
+    trace = commands.add_parser(
+        "trace", help="render a saved trace (latency + counters report)"
+    )
+    trace.add_argument("input", help="JSONL trace written by --trace")
+    trace.set_defaults(handler=cmd_trace)
+
+    # Global observability flag: every subcommand (except the renderer
+    # itself) can record its run as a JSONL trace.
+    for name, subparser in commands.choices.items():
+        if name != "trace":
+            subparser.add_argument(
+                "--trace",
+                metavar="PATH",
+                default=None,
+                help="record spans + counters to PATH as JSONL "
+                "(render with `repro trace PATH`)",
+            )
 
     return parser
 

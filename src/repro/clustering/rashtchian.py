@@ -21,7 +21,6 @@ between unrelated reads and so trims gray-zone edit-distance calls).
 from __future__ import annotations
 
 import random
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -31,6 +30,7 @@ import numpy as np
 from repro.dna.alphabet import random_sequence
 from repro.dna.distance import levenshtein_distance
 from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
+from repro.observability.trace import Tracer, as_tracer
 from repro.clustering.thresholds import (
     ThresholdEstimate,
     estimate_thresholds,
@@ -127,11 +127,20 @@ class RashtchianClusterer:
     def __init__(self, config: Optional[ClusteringConfig] = None):
         self.config = config or ClusteringConfig()
 
-    def cluster(self, reads: Sequence[str]) -> ClusteringResult:
-        """Cluster *reads*; returns read-index clusters and statistics."""
+    def cluster(
+        self, reads: Sequence[str], tracer: Optional[Tracer] = None
+    ) -> ClusteringResult:
+        """Cluster *reads*; returns read-index clusters and statistics.
+
+        When a :class:`~repro.observability.Tracer` is supplied the run
+        emits ``clustering.signatures`` / ``clustering.thresholds`` /
+        ``clustering.rounds`` / ``clustering.sweep`` spans and flushes
+        the comparison/merge counts into its metrics registry.
+        """
         if not reads:
             raise ValueError("cannot cluster an empty read set")
         config = self.config
+        tracer = as_tracer(tracer)
         rng = random.Random(config.seed)
         grams = sample_grams(config.num_grams, config.gram_length, rng)
         if config.signature == "qgram":
@@ -141,82 +150,102 @@ class RashtchianClusterer:
             scheme = WGramSignature(grams)
             distance = WGramSignature.distance
 
-        signature_start = time.perf_counter()
-        signatures = self._compute_signatures(reads, grams)
-        signature_seconds = time.perf_counter() - signature_start
+        with tracer.span(
+            "clustering.signatures", reads=len(reads), flavour=config.signature
+        ) as signature_span:
+            signatures = self._compute_signatures(reads, grams)
 
-        clustering_start = time.perf_counter()
-        estimate: Optional[ThresholdEstimate] = None
-        if config.theta_low is None:
-            try:
-                sampled = sample_signature_distances(signatures, distance, rng=rng)
-                estimate = estimate_thresholds(sampled)
-                theta_low, theta_high = estimate.theta_low, estimate.theta_high
-            except ValueError:
-                # Too few reads to estimate the inter-cluster mode: route
-                # every in-bucket pair through the edit-distance check,
-                # which is affordable at exactly these small scales.
-                theta_low, theta_high = 0.0, float("inf")
-        else:
-            theta_low, theta_high = config.theta_low, config.theta_high
+        with tracer.span("clustering.merge") as merge_span:
+            with tracer.span("clustering.thresholds") as span:
+                estimate: Optional[ThresholdEstimate] = None
+                if config.theta_low is None:
+                    try:
+                        sampled = sample_signature_distances(
+                            signatures, distance, rng=rng
+                        )
+                        estimate = estimate_thresholds(sampled)
+                        theta_low, theta_high = (
+                            estimate.theta_low,
+                            estimate.theta_high,
+                        )
+                    except ValueError:
+                        # Too few reads to estimate the inter-cluster mode:
+                        # route every in-bucket pair through the
+                        # edit-distance check, which is affordable at
+                        # exactly these small scales.
+                        theta_low, theta_high = 0.0, float("inf")
+                else:
+                    theta_low, theta_high = config.theta_low, config.theta_high
+                span.set("theta_low", theta_low)
+                span.set("theta_high", theta_high)
 
-        lengths = sorted(len(read) for read in reads)
-        edit_threshold = config.edit_threshold
-        if edit_threshold is None:
-            edit_threshold = max(4, int(0.33 * lengths[len(lengths) // 2]))
+            lengths = sorted(len(read) for read in reads)
+            edit_threshold = config.edit_threshold
+            if edit_threshold is None:
+                edit_threshold = max(4, int(0.33 * lengths[len(lengths) // 2]))
 
-        result = ClusteringResult(
-            clusters=[],
-            theta_low=theta_low,
-            theta_high=theta_high,
-            signature_seconds=signature_seconds,
-            clustering_seconds=0.0,
-            threshold_estimate=estimate,
-        )
-
-        union = UnionFind(len(reads))
-        members: List[List[int]] = [[index] for index in range(len(reads))]
-        # Gray-zone verdicts are deterministic per read pair; memoise them so
-        # representatives re-drawn across rounds never pay twice.
-        edit_memo: dict = {}
-        for _ in range(config.rounds):
-            self._run_round(
-                reads,
-                signatures,
-                distance,
-                union,
-                members,
-                theta_low,
-                theta_high,
-                edit_threshold,
-                rng,
-                result,
-                edit_memo,
+            result = ClusteringResult(
+                clusters=[],
+                theta_low=theta_low,
+                theta_high=theta_high,
+                signature_seconds=signature_span.duration,
+                clustering_seconds=0.0,
+                threshold_estimate=estimate,
             )
-        for _ in range(3):
-            if config.sweep_max_size <= 0:
-                break
-            merges_before = result.merges
-            self._final_sweep(
-                reads,
-                signatures,
-                distance,
-                union,
-                members,
-                theta_low,
-                edit_threshold,
-                rng,
-                result,
-                edit_memo,
-            )
-            if result.merges == merges_before:
-                break
-        result.clusters = [
-            sorted(members[root])
-            for root in range(len(reads))
-            if union.find(root) == root
-        ]
-        result.clustering_seconds = time.perf_counter() - clustering_start
+
+            union = UnionFind(len(reads))
+            members: List[List[int]] = [[index] for index in range(len(reads))]
+            # Gray-zone verdicts are deterministic per read pair; memoise
+            # them so representatives re-drawn across rounds never pay twice.
+            edit_memo: dict = {}
+            with tracer.span("clustering.rounds", rounds=config.rounds) as span:
+                for _ in range(config.rounds):
+                    self._run_round(
+                        reads,
+                        signatures,
+                        distance,
+                        union,
+                        members,
+                        theta_low,
+                        theta_high,
+                        edit_threshold,
+                        rng,
+                        result,
+                        edit_memo,
+                    )
+                span.set("merges", result.merges)
+            with tracer.span("clustering.sweep") as span:
+                merges_before_sweep = result.merges
+                for _ in range(3):
+                    if config.sweep_max_size <= 0:
+                        break
+                    merges_before = result.merges
+                    self._final_sweep(
+                        reads,
+                        signatures,
+                        distance,
+                        union,
+                        members,
+                        theta_low,
+                        edit_threshold,
+                        rng,
+                        result,
+                        edit_memo,
+                    )
+                    if result.merges == merges_before:
+                        break
+                span.set("merges", result.merges - merges_before_sweep)
+            result.clusters = [
+                sorted(members[root])
+                for root in range(len(reads))
+                if union.find(root) == root
+            ]
+        result.clustering_seconds = merge_span.duration
+
+        metrics = tracer.metrics
+        metrics.counter("signature_comparisons").inc(result.signature_comparisons)
+        metrics.counter("edit_comparisons").inc(result.edit_comparisons)
+        metrics.counter("cluster_merges").inc(result.merges)
         return result
 
     def _final_sweep(

@@ -19,11 +19,11 @@ high error rates — the trade-off the related-work section describes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.clustering.rashtchian import ClusteringResult
+from repro.observability.trace import Tracer, as_tracer
 
 
 @dataclass
@@ -59,32 +59,36 @@ class TreeClusterer:
     def __init__(self, config: Optional[TreeClusteringConfig] = None):
         self.config = config or TreeClusteringConfig()
 
-    def cluster(self, reads: Sequence[str]) -> ClusteringResult:
+    def cluster(
+        self, reads: Sequence[str], tracer: Optional[Tracer] = None
+    ) -> ClusteringResult:
         """Cluster *reads*; returns the toolkit-standard result object."""
         if not reads:
             raise ValueError("cannot cluster an empty read set")
         config = self.config
-        start = time.perf_counter()
-        tables: List[Dict[str, int]] = [dict() for _ in config.probe_offsets]
-        clusters: List[List[int]] = []
-        lookups = 0
+        tracer = as_tracer(tracer)
+        with tracer.span("clustering.tree", reads=len(reads)) as span:
+            tables: List[Dict[str, int]] = [dict() for _ in config.probe_offsets]
+            clusters: List[List[int]] = []
+            lookups = 0
 
-        for read_index, read in enumerate(reads):
-            assigned = self._lookup(read, tables)
-            lookups += 1
-            if assigned is None:
-                assigned = len(clusters)
-                clusters.append([])
-            clusters[assigned].append(read_index)
-            self._register(read, assigned, tables)
+            for read_index, read in enumerate(reads):
+                assigned = self._lookup(read, tables)
+                lookups += 1
+                if assigned is None:
+                    assigned = len(clusters)
+                    clusters.append([])
+                clusters[assigned].append(read_index)
+                self._register(read, assigned, tables)
+            span.set("clusters", len(clusters))
 
-        elapsed = time.perf_counter() - start
+        tracer.metrics.counter("signature_comparisons").inc(lookups)
         return ClusteringResult(
             clusters=[sorted(members) for members in clusters],
             theta_low=0.0,
             theta_high=0.0,
             signature_seconds=0.0,
-            clustering_seconds=elapsed,
+            clustering_seconds=span.duration,
             signature_comparisons=lookups,
             edit_comparisons=0,
             merges=sum(len(members) - 1 for members in clusters),

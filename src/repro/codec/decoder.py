@@ -20,6 +20,7 @@ from repro.codec.encoder import _HEADER_BYTES, EncodingParameters
 from repro.codec.index import IndexCodec
 from repro.codec.randomizer import Randomizer
 from repro.codec.reed_solomon import ReedSolomonCodec, RSDecodeError
+from repro.observability.trace import Tracer, as_tracer
 
 
 @dataclass
@@ -60,6 +61,7 @@ class DNADecoder:
         self,
         strands: Iterable[str],
         expected_units: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ) -> Tuple[bytes, DecodeReport]:
         """Decode strand *bodies* (index + payload, primers already removed).
 
@@ -73,6 +75,11 @@ class DNADecoder:
             Number of encoding units originally written.  When omitted it is
             inferred from the largest valid index observed, which is correct
             unless an entire trailing unit was lost.
+        tracer:
+            Optional :class:`~repro.observability.Tracer`; when given, the
+            run emits ``decoding.collect_columns`` / ``decoding.units``
+            spans and RS counters (``rs_decode_errors_corrected``,
+            ``rs_rows_corrected`` / ``rs_rows_failed`` / ``rs_rows_clean``).
 
         Returns
         -------
@@ -82,8 +89,15 @@ class DNADecoder:
             ``report.success`` is ``False``.
         """
         params = self.parameters
+        tracer = as_tracer(tracer)
         report = DecodeReport()
-        columns = self._collect_columns(strands, report)
+        with tracer.span("decoding.collect_columns") as span:
+            columns = self._collect_columns(strands, report)
+            span.set("strands", report.total_strands)
+            span.set("columns", len(columns))
+        tracer.metrics.counter("reads_discarded", stage="decoding").inc(
+            report.bad_symbols
+        )
         if not columns:
             return b"", report
 
@@ -95,11 +109,18 @@ class DNADecoder:
         report.bad_index = sum(1 for index in columns if index >= capacity)
         stream = bytearray()
         decode_ok = True
-        for unit in range(expected_units):
-            unit_bytes, failed = self._decode_unit(unit, columns, report)
-            stream.extend(unit_bytes)
-            if failed:
-                decode_ok = False
+        with tracer.span("decoding.units", units=expected_units):
+            for unit in range(expected_units):
+                unit_bytes, failed = self._decode_unit(
+                    unit, columns, report, tracer=tracer
+                )
+                stream.extend(unit_bytes)
+                if failed:
+                    decode_ok = False
+        metrics = tracer.metrics
+        metrics.counter("rs_rows_clean").inc(report.clean_rows)
+        metrics.counter("rs_rows_corrected").inc(report.corrected_rows)
+        metrics.counter("rs_rows_failed").inc(report.failed_rows)
 
         if len(stream) < _HEADER_BYTES:
             report.success = False
@@ -158,9 +179,12 @@ class DNADecoder:
         unit: int,
         columns: Dict[int, bytes],
         report: DecodeReport,
+        tracer: Optional[Tracer] = None,
     ) -> Tuple[bytes, bool]:
         """Decode one encoding unit; return (data bytes, any_row_failed)."""
         params = self.parameters
+        tracer = as_tracer(tracer)
+        errors_corrected = tracer.metrics.counter("rs_decode_errors_corrected")
         rows = params.payload_bytes
         n = params.total_columns
         base_index = unit * n
@@ -185,8 +209,12 @@ class DNADecoder:
                 continue
             try:
                 message = self._rs.decode(codeword, erasures=erasures)
-                if list(codeword[: params.data_columns]) != message:
+                received = list(codeword[: params.data_columns])
+                if received != message:
                     report.corrected_rows += 1
+                    errors_corrected.inc(
+                        sum(1 for a, b in zip(received, message) if a != b)
+                    )
                 else:
                     report.clean_rows += 1
                 data_rows.append(message)

@@ -1,0 +1,70 @@
+"""Unified tracing + metrics for the end-to-end pipeline.
+
+Three pieces:
+
+* :mod:`repro.observability.trace` — nested context-manager spans
+  (:class:`Tracer`), with a timing-only no-op default
+  (:data:`NULL_TRACER`);
+* :mod:`repro.observability.metrics` — labelled counters, gauges and
+  percentile histograms (:class:`MetricsRegistry`);
+* :mod:`repro.observability.export` — JSONL serialisation and the
+  plain-text report behind ``repro trace``.
+
+Enable end-to-end tracing by passing a tracer into the pipeline::
+
+    from repro.observability import Tracer, write_trace
+
+    tracer = Tracer()
+    result = Pipeline(config).run(data, tracer=tracer)
+    write_trace(tracer, "trace.jsonl")
+
+See DESIGN.md for the span/metric naming scheme.
+"""
+
+from repro.observability.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    percentile,
+)
+from repro.observability.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    as_tracer,
+)
+from repro.observability.export import (
+    TraceData,
+    load_trace,
+    render_report,
+    render_span_tree,
+    render_tracer_report,
+    trace_lines,
+    write_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "percentile",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_tracer",
+    "TraceData",
+    "load_trace",
+    "render_report",
+    "render_span_tree",
+    "render_tracer_report",
+    "trace_lines",
+    "write_trace",
+]

@@ -1,0 +1,280 @@
+"""Serialisation and report rendering for traces and metrics.
+
+The on-disk format is JSONL — one self-describing object per line — so a
+trace can be streamed, grepped, and diffed:
+
+* ``{"kind": "span", "id": 3, "parent": 1, "name": ..., "start": ...,
+  "duration": ..., "attributes": {...}}`` — spans appear in depth-first
+  order; ``parent`` reconstructs the nesting.
+* ``{"kind": "counter"|"gauge", "name": ..., "labels": {...},
+  "value": ...}``
+* ``{"kind": "histogram", "name": ..., "labels": {...},
+  "summary": {"count": ..., "p50": ..., ...}}``
+
+:func:`load_trace` reads the format back into a :class:`TraceData`;
+:func:`render_report` turns one into the plain-text latency/counter
+report behind ``repro trace`` (reusing
+:func:`repro.analysis.reporting.format_table`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
+
+from repro.analysis.reporting import format_table
+from repro.observability.trace import Span, Tracer
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+
+
+def trace_lines(tracer: Tracer) -> Iterator[str]:
+    """Serialise *tracer*'s spans and metrics as JSONL lines."""
+    yield json.dumps({"kind": "meta", "version": FORMAT_VERSION})
+    next_id = 0
+
+    def emit(span: Span, parent: int) -> Iterator[str]:
+        nonlocal next_id
+        next_id += 1
+        span_id = next_id
+        yield json.dumps(
+            {
+                "kind": "span",
+                "id": span_id,
+                "parent": parent,
+                "name": span.name,
+                "start": span.start,
+                "duration": span.duration,
+                "attributes": span.attributes,
+            },
+            default=str,
+        )
+        for child in span.children:
+            yield from emit(child, span_id)
+
+    for root in tracer.roots:
+        yield from emit(root, 0)
+
+    for name, labels, counter in tracer.metrics.counters():
+        yield json.dumps(
+            {"kind": "counter", "name": name, "labels": labels, "value": counter.value}
+        )
+    for name, labels, gauge in tracer.metrics.gauges():
+        yield json.dumps(
+            {"kind": "gauge", "name": name, "labels": labels, "value": gauge.value}
+        )
+    for name, labels, histogram in tracer.metrics.histograms():
+        yield json.dumps(
+            {
+                "kind": "histogram",
+                "name": name,
+                "labels": labels,
+                "summary": histogram.summary(),
+            }
+        )
+
+
+def write_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write *tracer* to *path* as JSONL; returns the path."""
+    path = Path(path)
+    path.write_text("\n".join(trace_lines(tracer)) + "\n", encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TraceData:
+    """A deserialised trace: span trees plus flattened metric records."""
+
+    roots: List[Span] = field(default_factory=list)
+    counters: List[Tuple[str, Dict[str, str], int]] = field(default_factory=list)
+    gauges: List[Tuple[str, Dict[str, str], float]] = field(default_factory=list)
+    histograms: List[Tuple[str, Dict[str, str], Dict[str, float]]] = field(
+        default_factory=list
+    )
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> List[Span]:
+        return [span for span in self.walk() if span.name == name]
+
+
+def load_trace(source: Union[str, Path, Iterable[str]]) -> TraceData:
+    """Parse a JSONL trace from a path or an iterable of lines."""
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text(encoding="utf-8").splitlines()
+    else:
+        lines = source
+    trace = TraceData()
+    spans_by_id: Dict[int, Span] = {}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("kind")
+        if kind == "meta":
+            continue
+        if kind == "span":
+            span = Span(record["name"], dict(record.get("attributes", {})))
+            span.start = float(record["start"])
+            span.duration = float(record["duration"])
+            spans_by_id[record["id"]] = span
+            parent = spans_by_id.get(record.get("parent") or 0)
+            if parent is None:
+                trace.roots.append(span)
+            else:
+                parent.children.append(span)
+        elif kind == "counter":
+            trace.counters.append(
+                (record["name"], dict(record.get("labels", {})), int(record["value"]))
+            )
+        elif kind == "gauge":
+            trace.gauges.append(
+                (record["name"], dict(record.get("labels", {})), float(record["value"]))
+            )
+        elif kind == "histogram":
+            trace.histograms.append(
+                (record["name"], dict(record.get("labels", {})), dict(record["summary"]))
+            )
+        else:
+            raise ValueError(f"unknown trace record kind {kind!r}")
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    return ",".join(f"{key}={value}" for key, value in sorted(labels.items())) or "-"
+
+
+def render_span_tree(roots: List[Span], precision: int = 4) -> str:
+    """An indented per-span breakdown (one line per span, tree order)."""
+    lines: List[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        attrs = (
+            " [" + ", ".join(f"{k}={v}" for k, v in span.attributes.items()) + "]"
+            if span.attributes
+            else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{span.name}  {span.duration:.{precision}f}s{attrs}"
+        )
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def aggregate_spans(roots: List[Span]) -> List[Tuple[str, int, float, float, float, float]]:
+    """Per-name rollup: (name, calls, total, mean, min, max), tree order."""
+    order: List[str] = []
+    stats: Dict[str, List[float]] = {}
+
+    def visit(span: Span) -> None:
+        if span.name not in stats:
+            stats[span.name] = []
+            order.append(span.name)
+        stats[span.name].append(span.duration)
+        for child in span.children:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return [
+        (
+            name,
+            len(durations),
+            sum(durations),
+            sum(durations) / len(durations),
+            min(durations),
+            max(durations),
+        )
+        for name in order
+        for durations in (stats[name],)
+    ]
+
+
+def render_report(trace: TraceData, title: str = "trace report") -> str:
+    """The human-readable latency + counters report for a loaded trace."""
+    sections: List[str] = []
+
+    if trace.roots:
+        rows = [
+            [name, str(calls), f"{total:.4f}", f"{mean:.4f}", f"{low:.4f}", f"{high:.4f}"]
+            for name, calls, total, mean, low, high in aggregate_spans(trace.roots)
+        ]
+        sections.append(
+            format_table(
+                ["span", "calls", "total s", "mean s", "min s", "max s"],
+                rows,
+                title=f"{title} - span latency",
+            )
+        )
+        sections.append("span tree\n" + render_span_tree(trace.roots))
+
+    if trace.counters:
+        rows = [
+            [name, _format_labels(labels), str(value)]
+            for name, labels, value in trace.counters
+        ]
+        sections.append(
+            format_table(["counter", "labels", "value"], rows, title="counters")
+        )
+
+    if trace.gauges:
+        rows = [
+            [name, _format_labels(labels), f"{value:g}"]
+            for name, labels, value in trace.gauges
+        ]
+        sections.append(format_table(["gauge", "labels", "value"], rows, title="gauges"))
+
+    if trace.histograms:
+        rows = [
+            [
+                name,
+                _format_labels(labels),
+                str(int(summary.get("count", 0))),
+                f"{summary.get('mean', 0.0):.4g}",
+                f"{summary.get('p50', 0.0):.4g}",
+                f"{summary.get('p90', 0.0):.4g}",
+                f"{summary.get('p99', 0.0):.4g}",
+                f"{summary.get('max', 0.0):.4g}",
+            ]
+            for name, labels, summary in trace.histograms
+        ]
+        sections.append(
+            format_table(
+                ["histogram", "labels", "count", "mean", "p50", "p90", "p99", "max"],
+                rows,
+                title="histograms",
+            )
+        )
+
+    if not sections:
+        return f"{title}: empty trace"
+    return "\n\n".join(sections)
+
+
+def render_tracer_report(tracer: Tracer, title: str = "trace report") -> str:
+    """Render a live tracer without the disk round trip."""
+    return render_report(load_trace(trace_lines(tracer)), title=title)

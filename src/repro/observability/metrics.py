@@ -1,0 +1,193 @@
+"""Process-wide metrics: counters, gauges and percentile histograms.
+
+The registry is the quantitative half of the observability layer (the
+tracer in :mod:`repro.observability.trace` is the temporal half): stages
+increment labelled instruments — ``rs_decode_errors_corrected``,
+``clusters_formed``, ``reads_discarded``, ``bma_lookahead_invocations`` —
+and the exporter renders them next to the span latencies so one report
+answers both "where did the time go" and "what did each stage do".
+
+Instruments are keyed by ``(name, labels)``; asking for the same key twice
+returns the same instrument, so call sites never need to coordinate.  A
+shared no-op registry (:data:`NULL_REGISTRY`) backs the no-op tracer:
+its instruments discard every update, keeping disabled instrumentation
+free of memory growth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, object]) -> LabelsKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0..100) with linear interpolation.
+
+    Matches ``numpy.percentile``'s default ("linear") method, implemented
+    locally so the metrics layer stays dependency-free.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution summarised by count/sum/min/max and p50/p90/p99."""
+
+    __slots__ = ("observations",)
+
+    def __init__(self) -> None:
+        self.observations: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.observations.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.observations)
+
+    def quantile(self, q: float) -> float:
+        return percentile(self.observations, q)
+
+    def summary(self) -> Dict[str, float]:
+        """The exported shape: count, sum, min/max, mean and percentiles."""
+        if not self.observations:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": sum(self.observations),
+            "min": min(self.observations),
+            "max": max(self.observations),
+            "mean": sum(self.observations) / self.count,
+            "p50": self.quantile(50),
+            "p90": self.quantile(90),
+            "p99": self.quantile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in a run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelsKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelsKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelsKey], Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._counters.setdefault((name, _labels_key(labels)), Counter())
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._gauges.setdefault((name, _labels_key(labels)), Gauge())
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._histograms.setdefault(
+            (name, _labels_key(labels)), Histogram()
+        )
+
+    # -- iteration (sorted for stable reports) -------------------------
+
+    def counters(self) -> Iterator[Tuple[str, Dict[str, str], Counter]]:
+        for (name, labels), counter in sorted(self._counters.items()):
+            yield name, dict(labels), counter
+
+    def gauges(self) -> Iterator[Tuple[str, Dict[str, str], Gauge]]:
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            yield name, dict(labels), gauge
+
+    def histograms(self) -> Iterator[Tuple[str, Dict[str, str], Histogram]]:
+        for (name, labels), histogram in sorted(self._histograms.items()):
+            yield name, dict(labels), histogram
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s instruments into this registry (sums/extends)."""
+        for (key, counter) in other._counters.items():
+            self._counters.setdefault(key, Counter()).value += counter.value
+        for (key, gauge) in other._gauges.items():
+            self._gauges.setdefault(key, Gauge()).value = gauge.value
+        for (key, histogram) in other._histograms.items():
+            self._histograms.setdefault(key, Histogram()).observations.extend(
+                histogram.observations
+            )
+
+
+class _NullInstrument:
+    """Accepts every update and remembers none of them."""
+
+    __slots__ = ()
+    value = 0
+    observations: List[float] = []
+    count = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The disabled registry: one shared instrument, zero retention."""
+
+    def counter(self, name: str, **labels: object):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: object):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels: object):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+
+#: Shared no-op registry used by the no-op tracer.
+NULL_REGISTRY = NullMetricsRegistry()

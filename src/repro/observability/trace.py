@@ -1,0 +1,189 @@
+"""Hierarchical wall-clock spans: the temporal half of observability.
+
+A :class:`Tracer` hands out context-manager spans that nest::
+
+    tracer = Tracer()
+    with tracer.span("pipeline.run"):
+        with tracer.span("clustering.signatures", reads=len(reads)) as span:
+            ...
+            span.set("signature_bytes", total)
+
+Every span records its start offset (relative to the tracer's epoch), its
+wall-clock duration, free-form key/value attributes, and its children.
+Stage rollups read ``span.duration`` directly, which is how the pipeline's
+:class:`~repro.pipeline.stats.StageTimings` stays populated without a
+single bare ``perf_counter()`` pair.
+
+The default throughout the toolkit is :data:`NULL_TRACER`: its spans still
+measure duration (so rollups keep working untraced) but retain nothing —
+no tree, no attributes, no metrics — making disabled instrumentation cost
+exactly what the old hand-rolled ``perf_counter()`` pairs did.
+
+Tracers are not thread-safe; use one per thread (or per pipeline run).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.observability.metrics import NULL_REGISTRY, MetricsRegistry
+
+
+class Span:
+    """One timed region; a context manager vended by :meth:`Tracer.span`."""
+
+    __slots__ = ("name", "attributes", "start", "duration", "children", "_tracer", "_t0")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, Any]] = None,
+        _tracer: Optional["Tracer"] = None,
+    ):
+        self.name = name
+        self.attributes: Dict[str, Any] = attributes or {}
+        self.start = 0.0
+        self.duration = 0.0
+        self.children: List[Span] = []
+        self._tracer = _tracer
+        self._t0 = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[key] = value
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._push(self)
+        self._t0 = time.perf_counter()
+        if self._tracer is not None:
+            self.start = self._t0 - self._tracer.epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._t0
+        if self._tracer is not None:
+            self._tracer._pop(self)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, duration={self.duration:.6f}, "
+            f"attributes={self.attributes!r}, children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Builds a tree of :class:`Span` objects plus a metrics registry."""
+
+    enabled = True
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self.epoch = time.perf_counter()
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new span; enter it (``with``) to start the clock."""
+        return Span(name, attributes, _tracer=self)
+
+    # -- stack discipline (driven by Span.__enter__/__exit__) ----------
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # tolerate out-of-order exits
+            self._stack.remove(span)
+
+    # -- queries -------------------------------------------------------
+
+    def walk(self) -> Iterator[Span]:
+        """Every recorded span, depth-first across all roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> List[Span]:
+        """All spans named *name* (e.g. every ``clustering.signatures``)."""
+        return [span for span in self.walk() if span.name == name]
+
+    def reset(self) -> None:
+        """Drop recorded spans (metrics are left alone)."""
+        self.roots = []
+        self._stack = []
+        self.epoch = time.perf_counter()
+
+
+class _NullSpan:
+    """A span that measures its duration but retains nothing else.
+
+    Durations must survive even with tracing disabled because stage
+    rollups (``StageTimings``, ``ClusteringResult.signature_seconds``,
+    ``TrainingHistory.seconds``) are part of the library's regular
+    return values, not optional diagnostics.
+    """
+
+    __slots__ = ("duration", "_t0")
+
+    name = ""
+    start = 0.0
+    attributes: Dict[str, Any] = {}
+    children: List[Span] = []
+
+    def __init__(self) -> None:
+        self.duration = 0.0
+        self._t0 = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._t0
+        return False
+
+
+class NullTracer:
+    """The disabled tracer: timing-only spans, no-op metrics, no state."""
+
+    enabled = False
+    metrics = NULL_REGISTRY
+    roots: List[Span] = []
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NullSpan()
+
+    def walk(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared default tracer: safe to pass everywhere, records nothing.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer: Optional["Tracer"]) -> "Tracer":
+    """Normalise an optional tracer argument (``None`` -> no-op)."""
+    return NULL_TRACER if tracer is None else tracer

@@ -5,12 +5,19 @@ model, clustering configuration and reconstructor all come from the
 :class:`~repro.pipeline.config.PipelineConfig`, and the wetlab-data entry
 point :meth:`Pipeline.run_from_reads` lets real sequencing reads replace
 the simulation stage entirely (Section VIII).
+
+Both entry points accept an optional
+:class:`~repro.observability.Tracer`; every stage then runs inside a
+``pipeline.<stage>`` span (with the clusterer, reconstructor and decoder
+emitting finer-grained child spans and counters), and
+:class:`~repro.pipeline.stats.StageTimings` is rolled up from those span
+durations.  Without a tracer the spans degrade to timing-only no-ops.
 """
 
 from __future__ import annotations
 
+import inspect
 import random
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -18,6 +25,7 @@ from repro.clustering.rashtchian import ClusteringResult, RashtchianClusterer
 from repro.codec.decoder import DecodeReport, DNADecoder
 from repro.codec.encoder import DNAEncoder, EncodedPool
 from repro.dna.alphabet import reverse_complement
+from repro.observability.trace import Tracer, as_tracer
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.stats import StageTimings
 from repro.simulation.coverage import SequencingRun, sequence_pool
@@ -38,6 +46,15 @@ class PipelineResult:
     decode_report: Optional[DecodeReport] = None
 
 
+def _accepts_tracer(method) -> bool:
+    """True when a pluggable stage's method takes a ``tracer`` keyword."""
+    try:
+        signature = inspect.signature(method)
+    except (TypeError, ValueError):
+        return False
+    return "tracer" in signature.parameters
+
+
 class Pipeline:
     """Drives a file through the whole DNA storage pipeline."""
 
@@ -50,41 +67,57 @@ class Pipeline:
     # Full simulated round trip
     # ------------------------------------------------------------------
 
-    def run(self, data: bytes) -> PipelineResult:
+    def run(self, data: bytes, tracer: Optional[Tracer] = None) -> PipelineResult:
         """Encode *data*, simulate the wetlab, and recover the file."""
         config = self.config
+        tracer = as_tracer(tracer)
         rng = random.Random(config.seed)
         timings = StageTimings()
 
-        start = time.perf_counter()
-        encoded = self._encoder.encode(data)
-        timings.encoding = time.perf_counter() - start
+        with tracer.span("pipeline.run", input_bytes=len(data)):
+            with tracer.span("pipeline.encoding") as span:
+                encoded = self._encoder.encode(data)
+                span.set("strands", len(encoded.references))
+                span.set("units", encoded.num_units)
+            timings.encoding = span.duration
 
-        start = time.perf_counter()
-        transmitted = (
-            encoded.strands
-            if config.encoding.primer_pair is not None
-            else encoded.references
-        )
-        run = sequence_pool(transmitted, config.channel, config.coverage, rng)
-        reads = run.reads
-        if config.reverse_orientation_prob > 0:
-            reads = [
-                reverse_complement(read)
-                if rng.random() < config.reverse_orientation_prob
-                else read
-                for read in reads
-            ]
-        if config.encoding.primer_pair is not None:
-            preprocessor = WetlabPreprocessor(
-                [config.encoding.primer_pair],
-                expected_body_length=config.encoding.body_nt,
-            )
-            by_pair, _ = preprocessor.process(reads)
-            reads = by_pair.get(0, [])
-        timings.simulation = time.perf_counter() - start
+            with tracer.span("pipeline.simulation") as span:
+                transmitted = (
+                    encoded.strands
+                    if config.encoding.primer_pair is not None
+                    else encoded.references
+                )
+                run = sequence_pool(transmitted, config.channel, config.coverage, rng)
+                reads = run.reads
+                if config.reverse_orientation_prob > 0:
+                    reads = [
+                        reverse_complement(read)
+                        if rng.random() < config.reverse_orientation_prob
+                        else read
+                        for read in reads
+                    ]
+                span.set("reads", len(reads))
+                span.set("dropouts", len(run.dropouts))
+            timings.simulation = span.duration
 
-        result = self._recover(reads, encoded, timings)
+            if config.encoding.primer_pair is not None:
+                with tracer.span("pipeline.preprocessing") as span:
+                    preprocessor = WetlabPreprocessor(
+                        [config.encoding.primer_pair],
+                        expected_body_length=config.encoding.body_nt,
+                    )
+                    by_pair, stats = preprocessor.process(reads)
+                    reads = by_pair.get(0, [])
+                    span.set("accepted", stats.accepted)
+                    span.set("flipped", stats.flipped)
+                    rejected = stats.total - stats.accepted
+                    span.set("rejected", rejected)
+                    tracer.metrics.counter(
+                        "reads_discarded", stage="preprocessing"
+                    ).inc(rejected)
+                timings.preprocessing = span.duration
+
+            result = self._recover(reads, encoded, timings, tracer=tracer)
         result.sequencing = run
         return result
 
@@ -93,13 +126,17 @@ class Pipeline:
     # ------------------------------------------------------------------
 
     def run_from_reads(
-        self, reads: Sequence[str], expected_units: Optional[int] = None
+        self,
+        reads: Sequence[str],
+        expected_units: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ) -> PipelineResult:
         """Recover a file from externally-produced payload reads.
 
         *reads* must already be oriented and primer-trimmed (use
         :class:`~repro.wetlab.preprocess.WetlabPreprocessor` on raw fastq).
         """
+        tracer = as_tracer(tracer)
         timings = StageTimings()
         placeholder = EncodedPool(
             strands=[],
@@ -108,9 +145,14 @@ class Pipeline:
             num_units=expected_units or 0,
             file_length=0,
         )
-        return self._recover(
-            list(reads), placeholder, timings, expected_units=expected_units
-        )
+        with tracer.span("pipeline.run_from_reads", reads=len(reads)):
+            return self._recover(
+                list(reads),
+                placeholder,
+                timings,
+                expected_units=expected_units,
+                tracer=tracer,
+            )
 
     # ------------------------------------------------------------------
 
@@ -120,35 +162,58 @@ class Pipeline:
         encoded: EncodedPool,
         timings: StageTimings,
         expected_units: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ) -> PipelineResult:
         config = self.config
+        tracer = as_tracer(tracer)
 
-        start = time.perf_counter()
-        clustering = None
-        clusters_reads: List[List[str]] = []
-        if reads:
-            clusterer = config.clusterer or RashtchianClusterer(config.clustering)
-            clustering = clusterer.cluster(reads)
-            clusters_reads = [
-                [reads[index] for index in cluster]
-                for cluster in clustering.clusters
-                if len(cluster) >= config.min_cluster_size
-            ]
-        timings.clustering = time.perf_counter() - start
+        with tracer.span("pipeline.clustering", reads=len(reads)) as span:
+            clustering = None
+            clusters_reads: List[List[str]] = []
+            if reads:
+                clusterer = config.clusterer or RashtchianClusterer(config.clustering)
+                if _accepts_tracer(clusterer.cluster):
+                    clustering = clusterer.cluster(reads, tracer=tracer)
+                else:
+                    clustering = clusterer.cluster(reads)
+                clusters_reads = [
+                    [reads[index] for index in cluster]
+                    for cluster in clustering.clusters
+                    if len(cluster) >= config.min_cluster_size
+                ]
+                discarded = len(reads) - sum(len(c) for c in clusters_reads)
+                span.set("clusters", len(clustering.clusters))
+                span.set("kept_clusters", len(clusters_reads))
+                tracer.metrics.counter("clusters_formed").inc(
+                    len(clustering.clusters)
+                )
+                tracer.metrics.counter("reads_discarded", stage="clustering").inc(
+                    discarded
+                )
+        timings.clustering = span.duration
 
-        start = time.perf_counter()
-        reconstructions = config.reconstructor.reconstruct_all(
-            clusters_reads, config.encoding.body_nt
-        )
-        timings.reconstruction = time.perf_counter() - start
+        with tracer.span(
+            "pipeline.reconstruction", clusters=len(clusters_reads)
+        ) as span:
+            if _accepts_tracer(config.reconstructor.reconstruct_all):
+                reconstructions = config.reconstructor.reconstruct_all(
+                    clusters_reads, config.encoding.body_nt, tracer=tracer
+                )
+            else:
+                reconstructions = config.reconstructor.reconstruct_all(
+                    clusters_reads, config.encoding.body_nt
+                )
+        timings.reconstruction = span.duration
 
-        start = time.perf_counter()
-        data, report = self._decoder.decode(
-            reconstructions,
-            expected_units=expected_units
-            or (encoded.num_units if encoded.num_units else None),
-        )
-        timings.decoding = time.perf_counter() - start
+        with tracer.span("pipeline.decoding", strands=len(reconstructions)) as span:
+            data, report = self._decoder.decode(
+                reconstructions,
+                expected_units=expected_units
+                or (encoded.num_units if encoded.num_units else None),
+                tracer=tracer,
+            )
+            span.set("success", report.success)
+        timings.decoding = span.duration
 
         return PipelineResult(
             data=data,

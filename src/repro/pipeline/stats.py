@@ -1,4 +1,10 @@
-"""Per-stage timing, the raw material of the paper's Table III."""
+"""Per-stage timing, the raw material of the paper's Table III.
+
+Timings are rolled up from the observability spans the pipeline emits
+(see :mod:`repro.observability`): each field equals the duration of the
+matching ``pipeline.<stage>`` span, so a saved trace and a
+:class:`StageTimings` always agree.
+"""
 
 from __future__ import annotations
 
@@ -8,10 +14,17 @@ from typing import Dict
 
 @dataclass
 class StageTimings:
-    """Wall-clock seconds spent in each pipeline stage."""
+    """Wall-clock seconds spent in each pipeline stage.
+
+    ``preprocessing`` is the wetlab preprocessing step (orientation
+    fixing + primer trimming), which only runs when the encoding carries
+    a primer pair; it is accounted separately from ``simulation`` (the
+    synthesis/sequencing channel itself).
+    """
 
     encoding: float = 0.0
     simulation: float = 0.0
+    preprocessing: float = 0.0
     clustering: float = 0.0
     reconstruction: float = 0.0
     decoding: float = 0.0
@@ -21,6 +34,7 @@ class StageTimings:
         return (
             self.encoding
             + self.simulation
+            + self.preprocessing
             + self.clustering
             + self.reconstruction
             + self.decoding
@@ -30,6 +44,7 @@ class StageTimings:
         return {
             "encoding": self.encoding,
             "simulation": self.simulation,
+            "preprocessing": self.preprocessing,
             "clustering": self.clustering,
             "reconstruction": self.reconstruction,
             "decoding": self.decoding,

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
+
+from repro.observability.trace import Tracer, as_tracer
 
 
 class Reconstructor(ABC):
@@ -25,12 +27,46 @@ class Reconstructor(ABC):
         """
 
     def reconstruct_all(
-        self, clusters: Sequence[Sequence[str]], expected_length: int
+        self,
+        clusters: Sequence[Sequence[str]],
+        expected_length: int,
+        tracer: Optional[Tracer] = None,
     ) -> List[str]:
-        """Reconstruct every cluster (clusters are independent)."""
-        return [
-            self.reconstruct(cluster, expected_length) for cluster in clusters
-        ]
+        """Reconstruct every cluster (clusters are independent).
+
+        With a :class:`~repro.observability.Tracer` the batch runs inside
+        a ``reconstruction.<ClassName>`` span; per-cluster read counts
+        feed the ``reconstruction_cluster_size`` histogram and any
+        algorithm-specific counts from :meth:`drain_counters` (e.g. BMA's
+        ``bma_lookahead_invocations``) are flushed into its metrics.
+        """
+        tracer = as_tracer(tracer)
+        self.drain_counters()  # discard counts from untraced earlier calls
+        with tracer.span(
+            f"reconstruction.{type(self).__name__}", clusters=len(clusters)
+        ):
+            consensus = [
+                self.reconstruct(cluster, expected_length) for cluster in clusters
+            ]
+        metrics = tracer.metrics
+        metrics.counter("clusters_reconstructed", algorithm=type(self).__name__).inc(
+            len(clusters)
+        )
+        histogram = metrics.histogram("reconstruction_cluster_size")
+        for cluster in clusters:
+            histogram.observe(len(cluster))
+        for name, value in self.drain_counters().items():
+            metrics.counter(name).inc(value)
+        return consensus
+
+    def drain_counters(self) -> Dict[str, int]:
+        """Return and reset any internal event counts (hook for subclasses).
+
+        Algorithms that count events in hot loops (where per-event metric
+        calls would cost real time) accumulate plain integers and report
+        them here once per :meth:`reconstruct_all` batch.
+        """
+        return {}
 
     @staticmethod
     def _validate(cluster: Sequence[str]) -> List[str]:

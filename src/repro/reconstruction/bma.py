@@ -47,6 +47,15 @@ class BMAReconstructor(Reconstructor):
         if lookahead <= 0:
             raise ValueError(f"lookahead must be positive, got {lookahead}")
         self.lookahead = lookahead
+        # Plain-int event count, flushed to metrics once per batch via
+        # drain_counters(); a per-event metric call here would sit inside
+        # the per-position voting loop.
+        self._lookahead_invocations = 0
+
+    def drain_counters(self):
+        counts = {"bma_lookahead_invocations": self._lookahead_invocations}
+        self._lookahead_invocations = 0
+        return counts
 
     def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
         reads = self._validate(cluster)
@@ -108,6 +117,7 @@ class BMAReconstructor(Reconstructor):
         * insertion — the read carries an extra base; the consensus base
           may be its next one (advance by 2).
         """
+        self._lookahead_invocations += 1
         if not reference_window:
             return 1
         scores = {

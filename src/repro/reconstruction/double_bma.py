@@ -23,6 +23,9 @@ class DoubleSidedBMAReconstructor(Reconstructor):
     def __init__(self, lookahead: int = 3):
         self._forward = BMAReconstructor(lookahead=lookahead)
 
+    def drain_counters(self):
+        return self._forward.drain_counters()
+
     def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
         reads = self._validate(cluster)
         left_length = expected_length - expected_length // 2

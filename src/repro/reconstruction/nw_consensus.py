@@ -50,9 +50,22 @@ class NWConsensusReconstructor(Reconstructor):
         self.gap = gap
         self.max_cluster = max_cluster
         self.two_pass = two_pass
+        self._reads_folded = 0
+        self._reads_capped = 0
+
+    def drain_counters(self):
+        counts = {
+            "nw_reads_folded": self._reads_folded,
+            "nw_reads_capped": self._reads_capped,
+        }
+        self._reads_folded = 0
+        self._reads_capped = 0
+        return counts
 
     def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
         reads = self._validate(cluster)[: self.max_cluster]
+        self._reads_folded += len(reads)
+        self._reads_capped += max(0, len(cluster) - self.max_cluster)
         # The first read becomes the graph backbone, so start from the read
         # whose length is closest to the cluster median — an outlier
         # backbone (truncated read) would distort every later alignment.

@@ -10,13 +10,13 @@ next-token cross-entropy with Adam and gradient clipping.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.autograd import Adam
+from repro.observability.trace import Tracer, as_tracer
 from repro.seq2seq.model import Seq2SeqChannelModel, pad_targets
 
 
@@ -58,29 +58,54 @@ class Seq2SeqTrainer:
         self,
         pairs: Sequence[Tuple[str, str]],
         val_pairs: Sequence[Tuple[str, str]] = (),
+        tracer: Optional[Tracer] = None,
     ) -> TrainingHistory:
-        """Train on *pairs*; returns per-epoch train/validation losses."""
+        """Train on *pairs*; returns per-epoch train/validation losses.
+
+        With a :class:`~repro.observability.Tracer` the run emits a
+        ``seq2seq.fit`` span with one ``seq2seq.epoch`` child per epoch
+        (carrying the epoch's losses as attributes) and counts trained
+        batches under ``seq2seq_batches_trained``.
+        """
         if not pairs:
             raise ValueError("fit requires at least one training pair")
+        tracer = as_tracer(tracer)
         rng = random.Random(self.config.seed)
         history = TrainingHistory()
-        start = time.perf_counter()
-        for _ in range(self.config.epochs):
-            batches = self._make_batches(pairs, rng)
-            epoch_loss = 0.0
-            for count, (clean_batch, noisy_batch) in enumerate(batches, start=1):
-                loss = self.model.loss(clean_batch, noisy_batch)
-                self.optimizer.zero_grad()
-                loss.backward()
-                self.optimizer.clip_gradients(self.config.gradient_clip)
-                self.optimizer.step()
-                epoch_loss += loss.item()
-                if self.config.log_every and count % self.config.log_every == 0:
-                    print(f"batch {count}/{len(batches)} loss={loss.item():.4f}")
-            history.train_losses.append(epoch_loss / max(1, len(batches)))
-            if val_pairs:
-                history.val_losses.append(self.evaluate(val_pairs))
-        history.seconds = time.perf_counter() - start
+        batch_counter = tracer.metrics.counter("seq2seq_batches_trained")
+        with tracer.span(
+            "seq2seq.fit", pairs=len(pairs), epochs=self.config.epochs
+        ) as fit_span:
+            for epoch in range(self.config.epochs):
+                with tracer.span("seq2seq.epoch", epoch=epoch) as epoch_span:
+                    batches = self._make_batches(pairs, rng)
+                    epoch_loss = 0.0
+                    for count, (clean_batch, noisy_batch) in enumerate(
+                        batches, start=1
+                    ):
+                        loss = self.model.loss(clean_batch, noisy_batch)
+                        self.optimizer.zero_grad()
+                        loss.backward()
+                        self.optimizer.clip_gradients(self.config.gradient_clip)
+                        self.optimizer.step()
+                        epoch_loss += loss.item()
+                        if (
+                            self.config.log_every
+                            and count % self.config.log_every == 0
+                        ):
+                            print(
+                                f"batch {count}/{len(batches)} "
+                                f"loss={loss.item():.4f}"
+                            )
+                    batch_counter.inc(len(batches))
+                    train_loss = epoch_loss / max(1, len(batches))
+                    history.train_losses.append(train_loss)
+                    epoch_span.set("train_loss", train_loss)
+                    if val_pairs:
+                        val_loss = self.evaluate(val_pairs)
+                        history.val_losses.append(val_loss)
+                        epoch_span.set("val_loss", val_loss)
+        history.seconds = fit_span.duration
         return history
 
     def evaluate(self, pairs: Sequence[Tuple[str, str]]) -> float:

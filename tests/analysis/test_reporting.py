@@ -24,6 +24,16 @@ class TestFormatTable:
         table = format_table(["a"], [])
         assert "a" in table
 
+    def test_empty_rows_renders_header_and_divider_only(self):
+        table = format_table(["stage", "s"], [], title="empty")
+        lines = table.splitlines()
+        assert lines == ["empty", "stage | s", "------+--"]
+
+    def test_empty_rows_width_follows_headers(self):
+        table = format_table(["a-very-long-header", "x"], [])
+        header = table.splitlines()[0]
+        assert header.startswith("a-very-long-header")
+
 
 class TestFormatSeries:
     def test_values_formatted(self):

@@ -1,0 +1,125 @@
+"""JSONL serialisation round trip and report rendering."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    Tracer,
+    load_trace,
+    render_report,
+    render_span_tree,
+    render_tracer_report,
+    trace_lines,
+    write_trace,
+)
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("pipeline.run", input_bytes=500):
+        with tracer.span("pipeline.clustering", reads=20) as span:
+            span.set("clusters", 4)
+            with tracer.span("clustering.signatures"):
+                pass
+        with tracer.span("pipeline.decoding"):
+            pass
+    tracer.metrics.counter("clusters_formed").inc(4)
+    tracer.metrics.counter("reads_discarded", stage="clustering").inc(2)
+    tracer.metrics.gauge("theta_low").set(19.5)
+    for value in (3, 5, 8):
+        tracer.metrics.histogram("reconstruction_cluster_size").observe(value)
+    return tracer
+
+
+class TestJsonlRoundTrip:
+    def test_every_line_is_json(self):
+        for line in trace_lines(make_tracer()):
+            json.loads(line)
+
+    def test_span_tree_survives(self, tmp_path):
+        tracer = make_tracer()
+        path = write_trace(tracer, tmp_path / "trace.jsonl")
+        trace = load_trace(path)
+
+        assert [root.name for root in trace.roots] == ["pipeline.run"]
+        assert [span.name for span in trace.walk()] == [
+            "pipeline.run",
+            "pipeline.clustering",
+            "clustering.signatures",
+            "pipeline.decoding",
+        ]
+        original = {span.name: span for span in tracer.walk()}
+        for span in trace.walk():
+            assert span.duration == pytest.approx(original[span.name].duration)
+            assert span.start == pytest.approx(original[span.name].start)
+            assert span.attributes == original[span.name].attributes
+
+    def test_metrics_survive(self, tmp_path):
+        path = write_trace(make_tracer(), tmp_path / "trace.jsonl")
+        trace = load_trace(path)
+
+        counters = {(name, tuple(sorted(labels.items()))): value
+                    for name, labels, value in trace.counters}
+        assert counters[("clusters_formed", ())] == 4
+        assert counters[("reads_discarded", (("stage", "clustering"),))] == 2
+        assert trace.gauges == [("theta_low", {}, 19.5)]
+        ((name, labels, summary),) = trace.histograms
+        assert name == "reconstruction_cluster_size"
+        assert summary["count"] == 3
+        assert summary["p50"] == pytest.approx(5.0)
+
+    def test_load_accepts_lines_iterable(self):
+        trace = load_trace(trace_lines(make_tracer()))
+        assert trace.find("clustering.signatures")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            load_trace(['{"kind": "mystery"}'])
+
+    def test_blank_lines_ignored(self):
+        lines = list(trace_lines(make_tracer()))
+        trace = load_trace(["", *lines, "  "])
+        assert trace.roots
+
+
+class TestReportRendering:
+    def test_report_sections(self, tmp_path):
+        trace = load_trace(write_trace(make_tracer(), tmp_path / "t.jsonl"))
+        report = render_report(trace)
+        assert "span latency" in report
+        assert "pipeline.clustering" in report
+        assert "span tree" in report
+        assert "counters" in report
+        assert "clusters_formed" in report
+        assert "stage=clustering" in report
+        assert "gauges" in report
+        assert "histograms" in report
+        assert "reconstruction_cluster_size" in report
+
+    def test_tree_indentation_follows_nesting(self):
+        tracer = make_tracer()
+        tree = render_span_tree(tracer.roots)
+        lines = tree.splitlines()
+        assert lines[0].startswith("pipeline.run")
+        assert lines[1].startswith("  pipeline.clustering")
+        assert lines[2].startswith("    clustering.signatures")
+
+    def test_render_tracer_report_shortcut(self):
+        report = render_tracer_report(make_tracer(), title="live")
+        assert report.startswith("live - span latency")
+
+    def test_empty_trace(self):
+        assert "empty trace" in render_report(load_trace([]))
+
+    def test_aggregation_counts_repeated_spans(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("repeated"):
+                pass
+        report = render_tracer_report(tracer)
+        # one aggregated row with calls=3
+        row = next(
+            line for line in report.splitlines() if line.startswith("repeated")
+        )
+        assert "| 3 " in row

@@ -1,0 +1,150 @@
+"""Tracer behaviour: nesting, durations, attributes, and the no-op path."""
+
+import time
+
+import pytest
+
+from repro.observability import NULL_TRACER, NullTracer, Tracer, as_tracer
+from repro.observability.metrics import NULL_REGISTRY
+
+
+class TestSpanNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        assert [child.name for child in tracer.roots[0].children] == [
+            "inner.a",
+            "inner.b",
+        ]
+
+    def test_deep_nesting_and_walk_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert [span.name for span in tracer.walk()] == ["a", "b", "c"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_find_matches_every_occurrence(self):
+        tracer = Tracer()
+        with tracer.span("loop"):
+            for _ in range(3):
+                with tracer.span("iteration"):
+                    pass
+        assert len(tracer.find("iteration")) == 3
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("inner failure")
+        # The span closed with a duration and the stack unwound: the next
+        # span becomes a new root, not a child of the failed one.
+        assert tracer.roots[0].duration > 0
+        with tracer.span("after"):
+            pass
+        assert [root.name for root in tracer.roots] == ["boom", "after"]
+
+
+class TestSpanDuration:
+    def test_duration_measures_wall_clock(self):
+        tracer = Tracer()
+        with tracer.span("sleepy") as span:
+            time.sleep(0.02)
+        assert span.duration >= 0.015
+
+    def test_parent_covers_children(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                time.sleep(0.01)
+        assert parent.duration >= child.duration
+
+    def test_start_offsets_increase(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        first, second = tracer.roots
+        assert second.start >= first.start + first.duration
+
+
+class TestSpanAttributes:
+    def test_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("stage", reads=42) as span:
+            span.set("clusters", 7)
+        assert span.attributes == {"reads": 42, "clusters": 7}
+
+    def test_set_overwrites(self):
+        tracer = Tracer()
+        with tracer.span("stage", value=1) as span:
+            span.set("value", 2)
+        assert span.attributes["value"] == 2
+
+
+class TestNullTracer:
+    def test_as_tracer_normalises_none(self):
+        assert as_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert as_tracer(tracer) is tracer
+
+    def test_records_nothing(self):
+        with NULL_TRACER.span("anything", attr=1) as span:
+            span.set("more", 2)
+        assert NULL_TRACER.roots == []
+        assert list(NULL_TRACER.walk()) == []
+        assert NULL_TRACER.find("anything") == []
+
+    def test_null_span_still_measures_duration(self):
+        # Stage rollups (StageTimings etc.) read span.duration even when
+        # tracing is disabled, so the no-op span must keep the clock.
+        with NULL_TRACER.span("timed") as span:
+            time.sleep(0.01)
+        assert span.duration >= 0.005
+
+    def test_metrics_are_shared_noops(self):
+        assert NULL_TRACER.metrics is NULL_REGISTRY
+        counter = NULL_TRACER.metrics.counter("x", label="y")
+        counter.inc(10)
+        assert counter.value == 0
+        assert counter is NULL_TRACER.metrics.counter("other")
+
+    def test_disabled_flag(self):
+        assert not NullTracer.enabled
+        assert Tracer.enabled
+
+    def test_no_memory_growth(self):
+        # The overhead contract: a disabled tracer retains no state no
+        # matter how many spans or metric updates run through it.
+        registry_size_before = len(NULL_TRACER.metrics._counters)
+        for index in range(1000):
+            with NULL_TRACER.span("hot.loop", index=index):
+                NULL_TRACER.metrics.counter("events").inc()
+        assert NULL_TRACER.roots == []
+        assert len(NULL_TRACER.metrics._counters) == registry_size_before
+
+
+class TestReset:
+    def test_reset_drops_spans(self):
+        tracer = Tracer()
+        with tracer.span("old"):
+            pass
+        tracer.metrics.counter("kept").inc()
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.metrics.counter("kept").value == 1

@@ -1,0 +1,189 @@
+"""Pipeline-level observability: span coverage and StageTimings rollups."""
+
+import random
+
+import pytest
+
+from repro.clustering import ClusteringConfig, TreeClusterer
+from repro.codec import EncodingParameters, design_primer_library
+from repro.observability import Tracer
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.reconstruction import BMAReconstructor
+from repro.simulation import ConstantCoverage, IIDChannel
+
+FAST_ENCODING = EncodingParameters(
+    payload_bytes=12, data_columns=16, parity_columns=8, index_bytes=2
+)
+FAST_CLUSTERING = ClusteringConfig(rounds=12, num_grams=48, seed=1)
+
+STAGES = (
+    "pipeline.encoding",
+    "pipeline.simulation",
+    "pipeline.clustering",
+    "pipeline.reconstruction",
+    "pipeline.decoding",
+)
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        encoding=FAST_ENCODING,
+        channel=IIDChannel.from_total_rate(0.04),
+        coverage=ConstantCoverage(8),
+        clustering=FAST_CLUSTERING,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+class TestSpanCoverage:
+    def test_all_five_stages_spanned(self):
+        tracer = Tracer()
+        result = Pipeline(fast_config()).run(b"trace me" * 8, tracer=tracer)
+        assert result.success
+
+        assert [root.name for root in tracer.roots] == ["pipeline.run"]
+        stage_names = [span.name for span in tracer.roots[0].children]
+        assert list(STAGES) == stage_names
+
+    def test_stage_internals_nest_under_stages(self):
+        tracer = Tracer()
+        Pipeline(fast_config()).run(b"nested spans" * 6, tracer=tracer)
+        (clustering,) = tracer.find("pipeline.clustering")
+        child_names = {span.name for span in clustering.walk()}
+        assert "clustering.signatures" in child_names
+        assert "clustering.rounds" in child_names
+        (decoding,) = tracer.find("pipeline.decoding")
+        assert {s.name for s in decoding.children} == {
+            "decoding.collect_columns",
+            "decoding.units",
+        }
+
+    def test_preprocessing_span_only_with_primers(self):
+        tracer = Tracer()
+        Pipeline(fast_config()).run(b"no primers" * 6, tracer=tracer)
+        assert tracer.find("pipeline.preprocessing") == []
+
+        pair = design_primer_library(1, rng=random.Random(5))[0]
+        primer_config = fast_config(
+            encoding=EncodingParameters(
+                payload_bytes=12,
+                data_columns=16,
+                parity_columns=8,
+                index_bytes=2,
+                primer_pair=pair,
+            ),
+            reverse_orientation_prob=0.5,
+        )
+        tracer = Tracer()
+        result = Pipeline(primer_config).run(b"with primers!" * 5, tracer=tracer)
+        assert result.data == b"with primers!" * 5
+        (span,) = tracer.find("pipeline.preprocessing")
+        assert span.attributes["accepted"] > 0
+        assert result.timings.preprocessing == pytest.approx(span.duration)
+        # Preprocessing is no longer lumped into the simulation bucket.
+        (simulation,) = tracer.find("pipeline.simulation")
+        assert result.timings.simulation == pytest.approx(simulation.duration)
+
+    def test_run_from_reads_covers_recovery_stages(self):
+        pipeline = Pipeline(fast_config())
+        full = pipeline.run(b"replay" * 8)
+        tracer = Tracer()
+        replayed = pipeline.run_from_reads(
+            full.sequencing.reads,
+            expected_units=full.encoded.num_units,
+            tracer=tracer,
+        )
+        assert replayed.data == b"replay" * 8
+        assert [root.name for root in tracer.roots] == ["pipeline.run_from_reads"]
+        names = {span.name for span in tracer.walk()}
+        assert {
+            "pipeline.clustering",
+            "pipeline.reconstruction",
+            "pipeline.decoding",
+        } <= names
+        assert "pipeline.simulation" not in names
+
+
+class TestTimingsRollup:
+    def test_timings_match_span_durations(self):
+        tracer = Tracer()
+        result = Pipeline(fast_config()).run(b"rollup check" * 6, tracer=tracer)
+        timings = result.timings
+        for stage in STAGES:
+            (span,) = tracer.find(stage)
+            field = stage.split(".", 1)[1]
+            assert getattr(timings, field) == pytest.approx(span.duration)
+        (root,) = tracer.find("pipeline.run")
+        # The root span covers the stage sum (plus negligible glue code).
+        assert root.duration >= timings.total
+        assert timings.total == pytest.approx(root.duration, rel=0.25)
+
+    def test_untraced_run_still_populates_timings(self):
+        result = Pipeline(fast_config()).run(b"no tracer" * 6)
+        timings = result.timings.as_dict()
+        for stage in ("encoding", "simulation", "clustering", "reconstruction"):
+            assert timings[stage] > 0
+        assert timings["total"] == pytest.approx(
+            sum(value for key, value in timings.items() if key != "total")
+        )
+
+    def test_clustering_result_seconds_match_spans(self):
+        tracer = Tracer()
+        result = Pipeline(fast_config()).run(b"seconds" * 8, tracer=tracer)
+        (signatures,) = tracer.find("clustering.signatures")
+        (merge,) = tracer.find("clustering.merge")
+        assert result.clustering.signature_seconds == pytest.approx(
+            signatures.duration
+        )
+        assert result.clustering.clustering_seconds == pytest.approx(
+            merge.duration
+        )
+
+
+class TestPipelineMetrics:
+    def test_counters_populated(self):
+        tracer = Tracer()
+        result = Pipeline(
+            fast_config(reconstructor=BMAReconstructor())
+        ).run(b"count me" * 8, tracer=tracer)
+        metrics = tracer.metrics
+        assert metrics.counter("clusters_formed").value == len(
+            result.clustering.clusters
+        )
+        assert metrics.counter("signature_comparisons").value > 0
+        assert metrics.counter("bma_lookahead_invocations").value > 0
+        assert (
+            metrics.counter(
+                "clusters_reconstructed", algorithm="BMAReconstructor"
+            ).value
+            == len(result.reconstructions)
+        )
+        assert metrics.histogram("reconstruction_cluster_size").count == len(
+            result.reconstructions
+        )
+
+    def test_rs_counters_track_report(self):
+        tracer = Tracer()
+        result = Pipeline(fast_config()).run(b"rs counters" * 6, tracer=tracer)
+        report = result.decode_report
+        metrics = tracer.metrics
+        assert metrics.counter("rs_rows_clean").value == report.clean_rows
+        assert metrics.counter("rs_rows_corrected").value == report.corrected_rows
+        assert metrics.counter("rs_rows_failed").value == report.failed_rows
+
+    def test_pluggable_clusterer_without_tracer_kw_still_works(self):
+        class MinimalClusterer:
+            def __init__(self):
+                self._inner = TreeClusterer()
+
+            def cluster(self, reads):  # no tracer keyword on purpose
+                return self._inner.cluster(reads)
+
+        tracer = Tracer()
+        result = Pipeline(
+            fast_config(clusterer=MinimalClusterer())
+        ).run(b"minimal" * 8, tracer=tracer)
+        assert result.data == b"minimal" * 8
+        assert tracer.find("pipeline.clustering")

@@ -149,6 +149,89 @@ class TestPipelineCommand:
         assert "exact recovery" in output
 
 
+class TestTraceFlag:
+    def test_pipeline_trace_covers_all_stages(self, payload, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        code = run(
+            "pipeline",
+            payload,
+            tmp_path / "out.bin",
+            *ENCODING_ARGS,
+            "--coverage",
+            8,
+            "--error-rate",
+            0.04,
+            "--trace",
+            trace_path,
+        )
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+
+        lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert lines[0]["kind"] == "meta"
+        spans = [line for line in lines if line["kind"] == "span"]
+        names = {span["name"] for span in spans}
+        assert {
+            "pipeline.run",
+            "pipeline.encoding",
+            "pipeline.simulation",
+            "pipeline.clustering",
+            "pipeline.reconstruction",
+            "pipeline.decoding",
+        } <= names
+        # Stage spans nest under the root span.
+        (root,) = (span for span in spans if span["name"] == "pipeline.run")
+        assert root["parent"] == 0
+        stage_parents = {
+            span["parent"] for span in spans if span["name"].startswith("pipeline.")
+            and span["name"] != "pipeline.run"
+        }
+        assert stage_parents == {root["id"]}
+        counters = [line for line in lines if line["kind"] == "counter"]
+        assert any(c["name"] == "clusters_formed" for c in counters)
+
+    def test_encode_trace(self, payload, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            run(
+                "encode",
+                payload,
+                tmp_path / "strands.txt",
+                *ENCODING_ARGS,
+                "--trace",
+                trace_path,
+            )
+            == 0
+        )
+        lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert any(
+            line["kind"] == "span" and line["name"] == "pipeline.encoding"
+            for line in lines
+        )
+
+
+class TestTraceCommand:
+    def test_renders_report_from_trace_file(self, payload, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        run(
+            "pipeline",
+            payload,
+            tmp_path / "out.bin",
+            *ENCODING_ARGS,
+            "--coverage",
+            8,
+            "--trace",
+            trace_path,
+        )
+        capsys.readouterr()
+        assert run("trace", trace_path) == 0
+        output = capsys.readouterr().out
+        assert "span latency" in output
+        assert "pipeline.clustering" in output
+        assert "counters" in output
+        assert "clusters_formed" in output
+
+
 class TestDensityCommand:
     def test_prints_report(self, capsys):
         assert run("density", "--parity-columns", 20) == 0
