@@ -85,12 +85,13 @@ def test_ablation_fountain_vs_fixed_rate(benchmark):
         [name, f"{tolerated:.0%}" if tolerated >= 0 else "never"]
         for name, tolerated in results.items()
     ]
+    headers = ["architecture / molecule budget", "max reliable dropout"]
     table = format_table(
-        ["architecture / molecule budget", "max reliable dropout"],
+        headers,
         rows,
         title="Ablation - rateless fountain vs fixed-rate RS under molecule dropout",
     )
-    write_report("ablation_fountain", table)
+    write_report("ablation_fountain", table, data={"headers": headers, "rows": rows})
     benchmark.extra_info.update(results)
 
     tolerances = [results[f"fountain x{o:.1f}"] for o in FOUNTAIN_OVERHEADS]

@@ -83,12 +83,13 @@ def run_ablation():
 
 def test_ablation_layouts(benchmark):
     rows, failures = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    headers = ["layout", "peak corruption", "failed rows", "corrected rows", "recovered"]
     table = format_table(
-        ["layout", "peak corruption", "failed rows", "corrected rows", "recovered"],
+        headers,
         rows,
         title="Ablation - Gini vs baseline layout under middle-peaked errors",
     )
-    write_report("ablation_layouts", table)
+    write_report("ablation_layouts", table, data={"headers": headers, "rows": rows})
 
     # At every pressure Gini never fails more rows than baseline, and over
     # the sweep it fails strictly fewer — the redistribution claim.

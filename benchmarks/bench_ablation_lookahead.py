@@ -49,12 +49,13 @@ def test_ablation_lookahead(benchmark):
         ]
         for window, profile in profiles.items()
     ]
+    headers = ["lookahead", "mean error", "perfect"]
     table = format_table(
-        ["lookahead", "mean error", "perfect"],
+        headers,
         rows,
         title="Ablation - BMA lookahead window (error 9%, coverage 8)",
     )
-    write_report("ablation_lookahead", table)
+    write_report("ablation_lookahead", table, data={"headers": headers, "rows": rows})
 
     # Window 1 is materially worse than the default of 3; beyond that the
     # curve flattens (no window in 4..8 is dramatically better than 3).

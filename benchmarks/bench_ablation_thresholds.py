@@ -61,15 +61,16 @@ def test_ablation_thresholds(benchmark):
         [name, f"{acc:.4f}", str(edits), f"{seconds:.1f}", str(count)]
         for name, (acc, edits, seconds, count) in outcomes.items()
     ]
+    headers = ["thresholds", "accuracy", "edit comparisons", "seconds", "clusters"]
     table = format_table(
-        ["thresholds", "accuracy", "edit comparisons", "seconds", "clusters"],
+        headers,
         rows,
         title=(
             "Ablation - automatic vs fixed clustering thresholds "
             f"({CLUSTERS} clusters, error {ERROR_RATE:.0%})"
         ),
     )
-    write_report("ablation_thresholds", table)
+    write_report("ablation_thresholds", table, data={"headers": headers, "rows": rows})
 
     auto_accuracy, auto_edits, _, _ = outcomes["auto"]
     # Auto matches the generous hand-tuned gray zone on accuracy...

@@ -101,7 +101,19 @@ def test_fig3_per_index_profiles(benchmark, fig3_experiment, fig3_profiles):
         )
         lines.append("  " + sparkline(smoothed, width=72))
         lines.append(format_series(f"  {name.lower()}_err", smoothed, stride=10))
-    write_report("fig3_simulator_profiles", "\n".join(lines))
+    write_report(
+        "fig3_simulator_profiles",
+        "\n".join(lines),
+        data={
+            name: {
+                "mean_rate": profile.mean_rate,
+                "perfect": profile.perfect,
+                "strands": profile.strands,
+                "rates": profile.rates,
+            }
+            for name, profile in profiles.items()
+        },
+    )
 
     for name, profile in profiles.items():
         benchmark.extra_info[f"{name}_mean_error"] = round(profile.mean_rate, 4)

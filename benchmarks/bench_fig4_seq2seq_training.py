@@ -81,6 +81,7 @@ def test_fig4_seq2seq_training(benchmark):
             rows,
             title="Figure 4 - GRU+attention channel model, trained on numpy autograd",
         ),
+        data={"headers": ["quantity", "value"], "rows": rows},
     )
     benchmark.extra_info["throughput_pairs_per_s"] = round(throughput, 1)
 

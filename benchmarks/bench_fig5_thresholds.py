@@ -59,7 +59,20 @@ def test_fig5_threshold_histogram(benchmark):
         if lo <= estimate.theta_high < hi:
             marks += " <- theta_high"
         lines.append(f"{lo:6.1f}-{hi:6.1f} | {count:5d} {bar}{marks}")
-    write_report("fig5_thresholds", "\n".join(lines))
+    write_report(
+        "fig5_thresholds",
+        "\n".join(lines),
+        data={
+            "theta_low": estimate.theta_low,
+            "theta_high": estimate.theta_high,
+            "inter_center": estimate.inter_center,
+            "inter_sigma": estimate.inter_sigma,
+            "histogram": {
+                "counts": [int(count) for count in counts],
+                "edges": [float(edge) for edge in edges],
+            },
+        },
+    )
 
     benchmark.extra_info["theta_low"] = round(estimate.theta_low, 2)
     benchmark.extra_info["theta_high"] = round(estimate.theta_high, 2)

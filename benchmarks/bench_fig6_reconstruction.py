@@ -73,7 +73,19 @@ def test_fig6_reconstruction_profiles(benchmark):
         )
         lines.append("  " + sparkline(smoothed, width=72))
         lines.append(format_series(f"  {name.lower()}_err", smoothed, stride=10))
-    write_report("fig6_reconstruction_profiles", "\n".join(lines))
+    write_report(
+        "fig6_reconstruction_profiles",
+        "\n".join(lines),
+        data={
+            name: {
+                "mean_rate": profile.mean_rate,
+                "perfect": profile.perfect,
+                "strands": profile.strands,
+                "rates": profile.rates,
+            }
+            for name, profile in profiles.items()
+        },
+    )
 
     for name, profile in profiles.items():
         benchmark.extra_info[f"{name}_mean"] = round(profile.mean_rate, 4)

@@ -31,12 +31,13 @@ def test_table1_fidelity_metrics(benchmark, fig3_profiles):
         metrics_by_name[name] = metrics
         rows.append(metrics.as_row())
 
+    headers = ["Simulator", "(ii) avg err", "(iii) dev from real", "(iv) perfect"]
     table = format_table(
-        ["Simulator", "(ii) avg err", "(iii) dev from real", "(iv) perfect"],
+        headers,
         rows,
         title=f"Table I - simulator fidelity ({FIG3_CLUSTERS} test clusters)",
     )
-    write_report("table1_fidelity", table)
+    write_report("table1_fidelity", table, data={"headers": headers, "rows": rows})
     for name, metrics in metrics_by_name.items():
         benchmark.extra_info[name] = metrics.as_row()
 

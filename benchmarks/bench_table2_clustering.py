@@ -73,25 +73,26 @@ def test_table2_clustering(benchmark):
                 f"{w_res.total_seconds:.1f}",
             ]
         )
+    headers = [
+        "err",
+        "acc q",
+        "acc w",
+        "clu s q",
+        "clu s w",
+        "sig s q",
+        "sig s w",
+        "total q",
+        "total w",
+    ]
     table = format_table(
-        [
-            "err",
-            "acc q",
-            "acc w",
-            "clu s q",
-            "clu s w",
-            "sig s q",
-            "sig s w",
-            "total q",
-            "total w",
-        ],
+        headers,
         rows,
         title=(
             "Table II - q-gram vs w-gram clustering "
             f"({CLUSTERS} clusters, coverage {COVERAGE})"
         ),
     )
-    write_report("table2_clustering", table)
+    write_report("table2_clustering", table, data={"headers": headers, "rows": rows})
     for (error_rate, signature), (accuracy, result) in results.items():
         benchmark.extra_info[f"{signature}@{error_rate}"] = {
             "accuracy": round(accuracy, 4),

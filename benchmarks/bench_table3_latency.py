@@ -90,15 +90,18 @@ def test_table3_latency(benchmark):
                         "yes" if result.data == DATA else "NO",
                     ]
                 )
+    headers = [
+        "coverage", "pipeline", "encode", "cluster", "recon", "decode", "total", "ok",
+    ]
     table = format_table(
-        ["coverage", "pipeline", "encode", "cluster", "recon", "decode", "total", "ok"],
+        headers,
         rows,
         title=(
             "Table III - module latency in seconds "
             f"(payload 120 nt, error rate {ERROR_RATE:.0%}, {len(DATA)} B file)"
         ),
     )
-    write_report("table3_latency", table)
+    write_report("table3_latency", table, data={"headers": headers, "rows": rows})
 
     # Every configuration must actually recover the file.
     assert all(result.data == DATA for result in results.values())

@@ -10,6 +10,7 @@ enabled with ``REPRO_RNN=1``; see EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import random
 from pathlib import Path
 
@@ -32,11 +33,22 @@ FIG3_TRAIN_CLUSTERS = 800
 FIG3_TRAIN_READS = 3
 
 
-def write_report(name: str, text: str) -> Path:
-    """Persist a rendered table/series under benchmarks/out/ and echo it."""
+def write_report(name: str, text: str, data=None) -> Path:
+    """Persist a rendered table/series under benchmarks/out/ and echo it.
+
+    When *data* is given (any JSON-serialisable structure — typically the
+    headers+rows behind the rendered table), it is also written to
+    ``benchmarks/out/<name>.json`` so downstream tooling can consume the
+    result without scraping the text rendering.
+    """
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
+    if data is not None:
+        json_path = OUT_DIR / f"{name}.json"
+        json_path.write_text(
+            json.dumps(data, indent=2, default=str) + "\n", encoding="utf-8"
+        )
     print(f"\n{text}\n[written to {path}]")
     return path
 

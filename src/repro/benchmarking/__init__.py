@@ -1,0 +1,53 @@
+"""The benchmark regression harness behind ``repro bench``.
+
+The legacy ``benchmarks/`` directory regenerates the paper's tables and
+figures as rendered text; this package is the machine-readable counterpart
+the ROADMAP's "fast *and* measurable" goal needs:
+
+* :mod:`repro.benchmarking.suites` — named, parameterized workloads
+  (``smoke`` / ``fig3`` / ``table2`` / ``fig6``), each a seeded pipeline
+  configuration small enough to run in CI;
+* :mod:`repro.benchmarking.runner` — runs a suite under a
+  :class:`~repro.observability.Tracer`, collecting per-stage latency
+  percentiles, throughput and the full
+  :class:`~repro.observability.quality.QualityReport`;
+* :mod:`repro.benchmarking.report` — the schema-versioned
+  ``BENCH_<suite>.json`` artifact (load/validate/write);
+* :mod:`repro.benchmarking.compare` — the regression gate:
+  ``repro bench --compare baseline.json new.json`` renders a table of
+  latency and quality deltas and exits non-zero past the thresholds.
+
+Every PR appends to the same artifact trajectory: run a suite, commit the
+JSON as the new baseline when a change is intentional, and let CI fail
+when quality drifts unintentionally.
+"""
+
+from repro.benchmarking.compare import CompareThresholds, compare_reports, render_comparison
+from repro.benchmarking.report import (
+    BENCH_SCHEMA_VERSION,
+    build_bench_report,
+    current_git_sha,
+    default_output_path,
+    load_bench_report,
+    validate_bench_report,
+    write_bench_report,
+)
+from repro.benchmarking.runner import run_suite
+from repro.benchmarking.suites import SUITES, Workload, get_suite
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "CompareThresholds",
+    "SUITES",
+    "Workload",
+    "build_bench_report",
+    "compare_reports",
+    "current_git_sha",
+    "default_output_path",
+    "get_suite",
+    "load_bench_report",
+    "render_comparison",
+    "run_suite",
+    "validate_bench_report",
+    "write_bench_report",
+]

@@ -1,0 +1,211 @@
+"""The regression gate: diff two BENCH documents, flag what moved.
+
+Quality metrics are deterministic for a fixed seed, so drift there means
+the *code* changed behaviour; the gate compares each metric with a
+direction (higher-better, lower-better, or match-the-baseline for the
+channel's observed rates) and a tolerance.  Latency is machine-dependent,
+so it is gated by ratio with a generous default — and can be skipped
+entirely (``--quality-only``) when comparing across machines, as CI does
+against the committed baseline.
+
+Exit contract: :func:`compare_reports` returns a result whose
+``regressions`` list is empty iff the new run is acceptable; the CLI maps
+that to the process exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.reporting import format_table
+
+#: (metric path under the workload row, direction, absolute slack floor).
+#: Direction: "higher" = drops flag, "lower" = rises flag, "match" =
+#: movement either way flags (observed channel rates must track the
+#: configured channel, not improve).
+_QUALITY_SPECS: Tuple[Tuple[str, str, float], ...] = (
+    ("success_rate", "higher", 0.0),
+    ("quality.channel.substitution_rate", "match", 0.005),
+    ("quality.channel.insertion_rate", "match", 0.005),
+    ("quality.channel.deletion_rate", "match", 0.005),
+    ("quality.clustering.purity", "higher", 0.01),
+    ("quality.clustering.fragmentation", "lower", 0.5),
+    ("quality.clustering.under_merged", "lower", 0.5),
+    ("quality.clustering.over_merged", "lower", 0.5),
+    ("quality.reconstruction.exact_recovery_fraction", "higher", 0.02),
+    ("quality.reconstruction.mean_edit_distance", "lower", 0.25),
+    ("quality.decoding.failed_rows", "lower", 0.5),
+    ("quality.decoding.symbols_corrected", "lower", 2.0),
+    ("quality.decoding.erasures", "lower", 1.5),
+    ("quality.decoding.clean_row_fraction", "higher", 0.05),
+)
+
+
+@dataclass
+class CompareThresholds:
+    """Knobs of the regression gate (CLI flags map onto these)."""
+
+    #: flag when new total-latency p50 exceeds baseline p50 by this factor
+    max_latency_ratio: float = 1.5
+    #: relative tolerance applied to every quality metric
+    quality_tolerance: float = 0.10
+    #: skip latency comparison entirely (cross-machine compares)
+    quality_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_latency_ratio <= 0:
+            raise ValueError("max_latency_ratio must be positive")
+        if self.quality_tolerance < 0:
+            raise ValueError("quality_tolerance must be non-negative")
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric of one workload."""
+
+    workload: str
+    metric: str
+    baseline: Optional[float]
+    new: Optional[float]
+    regression: bool
+    note: str = ""
+
+
+@dataclass
+class ComparisonResult:
+    """Everything ``repro bench --compare`` reports."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    regressions: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _lookup(row: Dict, path: str) -> Optional[float]:
+    node = row
+    for part in path.split("."):
+        if not isinstance(node, dict) or node.get(part) is None:
+            return None
+        node = node[part]
+    if isinstance(node, bool):
+        return 1.0 if node else 0.0
+    return float(node)
+
+
+def _quality_regressed(
+    direction: str, baseline: float, new: float, tolerance: float, slack: float
+) -> bool:
+    allowed = max(tolerance * abs(baseline), slack)
+    if direction == "higher":
+        return new < baseline - allowed
+    if direction == "lower":
+        return new > baseline + allowed
+    return abs(new - baseline) > allowed  # "match"
+
+
+def compare_reports(
+    baseline: Dict, new: Dict, thresholds: Optional[CompareThresholds] = None
+) -> ComparisonResult:
+    """Compare two validated BENCH documents workload by workload."""
+    thresholds = thresholds or CompareThresholds()
+    result = ComparisonResult()
+    if baseline.get("suite") != new.get("suite"):
+        result.regressions.append(
+            f"suite mismatch: baseline {baseline.get('suite')!r} "
+            f"vs new {new.get('suite')!r}"
+        )
+
+    new_rows = {row["name"]: row for row in new["workloads"]}
+    for base_row in baseline["workloads"]:
+        name = base_row["name"]
+        new_row = new_rows.get(name)
+        if new_row is None:
+            result.regressions.append(f"{name}: workload missing from new report")
+            result.deltas.append(
+                MetricDelta(name, "(workload)", None, None, True, "missing")
+            )
+            continue
+
+        for path, direction, slack in _QUALITY_SPECS:
+            base_value = _lookup(base_row, path)
+            new_value = _lookup(new_row, path)
+            if base_value is None and new_value is None:
+                continue
+            if base_value is None or new_value is None:
+                missing = "baseline" if base_value is None else "new"
+                result.deltas.append(
+                    MetricDelta(
+                        name, path, base_value, new_value, True,
+                        f"missing in {missing}",
+                    )
+                )
+                result.regressions.append(f"{name}: {path} missing in {missing}")
+                continue
+            regressed = _quality_regressed(
+                direction, base_value, new_value,
+                thresholds.quality_tolerance, slack,
+            )
+            result.deltas.append(
+                MetricDelta(name, path, base_value, new_value, regressed)
+            )
+            if regressed:
+                result.regressions.append(
+                    f"{name}: {path} moved {base_value:.4g} -> {new_value:.4g} "
+                    f"({direction} is better)"
+                    if direction != "match"
+                    else f"{name}: {path} drifted {base_value:.4g} -> {new_value:.4g}"
+                )
+
+        if not thresholds.quality_only:
+            base_p50 = _lookup(base_row, "latency_s.total.p50")
+            new_p50 = _lookup(new_row, "latency_s.total.p50")
+            if base_p50 is not None and new_p50 is not None:
+                # 10 ms absolute slack keeps sub-second workloads from
+                # flagging on scheduler noise.
+                regressed = new_p50 > base_p50 * thresholds.max_latency_ratio + 0.01
+                result.deltas.append(
+                    MetricDelta(name, "latency_s.total.p50", base_p50, new_p50, regressed)
+                )
+                if regressed:
+                    result.regressions.append(
+                        f"{name}: total p50 latency {base_p50:.3f}s -> {new_p50:.3f}s "
+                        f"(> {thresholds.max_latency_ratio:g}x baseline)"
+                    )
+    return result
+
+
+def render_comparison(result: ComparisonResult, title: str = "bench comparison") -> str:
+    """The human-readable regression table plus a one-line verdict."""
+
+    def fmt(value: Optional[float]) -> str:
+        return "-" if value is None else f"{value:.4g}"
+
+    rows = []
+    for delta in result.deltas:
+        change = ""
+        if delta.baseline not in (None, 0) and delta.new is not None:
+            change = f"{(delta.new - delta.baseline) / abs(delta.baseline):+.1%}"
+        rows.append(
+            [
+                delta.workload,
+                delta.metric,
+                fmt(delta.baseline),
+                fmt(delta.new),
+                change,
+                delta.note or ("REGRESSION" if delta.regression else "ok"),
+            ]
+        )
+    table = format_table(
+        ["workload", "metric", "baseline", "new", "change", "verdict"],
+        rows,
+        title=title,
+    )
+    if result.ok:
+        verdict = "verdict: OK (no regressions)"
+    else:
+        details = "\n".join(f"  - {line}" for line in result.regressions)
+        verdict = f"verdict: {len(result.regressions)} regression(s)\n{details}"
+    return f"{table}\n\n{verdict}"

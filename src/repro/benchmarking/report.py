@@ -1,0 +1,137 @@
+"""The ``BENCH_<suite>.json`` artifact: build, validate, read, write.
+
+One bench run produces one self-describing JSON document::
+
+    {
+      "schema_version": 1,
+      "kind": "repro-bench",
+      "suite": "smoke",
+      "git_sha": "<commit or 'unknown'>",
+      "created_unix": 1754000000,
+      "python": "3.12.3",
+      "workloads": [
+        {
+          "name": "smoke-e2e-err4",
+          "params": {...},                 # the workload's knobs, verbatim
+          "data_bytes": 400,
+          "repeats": 3,
+          "success_rate": 1.0,
+          "latency_s": {                   # per stage, over the repeats
+            "encoding": {"p50": ..., "p99": ..., "mean": ..., "min": ..., "max": ...},
+            ...,
+            "total": {...}
+          },
+          "throughput_bytes_per_s": ...,   # data_bytes / median total
+          "quality": {...}                 # QualityReport.as_dict()
+        }
+      ]
+    }
+
+The schema is versioned so ``--compare`` can refuse artifacts it does not
+understand instead of silently comparing apples to oranges.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Version of the BENCH document shape (bumped on breaking change).
+BENCH_SCHEMA_VERSION = 1
+
+_REQUIRED_TOP_LEVEL = ("schema_version", "kind", "suite", "git_sha", "workloads")
+_REQUIRED_WORKLOAD = ("name", "params", "repeats", "latency_s", "quality")
+_LATENCY_KEYS = ("p50", "p99", "mean", "min", "max")
+
+
+def current_git_sha(repo_root: Optional[Path] = None) -> str:
+    """The current commit sha, or ``"unknown"`` outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
+
+
+def build_bench_report(
+    suite: str, workload_rows: List[Dict], git_sha: Optional[str] = None
+) -> Dict:
+    """Assemble the top-level document around per-workload rows."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "repro-bench",
+        "suite": suite,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "workloads": workload_rows,
+    }
+
+
+def validate_bench_report(report: Dict) -> None:
+    """Raise ``ValueError`` unless *report* is a well-formed BENCH document."""
+    if not isinstance(report, dict):
+        raise ValueError("bench report must be a JSON object")
+    for key in _REQUIRED_TOP_LEVEL:
+        if key not in report:
+            raise ValueError(f"bench report is missing {key!r}")
+    if report["kind"] != "repro-bench":
+        raise ValueError(f"not a bench report (kind={report['kind']!r})")
+    version = report["schema_version"]
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"bad schema_version {version!r}")
+    if version > BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"bench schema {version} is newer than supported ({BENCH_SCHEMA_VERSION})"
+        )
+    workloads = report["workloads"]
+    if not isinstance(workloads, list) or not workloads:
+        raise ValueError("bench report has no workloads")
+    for row in workloads:
+        for key in _REQUIRED_WORKLOAD:
+            if key not in row:
+                raise ValueError(
+                    f"workload {row.get('name', '?')!r} is missing {key!r}"
+                )
+        latency = row["latency_s"]
+        if "total" not in latency:
+            raise ValueError(f"workload {row['name']!r} lacks total latency")
+        for stage, summary in latency.items():
+            missing = [key for key in _LATENCY_KEYS if key not in summary]
+            if missing:
+                raise ValueError(
+                    f"workload {row['name']!r} stage {stage!r} lacks {missing}"
+                )
+        quality = row["quality"]
+        if not isinstance(quality, dict) or "schema_version" not in quality:
+            raise ValueError(f"workload {row['name']!r} has a malformed quality report")
+
+
+def default_output_path(suite: str) -> Path:
+    return Path(f"BENCH_{suite}.json")
+
+
+def write_bench_report(report: Dict, path: Union[str, Path]) -> Path:
+    """Validate then write *report* as pretty-printed JSON."""
+    validate_bench_report(report)
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_bench_report(path: Union[str, Path]) -> Dict:
+    """Read and validate a BENCH document."""
+    report = json.loads(Path(path).read_text())
+    validate_bench_report(report)
+    return report

@@ -1,0 +1,94 @@
+"""Runs benchmark suites and folds the results into report rows.
+
+Each workload is repeated ``workload.repeats`` times under its own
+:class:`~repro.observability.Tracer`; stage latencies come from the span
+rollups (the same numbers ``StageTimings`` reports), quality from the
+pipeline's :class:`~repro.observability.quality.QualityReport`.  Workloads
+are fully seeded, so the quality section is identical across repeats and
+across machines — which is what lets CI gate on a committed baseline with
+``--compare --quality-only`` while latency floats with the hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.benchmarking.report import build_bench_report
+from repro.benchmarking.suites import Workload, get_suite
+from repro.observability.metrics import percentile
+from repro.observability.trace import Tracer
+from repro.pipeline.pipeline import Pipeline
+
+#: Stage keys reported under ``latency_s`` (StageTimings.as_dict order).
+STAGES = (
+    "encoding",
+    "simulation",
+    "preprocessing",
+    "clustering",
+    "reconstruction",
+    "decoding",
+    "total",
+)
+
+
+def _summary(samples: List[float]) -> Dict[str, float]:
+    return {
+        "p50": percentile(samples, 50),
+        "p99": percentile(samples, 99),
+        "mean": sum(samples) / len(samples),
+        "min": min(samples),
+        "max": max(samples),
+    }
+
+
+def run_workload(workload: Workload) -> Dict:
+    """Run one workload and return its report row."""
+    data = workload.make_data()
+    per_stage: Dict[str, List[float]] = {stage: [] for stage in STAGES}
+    successes = 0
+    quality = None
+    for _ in range(workload.repeats):
+        tracer = Tracer()
+        pipeline = Pipeline(workload.make_config())
+        result = pipeline.run(data, tracer=tracer)
+        timings = result.timings.as_dict()
+        for stage in STAGES:
+            per_stage[stage].append(timings[stage])
+        successes += 1 if (result.success and result.data == data) else 0
+        quality = result.quality
+    totals = per_stage["total"]
+    return {
+        "name": workload.name,
+        "params": dict(workload.params),
+        "data_bytes": workload.data_bytes,
+        "repeats": workload.repeats,
+        "success_rate": successes / workload.repeats,
+        "latency_s": {stage: _summary(per_stage[stage]) for stage in STAGES},
+        "throughput_bytes_per_s": (
+            workload.data_bytes / percentile(totals, 50) if max(totals) > 0 else 0.0
+        ),
+        "quality": quality.as_dict() if quality is not None else None,
+    }
+
+
+def run_suite(
+    suite: str,
+    git_sha: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run every workload of *suite*; returns the BENCH report document.
+
+    *progress* (when given) receives one line per workload as it finishes —
+    the CLI uses it so long suites show life.
+    """
+    rows = []
+    for workload in get_suite(suite):
+        row = run_workload(workload)
+        if progress is not None:
+            total = row["latency_s"]["total"]
+            progress(
+                f"{workload.name}: p50 {total['p50']:.3f}s over "
+                f"{workload.repeats} repeat(s), success {row['success_rate']:.0%}"
+            )
+        rows.append(row)
+    return build_bench_report(suite, rows, git_sha=git_sha)

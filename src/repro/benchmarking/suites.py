@@ -1,0 +1,196 @@
+"""Named, parameterized benchmark workloads.
+
+A :class:`Workload` is a fully seeded pipeline configuration plus a
+deterministic input payload: running it twice produces identical quality
+numbers (latency, of course, varies with the machine).  Suites group
+workloads by what they guard:
+
+``smoke``
+    Two small end-to-end round trips (i.i.d. channel at moderate and high
+    error).  Fast enough for CI on every push; this is the suite the
+    committed baseline gates.
+``fig3``
+    Simulator-fidelity scale points: the same payload pushed through the
+    i.i.d., SOLQC and reference channels, guarding the observed-error-rate
+    and reconstruction-difficulty ordering of the paper's Figure 3/Table I.
+``table2``
+    Clustering accuracy/latency points: q-gram vs w-gram signatures at low
+    and high error (the paper's Table II axis).
+``fig6``
+    Reconstruction scale points: the three consensus algorithms on the
+    same noisy pool (Figure 6's comparison), at a larger payload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.clustering.rashtchian import ClusteringConfig
+from repro.codec.encoder import EncodingParameters
+from repro.pipeline.config import PipelineConfig
+from repro.reconstruction import (
+    BMAReconstructor,
+    DoubleSidedBMAReconstructor,
+    NWConsensusReconstructor,
+)
+from repro.simulation import (
+    ConstantCoverage,
+    IIDChannel,
+    SOLQCChannel,
+    WetlabReferenceChannel,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named, deterministic pipeline run."""
+
+    name: str
+    #: recorded verbatim in the report so baselines are self-describing
+    params: Dict[str, object]
+    data_bytes: int
+    #: pipeline runs per workload; latency percentiles come from these
+    repeats: int
+    config_factory: Callable[[], PipelineConfig]
+    data_seed: int = 0xDA7A
+
+    def make_config(self) -> PipelineConfig:
+        return self.config_factory()
+
+    def make_data(self) -> bytes:
+        return random.Random(self.data_seed).randbytes(self.data_bytes)
+
+
+def _encoding(data_columns: int = 20, parity_columns: int = 8) -> EncodingParameters:
+    return EncodingParameters(
+        payload_bytes=18,
+        data_columns=data_columns,
+        parity_columns=parity_columns,
+        index_bytes=2,
+    )
+
+
+def _config(
+    error_rate: float = 0.04,
+    coverage: int = 8,
+    channel=None,
+    signature: str = "qgram",
+    reconstructor=None,
+    data_columns: int = 20,
+    parity_columns: int = 8,
+    quality_sample: int = 128,
+) -> PipelineConfig:
+    return PipelineConfig(
+        encoding=_encoding(data_columns, parity_columns),
+        channel=channel or IIDChannel.from_total_rate(error_rate),
+        coverage=ConstantCoverage(coverage),
+        clustering=ClusteringConfig(signature=signature, rounds=16, seed=11),
+        reconstructor=reconstructor or NWConsensusReconstructor(),
+        quality_sample=quality_sample,
+        seed=13,
+    )
+
+
+def _workload(name, params, data_bytes, repeats, factory) -> Workload:
+    return Workload(
+        name=name,
+        params=params,
+        data_bytes=data_bytes,
+        repeats=repeats,
+        config_factory=factory,
+    )
+
+
+def _smoke() -> List[Workload]:
+    return [
+        _workload(
+            "smoke-e2e-err4",
+            {"channel": "iid", "error_rate": 0.04, "coverage": 8},
+            400,
+            3,
+            lambda: _config(error_rate=0.04, coverage=8),
+        ),
+        _workload(
+            "smoke-e2e-err9",
+            {"channel": "iid", "error_rate": 0.09, "coverage": 10},
+            400,
+            3,
+            lambda: _config(error_rate=0.09, coverage=10),
+        ),
+    ]
+
+
+def _fig3() -> List[Workload]:
+    channels = {
+        "iid": lambda: IIDChannel.from_total_rate(0.06),
+        "solqc": SOLQCChannel,
+        "reference": WetlabReferenceChannel,
+    }
+    return [
+        _workload(
+            f"fig3-{name}",
+            {"channel": name, "coverage": 8},
+            600,
+            2,
+            lambda make=make: _config(channel=make(), coverage=8),
+        )
+        for name, make in channels.items()
+    ]
+
+
+def _table2() -> List[Workload]:
+    points = [(0.03, "qgram"), (0.03, "wgram"), (0.12, "qgram"), (0.12, "wgram")]
+    return [
+        _workload(
+            f"table2-{signature}-err{int(rate * 100):02d}",
+            {"channel": "iid", "error_rate": rate, "signature": signature},
+            600,
+            2,
+            lambda rate=rate, signature=signature: _config(
+                error_rate=rate, coverage=10, signature=signature
+            ),
+        )
+        for rate, signature in points
+    ]
+
+
+def _fig6() -> List[Workload]:
+    algorithms = {
+        "bma": BMAReconstructor,
+        "dbma": DoubleSidedBMAReconstructor,
+        "nwa": NWConsensusReconstructor,
+    }
+    return [
+        _workload(
+            f"fig6-{name}",
+            {"channel": "iid", "error_rate": 0.06, "reconstructor": name},
+            1200,
+            2,
+            lambda make=make: _config(
+                error_rate=0.06, coverage=10, reconstructor=make()
+            ),
+        )
+        for name, make in algorithms.items()
+    ]
+
+
+#: Suite name -> workload-list factory.  Factories (not lists) so every
+#: ``repro bench`` invocation gets fresh, unshared reconstructor objects.
+SUITES: Dict[str, Callable[[], List[Workload]]] = {
+    "smoke": _smoke,
+    "fig3": _fig3,
+    "table2": _table2,
+    "fig6": _fig6,
+}
+
+
+def get_suite(name: str) -> List[Workload]:
+    """The workloads of suite *name* (raises on unknown names)."""
+    try:
+        factory = SUITES[name]
+    except KeyError:
+        known = ", ".join(sorted(SUITES))
+        raise ValueError(f"unknown suite {name!r} (known: {known})") from None
+    return factory()

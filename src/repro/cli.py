@@ -275,6 +275,57 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.benchmarking import (
+        CompareThresholds,
+        SUITES,
+        compare_reports,
+        load_bench_report,
+        render_comparison,
+        run_suite,
+        write_bench_report,
+    )
+    from repro.benchmarking.report import default_output_path
+
+    if args.list:
+        from repro.benchmarking import get_suite
+
+        for name in sorted(SUITES):
+            workloads = get_suite(name)
+            print(f"{name}: {', '.join(w.name for w in workloads)}")
+        return 0
+
+    if args.compare:
+        baseline_path, new_path = args.compare
+        try:
+            baseline = load_bench_report(baseline_path)
+            new = load_bench_report(new_path)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        thresholds = CompareThresholds(
+            max_latency_ratio=args.max_latency_ratio,
+            quality_tolerance=args.quality_tolerance,
+            quality_only=args.quality_only,
+        )
+        result = compare_reports(baseline, new, thresholds)
+        print(
+            render_comparison(
+                result, title=f"bench comparison ({baseline_path} -> {new_path})"
+            )
+        )
+        return 0 if result.ok else 1
+
+    if not args.suite:
+        print("error: provide --suite NAME, --compare BASE NEW, or --list",
+              file=sys.stderr)
+        return 2
+    report = run_suite(args.suite, progress=print)
+    path = write_bench_report(report, args.out or default_output_path(args.suite))
+    print(f"bench report written to {path}")
+    return 0
+
+
 def cmd_stats(args) -> int:
     from repro.analysis.poolstats import pool_statistics
 
@@ -394,10 +445,52 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("input", help="JSONL trace written by --trace")
     trace.set_defaults(handler=cmd_trace)
 
+    bench = commands.add_parser(
+        "bench",
+        help="run a benchmark suite (BENCH_<suite>.json) or compare two runs",
+    )
+    bench.add_argument(
+        "--suite", default=None, help="suite to run (see --list)"
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="output path for the bench report (default BENCH_<suite>.json)",
+    )
+    bench.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASELINE", "NEW"),
+        default=None,
+        help="compare two bench reports; exits 1 on regression",
+    )
+    bench.add_argument(
+        "--max-latency-ratio",
+        type=float,
+        default=1.5,
+        help="flag when new total p50 latency exceeds baseline by this factor",
+    )
+    bench.add_argument(
+        "--quality-tolerance",
+        type=float,
+        default=0.10,
+        help="relative tolerance applied to every quality metric",
+    )
+    bench.add_argument(
+        "--quality-only",
+        action="store_true",
+        help="skip latency comparison (for cross-machine baselines, e.g. CI)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list suites and their workloads"
+    )
+    bench.set_defaults(handler=cmd_bench)
+
     # Global observability flag: every subcommand (except the renderer
-    # itself) can record its run as a JSONL trace.
+    # and the bench harness, which manage their own tracers) can record
+    # its run as a JSONL trace.
     for name, subparser in commands.choices.items():
-        if name != "trace":
+        if name not in ("trace", "bench"):
             subparser.add_argument(
                 "--trace",
                 metavar="PATH",

@@ -19,6 +19,7 @@ from repro.clustering.rashtchian import (
 from repro.clustering.thresholds import ThresholdEstimate, estimate_thresholds
 from repro.clustering.tree import TreeClusterer, TreeClusteringConfig
 from repro.clustering.metrics import (
+    cluster_quality,
     clustering_accuracy,
     cluster_purity,
     confusion_counts,
@@ -35,5 +36,6 @@ __all__ = [
     "TreeClusteringConfig",
     "clustering_accuracy",
     "cluster_purity",
+    "cluster_quality",
     "confusion_counts",
 ]

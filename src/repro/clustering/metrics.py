@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Sequence, Tuple
 
+from repro.observability.quality import ClusteringQuality
+
 
 def _as_label_map(clusters: Sequence[Sequence[int]]) -> Dict[int, int]:
     labels: Dict[int, int] = {}
@@ -77,6 +79,57 @@ def cluster_purity(
         pure += votes.most_common(1)[0][1]
         total += len(members)
     return pure / total if total else 0.0
+
+
+def cluster_quality(
+    predicted: Sequence[Sequence[int]], truth: Sequence[Sequence[int]]
+) -> ClusteringQuality:
+    """Summarise a clustering against ground truth for the quality report.
+
+    Alongside :func:`cluster_purity` this counts the two failure shapes
+    the accuracy metric conflates:
+
+    * **fragmentation / under-merge** — a true cluster's reads scattered
+      over several output clusters (``fragmentation`` counts the excess
+      pieces, ``under_merged`` the affected true clusters);
+    * **over-merge** — one output cluster mixing reads from several true
+      clusters (the failure purity penalises).
+
+    Linear in the number of reads, so safe to run on every pipeline pass.
+    """
+    truth_labels = _as_label_map(truth)
+    predicted_labels = _as_label_map(predicted)
+
+    fragmentation = 0
+    under_merged = 0
+    for members in truth:
+        if not members:
+            continue
+        homes = {
+            predicted_labels[member]
+            for member in members
+            if member in predicted_labels
+        }
+        if len(homes) > 1:
+            under_merged += 1
+            fragmentation += len(homes) - 1
+
+    over_merged = 0
+    for members in predicted:
+        sources = {
+            truth_labels[member] for member in members if member in truth_labels
+        }
+        if len(sources) > 1:
+            over_merged += 1
+
+    return ClusteringQuality(
+        clusters=sum(1 for members in predicted if members),
+        true_clusters=sum(1 for members in truth if members),
+        purity=cluster_purity(predicted, truth),
+        fragmentation=fragmentation,
+        under_merged=under_merged,
+        over_merged=over_merged,
+    )
 
 
 def confusion_counts(

@@ -37,6 +37,8 @@ class DecodeReport:
     failed_rows: int = 0
     corrected_rows: int = 0
     clean_rows: int = 0
+    #: total RS symbols repaired across all corrected rows
+    symbols_corrected: int = 0
     success: bool = False
     unit_failures: Dict[int, List[int]] = field(default_factory=dict)
 
@@ -185,6 +187,8 @@ class DNADecoder:
         params = self.parameters
         tracer = as_tracer(tracer)
         errors_corrected = tracer.metrics.counter("rs_decode_errors_corrected")
+        corrections_per_row = tracer.metrics.histogram("rs_corrections_per_row")
+        erasures_per_row = tracer.metrics.histogram("rs_erasures_per_row")
         rows = params.payload_bytes
         n = params.total_columns
         base_index = unit * n
@@ -203,8 +207,10 @@ class DNADecoder:
         failed_rows: List[int] = []
         data_rows: List[List[int]] = []
         for row_index, codeword in enumerate(codewords):
+            erasures_per_row.observe(len(erasures))
             if not erasures and self._rs.check(codeword):
                 report.clean_rows += 1
+                corrections_per_row.observe(0)
                 data_rows.append(list(codeword[: params.data_columns]))
                 continue
             try:
@@ -212,11 +218,15 @@ class DNADecoder:
                 received = list(codeword[: params.data_columns])
                 if received != message:
                     report.corrected_rows += 1
-                    errors_corrected.inc(
-                        sum(1 for a, b in zip(received, message) if a != b)
+                    corrections = sum(
+                        1 for a, b in zip(received, message) if a != b
                     )
+                    report.symbols_corrected += corrections
+                    errors_corrected.inc(corrections)
+                    corrections_per_row.observe(corrections)
                 else:
                     report.clean_rows += 1
+                    corrections_per_row.observe(0)
                 data_rows.append(message)
             except RSDecodeError:
                 report.failed_rows += 1

@@ -46,6 +46,14 @@ from repro.observability.export import (
     trace_lines,
     write_trace,
 )
+from repro.observability.quality import (
+    QUALITY_SCHEMA_VERSION,
+    ChannelQuality,
+    ClusteringQuality,
+    DecodingQuality,
+    QualityReport,
+    ReconstructionQuality,
+)
 
 __all__ = [
     "Counter",
@@ -67,4 +75,10 @@ __all__ = [
     "render_tracer_report",
     "trace_lines",
     "write_trace",
+    "QUALITY_SCHEMA_VERSION",
+    "ChannelQuality",
+    "ClusteringQuality",
+    "DecodingQuality",
+    "QualityReport",
+    "ReconstructionQuality",
 ]

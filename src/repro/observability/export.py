@@ -219,13 +219,27 @@ def render_report(trace: TraceData, title: str = "trace report") -> str:
     sections: List[str] = []
 
     if trace.roots:
+        # Percentages are of wall time (the sum of root spans); nested spans
+        # overlap their parents, so the column does not sum to 100%.
+        wall = sum(root.duration for root in trace.roots)
+        aggregated = sorted(
+            aggregate_spans(trace.roots), key=lambda entry: entry[2], reverse=True
+        )
         rows = [
-            [name, str(calls), f"{total:.4f}", f"{mean:.4f}", f"{low:.4f}", f"{high:.4f}"]
-            for name, calls, total, mean, low, high in aggregate_spans(trace.roots)
+            [
+                name,
+                str(calls),
+                f"{total:.4f}",
+                f"{total / wall:.1%}" if wall > 0 else "-",
+                f"{mean:.4f}",
+                f"{low:.4f}",
+                f"{high:.4f}",
+            ]
+            for name, calls, total, mean, low, high in aggregated
         ]
         sections.append(
             format_table(
-                ["span", "calls", "total s", "mean s", "min s", "max s"],
+                ["span", "calls", "total s", "% wall", "mean s", "min s", "max s"],
                 rows,
                 title=f"{title} - span latency",
             )

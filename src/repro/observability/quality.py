@@ -1,0 +1,228 @@
+"""Structured quality reports: the fidelity half of observability.
+
+PR 1's tracer answers "where did the time go"; this module answers "what
+did the run do to the data".  Each pipeline stage contributes one section:
+
+* :class:`ChannelQuality` — error rates *observed* in the simulated reads
+  (by aligning a sample of reads against their origin strands), next to
+  the rates the channel was *configured* with, plus read-length deltas;
+* :class:`ClusteringQuality` — purity, fragmentation and under/over-merge
+  counts against the sequencing ground truth;
+* :class:`ReconstructionQuality` — per-strand edit distance to the
+  reference body and the exact-recovery fraction;
+* :class:`DecodingQuality` — RS row outcomes, symbols corrected, erasures
+  and bytes recovered.
+
+A :class:`QualityReport` bundles the sections (each ``None`` when its
+ground truth was unavailable, e.g. on the wetlab-reads entry point) and is
+surfaced on :class:`~repro.pipeline.pipeline.PipelineResult` alongside
+:class:`~repro.pipeline.stats.StageTimings`.  The report round-trips
+through plain dicts/JSON so benchmark artifacts can embed and diff it —
+that is what ``repro bench --compare`` gates regressions on.
+
+This module is pure data; the evaluation logic that *builds* the sections
+lives next to each stage (:mod:`repro.simulation.observed`,
+:mod:`repro.clustering.metrics`, :mod:`repro.pipeline.quality`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Optional
+
+#: Version of the ``QualityReport.as_dict`` shape (bumped on breaking change).
+QUALITY_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ChannelQuality:
+    """Error rates observed in the channel output vs. the configured rates.
+
+    Rates are per reference base, estimated by globally aligning a sample
+    of reads against the strands that produced them (the same attribution
+    the learned channel models use when fitting).
+    """
+
+    reads_sampled: int = 0
+    bases_compared: int = 0
+    substitution_rate: float = 0.0
+    insertion_rate: float = 0.0
+    deletion_rate: float = 0.0
+    #: mean signed read-length minus reference-length difference
+    mean_length_delta: float = 0.0
+    #: largest absolute length difference seen in the sample
+    max_length_delta: int = 0
+    #: the channel's configured rates, when it can report them
+    expected_substitution_rate: Optional[float] = None
+    expected_insertion_rate: Optional[float] = None
+    expected_deletion_rate: Optional[float] = None
+
+    @property
+    def total_rate(self) -> float:
+        return self.substitution_rate + self.insertion_rate + self.deletion_rate
+
+    @property
+    def expected_total_rate(self) -> Optional[float]:
+        expected = (
+            self.expected_substitution_rate,
+            self.expected_insertion_rate,
+            self.expected_deletion_rate,
+        )
+        if any(rate is None for rate in expected):
+            return None
+        return sum(expected)  # type: ignore[arg-type]
+
+
+@dataclass
+class ClusteringQuality:
+    """Clustering outcome against the sequencing ground truth."""
+
+    clusters: int = 0
+    true_clusters: int = 0
+    #: fraction of reads that sit in their cluster's dominant true class
+    purity: float = 0.0
+    #: excess fragments: sum over true clusters of (pieces - 1)
+    fragmentation: int = 0
+    #: true clusters split across more than one output cluster
+    under_merged: int = 0
+    #: output clusters containing reads from more than one true cluster
+    over_merged: int = 0
+
+
+@dataclass
+class ReconstructionQuality:
+    """Per-strand distance between reconstructions and reference bodies."""
+
+    strands: int = 0
+    exact_matches: int = 0
+    mean_edit_distance: float = 0.0
+    p90_edit_distance: float = 0.0
+    max_edit_distance: int = 0
+
+    @property
+    def exact_recovery_fraction(self) -> float:
+        return self.exact_matches / self.strands if self.strands else 0.0
+
+
+@dataclass
+class DecodingQuality:
+    """Reed-Solomon workload and outcome of the decode stage."""
+
+    clean_rows: int = 0
+    corrected_rows: int = 0
+    failed_rows: int = 0
+    #: total RS symbols repaired across all corrected rows
+    symbols_corrected: int = 0
+    #: erasure locations handed to the RS decoder (missing molecules)
+    erasures: int = 0
+    bytes_recovered: int = 0
+    success: bool = False
+
+    @property
+    def total_rows(self) -> int:
+        return self.clean_rows + self.corrected_rows + self.failed_rows
+
+    @property
+    def clean_row_fraction(self) -> float:
+        total = self.total_rows
+        return self.clean_rows / total if total else 0.0
+
+
+_SECTION_TYPES = {
+    "channel": ChannelQuality,
+    "clustering": ClusteringQuality,
+    "reconstruction": ReconstructionQuality,
+    "decoding": DecodingQuality,
+}
+
+
+@dataclass
+class QualityReport:
+    """All quality sections one pipeline run produced.
+
+    Sections are ``None`` when their ground truth was unavailable — e.g.
+    ``run_from_reads`` has no sequencing origins, so only ``decoding`` is
+    populated there.
+    """
+
+    channel: Optional[ChannelQuality] = None
+    clustering: Optional[ClusteringQuality] = None
+    reconstruction: Optional[ReconstructionQuality] = None
+    decoding: Optional[DecodingQuality] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict (schema-versioned; ``from_dict`` inverts it)."""
+        payload: Dict[str, Any] = {"schema_version": QUALITY_SCHEMA_VERSION}
+        for name in _SECTION_TYPES:
+            section = getattr(self, name)
+            payload[name] = None if section is None else asdict(section)
+        # Derived headline numbers, denormalised for easy grepping/gating.
+        if self.reconstruction is not None:
+            payload["reconstruction"]["exact_recovery_fraction"] = (
+                self.reconstruction.exact_recovery_fraction
+            )
+        if self.decoding is not None:
+            payload["decoding"]["clean_row_fraction"] = (
+                self.decoding.clean_row_fraction
+            )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "QualityReport":
+        """Rebuild a report written by :meth:`as_dict`.
+
+        Unknown keys (e.g. the denormalised derived fields, or fields
+        added by a newer schema) are ignored so old readers keep working.
+        """
+        version = payload.get("schema_version", QUALITY_SCHEMA_VERSION)
+        if version > QUALITY_SCHEMA_VERSION:
+            raise ValueError(
+                f"quality report schema {version} is newer than supported "
+                f"({QUALITY_SCHEMA_VERSION})"
+            )
+        sections: Dict[str, Any] = {}
+        for name, section_type in _SECTION_TYPES.items():
+            raw = payload.get(name)
+            if raw is None:
+                sections[name] = None
+                continue
+            known = {f.name for f in fields(section_type)}
+            sections[name] = section_type(
+                **{key: value for key, value in raw.items() if key in known}
+            )
+        return cls(**sections)
+
+    def emit(self, metrics) -> None:
+        """Record the headline numbers as gauges in a metrics registry.
+
+        This is what makes the quality report greppable from a saved
+        trace: ``repro trace`` renders these next to the span latencies.
+        """
+        if self.channel is not None:
+            metrics.gauge("channel_observed_rate", kind="sub").set(
+                self.channel.substitution_rate
+            )
+            metrics.gauge("channel_observed_rate", kind="ins").set(
+                self.channel.insertion_rate
+            )
+            metrics.gauge("channel_observed_rate", kind="del").set(
+                self.channel.deletion_rate
+            )
+            metrics.gauge("channel_mean_length_delta").set(
+                self.channel.mean_length_delta
+            )
+        if self.clustering is not None:
+            metrics.gauge("cluster_purity").set(self.clustering.purity)
+            metrics.gauge("cluster_fragmentation").set(
+                self.clustering.fragmentation
+            )
+            metrics.gauge("cluster_under_merged").set(self.clustering.under_merged)
+            metrics.gauge("cluster_over_merged").set(self.clustering.over_merged)
+        if self.reconstruction is not None:
+            metrics.gauge("reconstruction_exact_recovery").set(
+                self.reconstruction.exact_recovery_fraction
+            )
+        if self.decoding is not None:
+            metrics.gauge("decode_bytes_recovered").set(
+                self.decoding.bytes_recovered
+            )

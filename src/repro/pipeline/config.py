@@ -42,6 +42,13 @@ class PipelineConfig:
     #: drop clusters smaller than this before reconstruction (tiny clusters
     #: reconstruct poorly and their columns are better treated as erasures)
     min_cluster_size: int = 2
+    #: score each stage against the simulation ground truth and attach a
+    #: :class:`~repro.observability.quality.QualityReport` to the result
+    assess_quality: bool = True
+    #: reads aligned against their origin strands to estimate the realised
+    #: channel error rates (alignment is quadratic in strand length, so
+    #: this is sampled; 0 skips the channel section entirely)
+    quality_sample: int = 64
     seed: Optional[int] = 0
 
     def __post_init__(self) -> None:
@@ -49,6 +56,8 @@ class PipelineConfig:
             raise ValueError("reverse_orientation_prob must be in [0, 1]")
         if self.min_cluster_size < 1:
             raise ValueError("min_cluster_size must be at least 1")
+        if self.quality_sample < 0:
+            raise ValueError("quality_sample must be non-negative")
         if (
             self.reverse_orientation_prob > 0
             and self.encoding.primer_pair is None

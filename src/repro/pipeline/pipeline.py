@@ -21,14 +21,22 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.clustering.metrics import cluster_quality
 from repro.clustering.rashtchian import ClusteringResult, RashtchianClusterer
 from repro.codec.decoder import DecodeReport, DNADecoder
 from repro.codec.encoder import DNAEncoder, EncodedPool
 from repro.dna.alphabet import reverse_complement
+from repro.observability.quality import QualityReport
 from repro.observability.trace import Tracer, as_tracer
 from repro.pipeline.config import PipelineConfig
+from repro.pipeline.quality import (
+    GroundTruth,
+    decoding_quality,
+    reconstruction_quality,
+)
 from repro.pipeline.stats import StageTimings
 from repro.simulation.coverage import SequencingRun, sequence_pool
+from repro.simulation.observed import observe_channel_quality
 from repro.wetlab.preprocess import WetlabPreprocessor
 
 
@@ -44,6 +52,9 @@ class PipelineResult:
     clustering: Optional[ClusteringResult]
     reconstructions: List[str] = field(default_factory=list)
     decode_report: Optional[DecodeReport] = None
+    #: per-stage quality sections (channel / clustering / reconstruction /
+    #: decoding); ``None`` when ``config.assess_quality`` is off
+    quality: Optional[QualityReport] = None
 
 
 def _accepts_tracer(method) -> bool:
@@ -100,6 +111,26 @@ class Pipeline:
                 span.set("dropouts", len(run.dropouts))
             timings.simulation = span.duration
 
+            channel_quality = None
+            truth = None
+            if config.assess_quality:
+                with tracer.span("quality.channel") as span:
+                    channel_quality = observe_channel_quality(
+                        run,
+                        config.channel,
+                        sample=config.quality_sample,
+                        seed=config.seed or 0,
+                    )
+                    if channel_quality is not None:
+                        span.set("reads_sampled", channel_quality.reads_sampled)
+                if config.encoding.primer_pair is None:
+                    # Preprocessing filters and reorders reads, losing the
+                    # read->origin pairing; ground-truth scoring of the
+                    # later stages is only possible on the unfiltered path.
+                    truth = GroundTruth(
+                        origins=run.origins, references=encoded.references
+                    )
+
             if config.encoding.primer_pair is not None:
                 with tracer.span("pipeline.preprocessing") as span:
                     preprocessor = WetlabPreprocessor(
@@ -117,7 +148,14 @@ class Pipeline:
                     ).inc(rejected)
                 timings.preprocessing = span.duration
 
-            result = self._recover(reads, encoded, timings, tracer=tracer)
+            result = self._recover(
+                reads,
+                encoded,
+                timings,
+                tracer=tracer,
+                truth=truth,
+                channel_quality=channel_quality,
+            )
         result.sequencing = run
         return result
 
@@ -163,12 +201,15 @@ class Pipeline:
         timings: StageTimings,
         expected_units: Optional[int] = None,
         tracer: Optional[Tracer] = None,
+        truth: Optional[GroundTruth] = None,
+        channel_quality=None,
     ) -> PipelineResult:
         config = self.config
         tracer = as_tracer(tracer)
 
         with tracer.span("pipeline.clustering", reads=len(reads)) as span:
             clustering = None
+            kept_clusters: List[List[int]] = []
             clusters_reads: List[List[str]] = []
             if reads:
                 clusterer = config.clusterer or RashtchianClusterer(config.clustering)
@@ -176,10 +217,13 @@ class Pipeline:
                     clustering = clusterer.cluster(reads, tracer=tracer)
                 else:
                     clustering = clusterer.cluster(reads)
-                clusters_reads = [
-                    [reads[index] for index in cluster]
+                kept_clusters = [
+                    cluster
                     for cluster in clustering.clusters
                     if len(cluster) >= config.min_cluster_size
+                ]
+                clusters_reads = [
+                    [reads[index] for index in cluster] for cluster in kept_clusters
                 ]
                 discarded = len(reads) - sum(len(c) for c in clusters_reads)
                 span.set("clusters", len(clustering.clusters))
@@ -191,6 +235,13 @@ class Pipeline:
                     discarded
                 )
         timings.clustering = span.duration
+
+        clustering_q = None
+        if truth is not None and clustering is not None:
+            with tracer.span("quality.clustering"):
+                clustering_q = cluster_quality(
+                    clustering.clusters, truth.true_clusters()
+                )
 
         with tracer.span(
             "pipeline.reconstruction", clusters=len(clusters_reads)
@@ -205,6 +256,13 @@ class Pipeline:
                 )
         timings.reconstruction = span.duration
 
+        reconstruction_q = None
+        if truth is not None and reconstructions:
+            with tracer.span("quality.reconstruction"):
+                reconstruction_q = reconstruction_quality(
+                    kept_clusters, reconstructions, truth, metrics=tracer.metrics
+                )
+
         with tracer.span("pipeline.decoding", strands=len(reconstructions)) as span:
             data, report = self._decoder.decode(
                 reconstructions,
@@ -215,6 +273,16 @@ class Pipeline:
             span.set("success", report.success)
         timings.decoding = span.duration
 
+        quality = None
+        if config.assess_quality:
+            quality = QualityReport(
+                channel=channel_quality,
+                clustering=clustering_q,
+                reconstruction=reconstruction_q,
+                decoding=decoding_quality(report, len(data)),
+            )
+            quality.emit(tracer.metrics)
+
         return PipelineResult(
             data=data,
             success=report.success,
@@ -224,4 +292,5 @@ class Pipeline:
             clustering=clustering,
             reconstructions=reconstructions,
             decode_report=report,
+            quality=quality,
         )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Dict, Optional, Sequence
 
 
 class Channel(ABC):
@@ -18,6 +18,15 @@ class Channel(ABC):
     @abstractmethod
     def transmit(self, strand: str, rng: random.Random) -> str:
         """Return one noisy read of *strand*."""
+
+    def expected_rates(self) -> Optional[Dict[str, float]]:
+        """Configured per-base ``{"sub", "ins", "del"}`` rates, when known.
+
+        Channels with explicit rate knobs override this so the quality
+        observatory can report observed-vs-configured drift; data-driven
+        and positional channels return ``None``.
+        """
+        return None
 
     def transmit_many(self, strand: str, copies: int, rng: random.Random) -> list:
         """Return *copies* independent noisy reads of *strand*."""
@@ -50,3 +59,13 @@ class ComposedChannel(Channel):
         for stage in self.stages:
             strand = stage.transmit(strand, rng)
         return strand
+
+    def expected_rates(self):
+        """First-order sum of the stage rates (valid while rates are small)."""
+        per_stage = [stage.expected_rates() for stage in self.stages]
+        if any(rates is None for rates in per_stage):
+            return None
+        return {
+            kind: sum(rates[kind] for rates in per_stage)
+            for kind in ("sub", "ins", "del")
+        }

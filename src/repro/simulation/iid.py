@@ -46,6 +46,10 @@ class IIDChannel(Channel):
         """The per-index probability that *some* error occurs."""
         return self.p_ins + self.p_del + self.p_sub
 
+    def expected_rates(self):
+        """The configured rates, for observed-vs-configured quality checks."""
+        return {"sub": self.p_sub, "ins": self.p_ins, "del": self.p_del}
+
     def transmit(self, strand: str, rng: random.Random) -> str:
         output = []
         ins_cutoff = self.p_ins

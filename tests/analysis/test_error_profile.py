@@ -56,8 +56,21 @@ class TestFidelityMetrics:
     def test_deviation_requires_same_length(self):
         a = ErrorProfile(rates=np.array([0.1]), strands=1, perfect=0)
         b = ErrorProfile(rates=np.array([0.1, 0.2]), strands=1, perfect=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="1 vs 2"):
             a.deviation_from(b)
+        # ...in either direction.
+        with pytest.raises(ValueError, match="2 vs 1"):
+            b.deviation_from(a)
+
+    def test_deviation_is_symmetric(self):
+        a = ErrorProfile(rates=np.array([0.1, 0.3]), strands=1, perfect=0)
+        b = ErrorProfile(rates=np.array([0.2, 0.1]), strands=1, perfect=0)
+        assert a.deviation_from(b) == pytest.approx(0.15)
+        assert a.deviation_from(b) == b.deviation_from(a)
+
+    def test_deviation_from_self_is_zero(self):
+        a = ErrorProfile(rates=np.array([0.1, 0.3]), strands=1, perfect=0)
+        assert a.deviation_from(a) == 0.0
 
 
 class TestSmoothing:

@@ -1,0 +1,122 @@
+"""Regression-gate tests: identical runs pass, injected regressions fail."""
+
+import copy
+
+import pytest
+
+from repro.benchmarking import (
+    CompareThresholds,
+    compare_reports,
+    render_comparison,
+)
+from tests.benchmarking.test_report import bench_report
+
+
+class TestIdentity:
+    def test_identical_reports_pass(self):
+        report = bench_report()
+        result = compare_reports(report, copy.deepcopy(report))
+        assert result.ok
+        assert result.regressions == []
+
+    def test_render_mentions_verdict(self):
+        report = bench_report()
+        rendered = render_comparison(compare_reports(report, report))
+        assert "OK (no regressions)" in rendered
+
+
+class TestQualityRegressions:
+    def test_halved_purity_fails(self):
+        baseline = bench_report()
+        new = copy.deepcopy(baseline)
+        new["workloads"][0]["quality"]["clustering"]["purity"] = 0.5
+        result = compare_reports(baseline, new)
+        assert not result.ok
+        assert any("purity" in line for line in result.regressions)
+
+    def test_doubled_observed_rate_fails_either_direction(self):
+        baseline = bench_report()
+        worse = copy.deepcopy(baseline)
+        worse["workloads"][0]["quality"]["channel"]["substitution_rate"] = 0.04
+        assert not compare_reports(baseline, worse).ok
+        # Observed rates must *match* the baseline: an improbable halving
+        # signals a channel bug just as much as a doubling.
+        better = copy.deepcopy(baseline)
+        better["workloads"][0]["quality"]["channel"]["substitution_rate"] = 0.005
+        assert not compare_reports(baseline, better).ok
+
+    def test_doubled_corrections_fails(self):
+        baseline = bench_report()
+        baseline["workloads"][0]["quality"]["decoding"]["symbols_corrected"] = 40
+        new = copy.deepcopy(baseline)
+        new["workloads"][0]["quality"]["decoding"]["symbols_corrected"] = 80
+        result = compare_reports(baseline, new)
+        assert not result.ok
+
+    def test_small_drift_within_tolerance_passes(self):
+        baseline = bench_report()
+        new = copy.deepcopy(baseline)
+        new["workloads"][0]["quality"]["clustering"]["purity"] = 0.995
+        assert compare_reports(baseline, new).ok
+
+    def test_improvement_passes(self):
+        baseline = bench_report()
+        baseline["workloads"][0]["quality"]["reconstruction"][
+            "exact_recovery_fraction"
+        ] = 0.8
+        new = copy.deepcopy(baseline)
+        new["workloads"][0]["quality"]["reconstruction"][
+            "exact_recovery_fraction"
+        ] = 1.0
+        assert compare_reports(baseline, new).ok
+
+    def test_missing_workload_fails(self):
+        baseline = bench_report()
+        new = copy.deepcopy(baseline)
+        new["workloads"][0]["name"] = "renamed"
+        result = compare_reports(baseline, new)
+        assert any("missing" in line for line in result.regressions)
+
+    def test_suite_mismatch_fails(self):
+        baseline = bench_report()
+        new = copy.deepcopy(baseline)
+        new["suite"] = "fig3"
+        assert not compare_reports(baseline, new).ok
+
+
+class TestLatencyGate:
+    def test_slower_than_ratio_fails(self):
+        baseline = bench_report()
+        new = copy.deepcopy(baseline)
+        new["workloads"][0]["latency_s"]["total"]["p50"] = 1.0
+        result = compare_reports(baseline, new)
+        assert any("latency" in line for line in result.regressions)
+
+    def test_quality_only_skips_latency(self):
+        baseline = bench_report()
+        new = copy.deepcopy(baseline)
+        new["workloads"][0]["latency_s"]["total"]["p50"] = 10.0
+        thresholds = CompareThresholds(quality_only=True)
+        assert compare_reports(baseline, new, thresholds).ok
+
+    def test_sub_10ms_noise_ignored(self):
+        baseline = bench_report()
+        baseline["workloads"][0]["latency_s"]["total"]["p50"] = 0.001
+        new = copy.deepcopy(baseline)
+        new["workloads"][0]["latency_s"]["total"]["p50"] = 0.008
+        assert compare_reports(baseline, new).ok
+
+
+class TestThresholds:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompareThresholds(max_latency_ratio=0)
+        with pytest.raises(ValueError):
+            CompareThresholds(quality_tolerance=-0.1)
+
+    def test_custom_tolerance_loosens_gate(self):
+        baseline = bench_report()
+        new = copy.deepcopy(baseline)
+        new["workloads"][0]["quality"]["clustering"]["purity"] = 0.5
+        loose = CompareThresholds(quality_tolerance=0.6)
+        assert compare_reports(baseline, new, loose).ok

@@ -1,0 +1,123 @@
+"""BENCH document build/validate/write/load tests."""
+
+import pytest
+
+from repro.benchmarking import (
+    BENCH_SCHEMA_VERSION,
+    build_bench_report,
+    default_output_path,
+    load_bench_report,
+    validate_bench_report,
+    write_bench_report,
+)
+
+
+def latency_summary(p50=0.5):
+    return {"p50": p50, "p99": p50 * 1.2, "mean": p50, "min": p50 * 0.9, "max": p50 * 1.3}
+
+
+def workload_row(name="wl", p50=0.5, **quality_overrides):
+    quality = {
+        "schema_version": 1,
+        "channel": {"substitution_rate": 0.02, "insertion_rate": 0.02, "deletion_rate": 0.02},
+        "clustering": {"purity": 1.0, "fragmentation": 0, "under_merged": 0, "over_merged": 0},
+        "reconstruction": {"exact_recovery_fraction": 1.0, "mean_edit_distance": 0.0},
+        "decoding": {
+            "failed_rows": 0,
+            "symbols_corrected": 0,
+            "erasures": 0,
+            "clean_row_fraction": 1.0,
+        },
+    }
+    quality.update(quality_overrides)
+    return {
+        "name": name,
+        "params": {"error_rate": 0.04},
+        "data_bytes": 400,
+        "repeats": 3,
+        "success_rate": 1.0,
+        "latency_s": {"encoding": latency_summary(0.01), "total": latency_summary(p50)},
+        "throughput_bytes_per_s": 400 / p50,
+        "quality": quality,
+    }
+
+
+def bench_report(**kwargs):
+    return build_bench_report("smoke", [workload_row()], git_sha="deadbeef", **kwargs)
+
+
+class TestBuild:
+    def test_top_level_shape(self):
+        report = bench_report()
+        assert report["schema_version"] == BENCH_SCHEMA_VERSION
+        assert report["kind"] == "repro-bench"
+        assert report["suite"] == "smoke"
+        assert report["git_sha"] == "deadbeef"
+        validate_bench_report(report)
+
+    def test_default_output_path_names_suite(self):
+        assert default_output_path("smoke").name == "BENCH_smoke.json"
+
+
+class TestValidate:
+    def test_missing_top_level_key(self):
+        report = bench_report()
+        del report["git_sha"]
+        with pytest.raises(ValueError, match="git_sha"):
+            validate_bench_report(report)
+
+    def test_wrong_kind(self):
+        report = bench_report()
+        report["kind"] = "something-else"
+        with pytest.raises(ValueError, match="kind"):
+            validate_bench_report(report)
+
+    def test_newer_schema_rejected(self):
+        report = bench_report()
+        report["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            validate_bench_report(report)
+
+    def test_no_workloads(self):
+        report = bench_report()
+        report["workloads"] = []
+        with pytest.raises(ValueError, match="no workloads"):
+            validate_bench_report(report)
+
+    def test_workload_missing_quality(self):
+        report = bench_report()
+        del report["workloads"][0]["quality"]
+        with pytest.raises(ValueError, match="quality"):
+            validate_bench_report(report)
+
+    def test_workload_missing_total_latency(self):
+        report = bench_report()
+        del report["workloads"][0]["latency_s"]["total"]
+        with pytest.raises(ValueError, match="total latency"):
+            validate_bench_report(report)
+
+    def test_latency_summary_missing_percentile(self):
+        report = bench_report()
+        del report["workloads"][0]["latency_s"]["total"]["p99"]
+        with pytest.raises(ValueError, match="p99"):
+            validate_bench_report(report)
+
+    def test_quality_without_schema_version(self):
+        report = bench_report()
+        report["workloads"][0]["quality"] = {"clustering": {}}
+        with pytest.raises(ValueError, match="malformed quality"):
+            validate_bench_report(report)
+
+
+class TestDiskRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        report = bench_report()
+        path = write_bench_report(report, tmp_path / "BENCH_smoke.json")
+        assert load_bench_report(path) == report
+
+    def test_write_refuses_invalid(self, tmp_path):
+        report = bench_report()
+        report["workloads"] = []
+        with pytest.raises(ValueError):
+            write_bench_report(report, tmp_path / "bad.json")
+        assert not (tmp_path / "bad.json").exists()

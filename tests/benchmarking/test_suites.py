@@ -1,0 +1,35 @@
+"""Suite registry tests (no pipeline runs — those live in `repro bench`)."""
+
+import pytest
+
+from repro.benchmarking import SUITES, get_suite
+
+
+class TestRegistry:
+    def test_known_suites(self):
+        assert set(SUITES) == {"smoke", "fig3", "table2", "fig6"}
+
+    def test_unknown_suite_lists_known(self):
+        with pytest.raises(ValueError, match="smoke"):
+            get_suite("nope")
+
+    def test_workload_names_unique(self):
+        for suite in SUITES:
+            names = [workload.name for workload in get_suite(suite)]
+            assert len(names) == len(set(names))
+
+
+class TestWorkloads:
+    def test_data_is_deterministic(self):
+        first, second = get_suite("smoke")[0], get_suite("smoke")[0]
+        assert first.make_data() == second.make_data()
+        assert len(first.make_data()) == first.data_bytes
+
+    def test_configs_are_fresh_objects(self):
+        workload = get_suite("smoke")[0]
+        assert workload.make_config() is not workload.make_config()
+
+    def test_configs_are_seeded(self):
+        for suite in SUITES:
+            for workload in get_suite(suite):
+                assert workload.make_config().seed is not None

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.clustering import cluster_purity, clustering_accuracy, confusion_counts
+from repro.clustering import (
+    cluster_purity,
+    cluster_quality,
+    clustering_accuracy,
+    confusion_counts,
+)
 
 
 TRUTH = [[0, 1, 2], [3, 4], [5]]
@@ -54,6 +59,54 @@ class TestPurity:
 
     def test_empty_prediction(self):
         assert cluster_purity([], TRUTH) == 0.0
+
+    def test_both_empty(self):
+        assert cluster_purity([], []) == 0.0
+
+    def test_empty_clusters_inside_prediction_ignored(self):
+        predicted = [[], [0, 1, 2], [], [3, 4], [5], []]
+        assert cluster_purity(predicted, TRUTH) == 1.0
+
+    def test_all_singletons_are_pure(self):
+        predicted = [[read] for read in range(6)]
+        assert cluster_purity(predicted, TRUTH) == 1.0
+
+    def test_reads_outside_truth_count_against_purity(self):
+        # Read 9 has no true label; it can never be "pure".
+        assert cluster_purity([[0, 9]], TRUTH) == pytest.approx(1 / 2)
+
+
+class TestClusterQuality:
+    def test_perfect_clustering(self):
+        quality = cluster_quality(TRUTH, TRUTH)
+        assert quality.clusters == quality.true_clusters == 3
+        assert quality.purity == 1.0
+        assert quality.fragmentation == 0
+        assert quality.under_merged == 0
+        assert quality.over_merged == 0
+
+    def test_split_cluster_counts_fragments(self):
+        predicted = [[0], [1], [2], [3, 4], [5]]
+        quality = cluster_quality(predicted, TRUTH)
+        # {0,1,2} landed in three homes: one under-merged truth cluster
+        # contributing two excess fragments.
+        assert quality.under_merged == 1
+        assert quality.fragmentation == 2
+        assert quality.over_merged == 0
+        assert quality.purity == 1.0
+
+    def test_merged_clusters_counted_once(self):
+        predicted = [[0, 1, 2, 3, 4], [5]]
+        quality = cluster_quality(predicted, TRUTH)
+        assert quality.over_merged == 1
+        assert quality.under_merged == 0
+        assert quality.purity == pytest.approx(4 / 6)
+
+    def test_empty_clusters_not_counted(self):
+        predicted = [[], [0, 1, 2], [3, 4], [5], []]
+        quality = cluster_quality(predicted, [[], *TRUTH])
+        assert quality.clusters == 3
+        assert quality.true_clusters == 3
 
 
 class TestConfusion:

@@ -1,0 +1,126 @@
+"""QualityReport structure, JSON round-trip, and gauge emission tests."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    QUALITY_SCHEMA_VERSION,
+    ChannelQuality,
+    ClusteringQuality,
+    DecodingQuality,
+    MetricsRegistry,
+    QualityReport,
+    ReconstructionQuality,
+)
+
+
+def full_report() -> QualityReport:
+    return QualityReport(
+        channel=ChannelQuality(
+            reads_sampled=64,
+            bases_compared=8448,
+            substitution_rate=0.021,
+            insertion_rate=0.018,
+            deletion_rate=0.019,
+            mean_length_delta=-0.125,
+            max_length_delta=5,
+            expected_substitution_rate=0.02,
+            expected_insertion_rate=0.02,
+            expected_deletion_rate=0.02,
+        ),
+        clustering=ClusteringQuality(
+            clusters=56,
+            true_clusters=56,
+            purity=0.98,
+            fragmentation=2,
+            under_merged=1,
+            over_merged=1,
+        ),
+        reconstruction=ReconstructionQuality(
+            strands=56,
+            exact_matches=52,
+            mean_edit_distance=0.3,
+            p90_edit_distance=1.0,
+            max_edit_distance=4,
+        ),
+        decoding=DecodingQuality(
+            clean_rows=30,
+            corrected_rows=5,
+            failed_rows=1,
+            symbols_corrected=9,
+            erasures=3,
+            bytes_recovered=400,
+            success=True,
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_full_report_survives_json(self):
+        report = full_report()
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert QualityReport.from_dict(payload) == report
+
+    def test_partial_report_survives_json(self):
+        report = QualityReport(decoding=DecodingQuality(bytes_recovered=7))
+        payload = json.loads(json.dumps(report.as_dict()))
+        restored = QualityReport.from_dict(payload)
+        assert restored == report
+        assert restored.channel is None
+        assert restored.clustering is None
+        assert restored.reconstruction is None
+
+    def test_as_dict_carries_schema_and_derived_fields(self):
+        payload = full_report().as_dict()
+        assert payload["schema_version"] == QUALITY_SCHEMA_VERSION
+        assert payload["reconstruction"]["exact_recovery_fraction"] == (
+            pytest.approx(52 / 56)
+        )
+        assert payload["decoding"]["clean_row_fraction"] == pytest.approx(30 / 36)
+
+    def test_unknown_keys_ignored(self):
+        payload = full_report().as_dict()
+        payload["clustering"]["a_future_field"] = 42
+        assert QualityReport.from_dict(payload) == full_report()
+
+    def test_newer_schema_rejected(self):
+        payload = full_report().as_dict()
+        payload["schema_version"] = QUALITY_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            QualityReport.from_dict(payload)
+
+
+class TestDerived:
+    def test_channel_total_rates(self):
+        channel = full_report().channel
+        assert channel.total_rate == pytest.approx(0.058)
+        assert channel.expected_total_rate == pytest.approx(0.06)
+
+    def test_expected_total_none_when_unknown(self):
+        assert ChannelQuality(substitution_rate=0.01).expected_total_rate is None
+
+    def test_zero_division_guards(self):
+        assert ReconstructionQuality().exact_recovery_fraction == 0.0
+        assert DecodingQuality().clean_row_fraction == 0.0
+
+
+class TestEmit:
+    def test_gauges_recorded(self):
+        metrics = MetricsRegistry()
+        full_report().emit(metrics)
+        gauges = {
+            (name, tuple(sorted(labels.items()))): gauge.value
+            for name, labels, gauge in metrics.gauges()
+        }
+        assert gauges[("channel_observed_rate", (("kind", "sub"),))] == 0.021
+        assert gauges[("cluster_purity", ())] == 0.98
+        assert gauges[("reconstruction_exact_recovery", ())] == (
+            pytest.approx(52 / 56)
+        )
+        assert gauges[("decode_bytes_recovered", ())] == 400
+
+    def test_empty_report_emits_nothing(self):
+        metrics = MetricsRegistry()
+        QualityReport().emit(metrics)
+        assert not list(metrics.gauges())

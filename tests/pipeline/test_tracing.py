@@ -44,8 +44,14 @@ class TestSpanCoverage:
         assert result.success
 
         assert [root.name for root in tracer.roots] == ["pipeline.run"]
-        stage_names = [span.name for span in tracer.roots[0].children]
+        children = [span.name for span in tracer.roots[0].children]
+        stage_names = [name for name in children if name.startswith("pipeline.")]
         assert list(STAGES) == stage_names
+        # Quality scoring runs as its own spans, interleaved after the
+        # stage each section assesses.
+        assert "quality.channel" in children
+        assert "quality.clustering" in children
+        assert "quality.reconstruction" in children
 
     def test_stage_internals_nest_under_stages(self):
         tracer = Tracer()
