@@ -23,6 +23,7 @@ when quality drifts unintentionally.
 """
 
 from repro.benchmarking.compare import CompareThresholds, compare_reports, render_comparison
+from repro.benchmarking.kernels import render_kernel_bench, run_kernel_bench
 from repro.benchmarking.report import (
     BENCH_SCHEMA_VERSION,
     build_bench_report,
@@ -32,7 +33,7 @@ from repro.benchmarking.report import (
     validate_bench_report,
     write_bench_report,
 )
-from repro.benchmarking.runner import run_suite
+from repro.benchmarking.runner import run_suite, run_workload
 from repro.benchmarking.suites import SUITES, Workload, get_suite
 
 __all__ = [
@@ -47,7 +48,10 @@ __all__ = [
     "get_suite",
     "load_bench_report",
     "render_comparison",
+    "render_kernel_bench",
+    "run_kernel_bench",
     "run_suite",
+    "run_workload",
     "validate_bench_report",
     "write_bench_report",
 ]

@@ -52,6 +52,10 @@ class CompareThresholds:
     quality_tolerance: float = 0.10
     #: skip latency comparison entirely (cross-machine compares)
     quality_only: bool = False
+    #: require the quality sections to be *exactly* equal instead of
+    #: within tolerance — the gate for same-machine worker-count sweeps,
+    #: where any drift means the sharding leaked into the results
+    identical_quality: bool = False
 
     def __post_init__(self) -> None:
         if self.max_latency_ratio <= 0:
@@ -128,6 +132,25 @@ def compare_reports(
                 MetricDelta(name, "(workload)", None, None, True, "missing")
             )
             continue
+
+        if thresholds.identical_quality:
+            same = base_row.get("quality") == new_row.get("quality") and base_row.get(
+                "success_rate"
+            ) == new_row.get("success_rate")
+            result.deltas.append(
+                MetricDelta(
+                    name,
+                    "quality (exact)",
+                    None,
+                    None,
+                    not same,
+                    "identical" if same else "quality sections differ",
+                )
+            )
+            if not same:
+                result.regressions.append(
+                    f"{name}: quality section is not byte-identical"
+                )
 
         for path, direction, slack in _QUALITY_SPECS:
             base_value = _lookup(base_row, path)

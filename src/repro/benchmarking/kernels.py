@@ -1,0 +1,229 @@
+"""Single-thread kernel microbenchmarks: ``repro bench --suite kernels``.
+
+The end-to-end suites measure whole pipeline runs; this module isolates
+the two hot kernels PR-level optimisations target, so their speedups are
+visible without the noise of the surrounding stages:
+
+* **distance** — the clustering gray-zone edit verdict: bounded
+  Levenshtein over seeded pairs of ~110 nt strands that differ by a
+  realistic number of edits.  The reference O(nm) DP, the banded kernel
+  and the Myers bit-parallel kernel all process the same pairs, and each
+  row records its speedup over the reference.
+* **signatures** — q-gram/w-gram signature construction: the scalar
+  per-gram ``str`` loop vs the batched radix-encoded numpy path.
+
+The output is a ``BENCH_kernels.json`` document with its own ``kind``
+(``repro-kernel-bench``) — it deliberately does not pretend to be a
+pipeline bench report, so ``--compare`` refuses to mix the two.
+"""
+
+from __future__ import annotations
+
+import platform
+import random
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.benchmarking.report import current_git_sha
+from repro.dna.alphabet import BASES
+from repro.dna.distance import (
+    banded_levenshtein,
+    levenshtein_distance,
+    levenshtein_reference,
+)
+from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
+
+KERNEL_BENCH_KIND = "repro-kernel-bench"
+KERNEL_BENCH_SCHEMA_VERSION = 1
+
+
+def _mutate(strand: str, edits: int, rng: random.Random) -> str:
+    """Apply *edits* random substitutions/insertions/deletions to *strand*."""
+    sequence = list(strand)
+    for _ in range(edits):
+        kind = rng.choice(("sub", "ins", "del"))
+        if kind == "del" and sequence:
+            del sequence[rng.randrange(len(sequence))]
+        elif kind == "ins":
+            sequence.insert(rng.randrange(len(sequence) + 1), rng.choice(BASES))
+        elif sequence:
+            sequence[rng.randrange(len(sequence))] = rng.choice(BASES)
+    return "".join(sequence)
+
+
+def _verdict_pairs(
+    count: int, length: int, edits: int, rng: random.Random
+) -> List[Tuple[str, str]]:
+    """Seeded strand pairs mimicking the clustering gray zone.
+
+    Half the pairs are mutated siblings (true merges), half are unrelated
+    strands (true dismissals) — the mix the edit-verdict stage actually
+    arbitrates.
+    """
+    pairs = []
+    for index in range(count):
+        left = "".join(rng.choice(BASES) for _ in range(length))
+        if index % 2 == 0:
+            right = _mutate(left, edits, rng)
+        else:
+            right = "".join(rng.choice(BASES) for _ in range(length))
+        pairs.append((left, right))
+    return pairs
+
+
+def _timed(fn: Callable[[], object]) -> Tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _distance_section(pairs: int, length: int, edits: int, seed: int) -> Dict:
+    rng = random.Random(seed)
+    workload = _verdict_pairs(pairs, length, edits, rng)
+    bound = max(4, int(0.33 * length))  # the clusterer's default threshold
+
+    kernels: List[Tuple[str, Callable[[], List[int]]]] = [
+        (
+            "reference_dp",
+            lambda: [levenshtein_reference(a, b) for a, b in workload],
+        ),
+        (
+            "banded",
+            lambda: [banded_levenshtein(a, b, bound) for a, b in workload],
+        ),
+        (
+            "myers",
+            lambda: [levenshtein_distance(a, b, bound=bound) for a, b in workload],
+        ),
+    ]
+    rows = []
+    reference_seconds = None
+    for name, fn in kernels:
+        seconds, _ = _timed(fn)
+        if reference_seconds is None:
+            reference_seconds = seconds
+        rows.append(
+            {
+                "kernel": name,
+                "seconds": seconds,
+                "pairs_per_s": pairs / seconds if seconds > 0 else 0.0,
+                "speedup_vs_reference": (
+                    reference_seconds / seconds if seconds > 0 else 0.0
+                ),
+            }
+        )
+    return {
+        "workload": {
+            "pairs": pairs,
+            "strand_nt": length,
+            "edits": edits,
+            "bound": bound,
+            "seed": seed,
+        },
+        "kernels": rows,
+    }
+
+
+def _signature_section(reads: int, length: int, num_grams: int, seed: int) -> Dict:
+    rng = random.Random(seed)
+    grams = sample_grams(num_grams, 4, rng)
+    pool = ["".join(rng.choice(BASES) for _ in range(length)) for _ in range(reads)]
+
+    def scalar_qgram() -> List[np.ndarray]:
+        return [
+            np.fromiter(
+                (1 if gram in read else 0 for gram in grams),
+                dtype=np.uint8,
+                count=len(grams),
+            )
+            for read in pool
+        ]
+
+    def scalar_wgram() -> List[np.ndarray]:
+        signatures = []
+        for read in pool:
+            positions = np.empty(len(grams), dtype=np.int32)
+            for index, gram in enumerate(grams):
+                found = read.find(gram)
+                positions[index] = len(read) if found < 0 else found
+            signatures.append(positions)
+        return signatures
+
+    rows = []
+    for flavour, scalar, scheme in (
+        ("qgram", scalar_qgram, QGramSignature(grams)),
+        ("wgram", scalar_wgram, WGramSignature(grams)),
+    ):
+        scalar_seconds, _ = _timed(scalar)
+        batched_seconds, _ = _timed(lambda: scheme.compute_batch(pool))
+        rows.append(
+            {
+                "flavour": flavour,
+                "scalar_seconds": scalar_seconds,
+                "batched_seconds": batched_seconds,
+                "speedup": (
+                    scalar_seconds / batched_seconds if batched_seconds > 0 else 0.0
+                ),
+            }
+        )
+    return {
+        "workload": {
+            "reads": reads,
+            "read_nt": length,
+            "num_grams": num_grams,
+            "gram_length": 4,
+            "seed": seed,
+        },
+        "flavours": rows,
+    }
+
+
+def run_kernel_bench(
+    git_sha: Optional[str] = None,
+    pairs: int = 300,
+    strand_nt: int = 110,
+    edits: int = 12,
+    reads: int = 3000,
+    seed: int = 29,
+) -> Dict:
+    """Run the kernel microbenchmarks; returns the report document."""
+    return {
+        "schema_version": KERNEL_BENCH_SCHEMA_VERSION,
+        "kind": KERNEL_BENCH_KIND,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "distance": _distance_section(pairs, strand_nt, edits, seed),
+        "signatures": _signature_section(reads, strand_nt, 96, seed),
+    }
+
+
+def render_kernel_bench(report: Dict) -> str:
+    """A short human-readable summary of a kernel-bench document."""
+    lines = []
+    distance = report["distance"]
+    workload = distance["workload"]
+    lines.append(
+        f"edit-verdict microbenchmark: {workload['pairs']} pairs of "
+        f"~{workload['strand_nt']} nt, bound {workload['bound']}"
+    )
+    for row in distance["kernels"]:
+        lines.append(
+            f"  {row['kernel']:<13} {row['seconds']:7.3f}s  "
+            f"{row['pairs_per_s']:9.0f} pairs/s  "
+            f"{row['speedup_vs_reference']:5.1f}x vs reference"
+        )
+    signatures = report["signatures"]
+    workload = signatures["workload"]
+    lines.append(
+        f"signature construction: {workload['reads']} reads x "
+        f"{workload['num_grams']} grams"
+    )
+    for row in signatures["flavours"]:
+        lines.append(
+            f"  {row['flavour']:<13} scalar {row['scalar_seconds']:6.3f}s  "
+            f"batched {row['batched_seconds']:6.3f}s  {row['speedup']:4.1f}x"
+        )
+    return "\n".join(lines)

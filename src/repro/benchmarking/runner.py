@@ -41,15 +41,23 @@ def _summary(samples: List[float]) -> Dict[str, float]:
     }
 
 
-def run_workload(workload: Workload) -> Dict:
-    """Run one workload and return its report row."""
+def run_workload(workload: Workload, workers: int = 1) -> Dict:
+    """Run one workload and return its report row.
+
+    *workers* overrides the workload configuration's worker count; the
+    quality section is worker-count independent (the parallel stages use
+    per-item derived RNG streams), so only latency moves.
+    """
     data = workload.make_data()
     per_stage: Dict[str, List[float]] = {stage: [] for stage in STAGES}
     successes = 0
     quality = None
     for _ in range(workload.repeats):
         tracer = Tracer()
-        pipeline = Pipeline(workload.make_config())
+        config = workload.make_config()
+        if workers > 1:
+            config.workers = workers
+        pipeline = Pipeline(config)
         result = pipeline.run(data, tracer=tracer)
         timings = result.timings.as_dict()
         for stage in STAGES:
@@ -62,6 +70,7 @@ def run_workload(workload: Workload) -> Dict:
         "params": dict(workload.params),
         "data_bytes": workload.data_bytes,
         "repeats": workload.repeats,
+        "workers": max(workers, 1),
         "success_rate": successes / workload.repeats,
         "latency_s": {stage: _summary(per_stage[stage]) for stage in STAGES},
         "throughput_bytes_per_s": (
@@ -75,6 +84,7 @@ def run_suite(
     suite: str,
     git_sha: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
 ) -> Dict:
     """Run every workload of *suite*; returns the BENCH report document.
 
@@ -83,7 +93,7 @@ def run_suite(
     """
     rows = []
     for workload in get_suite(suite):
-        row = run_workload(workload)
+        row = run_workload(workload, workers=workers)
         if progress is not None:
             total = row["latency_s"]["total"]
             progress(

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -40,6 +39,7 @@ from repro.observability import (
     render_report,
     write_trace,
 )
+from repro.parallel import WorkerPool
 from repro.pipeline import Pipeline, PipelineConfig
 from repro.reconstruction import (
     BMAReconstructor,
@@ -176,13 +176,19 @@ def cmd_simulate(args) -> int:
     tracer = _start_trace(args)
     strands = _read_lines(args.input)
     channel = _channel_from_args(args)
-    rng = random.Random(args.seed)
     with as_tracer(tracer).span(
         "pipeline.simulation", strands=len(strands), coverage=args.coverage
-    ) as span:
-        run = sequence_pool(strands, channel, ConstantCoverage(args.coverage), rng)
+    ) as span, WorkerPool(args.workers) as pool:
+        run = sequence_pool(
+            strands,
+            channel,
+            ConstantCoverage(args.coverage),
+            seed=args.seed,
+            pool=pool,
+        )
         span.set("reads", len(run.reads))
         span.set("dropouts", len(run.dropouts))
+        span.set("shards", pool.last_shards)
     _write_lines(args.output, run.reads)
     print(
         f"sequenced {len(strands)} strands at coverage {args.coverage} "
@@ -196,7 +202,9 @@ def cmd_simulate(args) -> int:
 def cmd_cluster(args) -> int:
     tracer = _start_trace(args)
     reads = _read_lines(args.input)
-    config = ClusteringConfig(signature=args.signature, seed=args.seed)
+    config = ClusteringConfig(
+        signature=args.signature, seed=args.seed, workers=args.workers
+    )
     with as_tracer(tracer).span("pipeline.clustering", reads=len(reads)):
         result = RashtchianClusterer(config).cluster(reads, tracer=tracer)
     _write_lines(
@@ -225,8 +233,12 @@ def cmd_reconstruct(args) -> int:
         for cluster in clusters
         if len(cluster) >= args.min_cluster_size
     ]
-    with as_tracer(tracer).span("pipeline.reconstruction", clusters=len(kept)):
-        consensus = reconstructor.reconstruct_all(kept, args.length, tracer=tracer)
+    with as_tracer(tracer).span(
+        "pipeline.reconstruction", clusters=len(kept)
+    ), WorkerPool(args.workers) as pool:
+        consensus = reconstructor.reconstruct_all(
+            kept, args.length, tracer=tracer, pool=pool
+        )
     _write_lines(args.output, consensus)
     print(
         f"reconstructed {len(consensus)} strands with {args.algorithm} "
@@ -246,6 +258,7 @@ def cmd_pipeline(args) -> int:
         clustering=ClusteringConfig(signature=args.signature, seed=args.seed),
         reconstructor=_RECONSTRUCTORS[args.algorithm](),
         seed=args.seed,
+        workers=args.workers,
     )
     result = Pipeline(config).run(data, tracer=tracer)
     Path(args.output).write_bytes(result.data)
@@ -293,6 +306,7 @@ def cmd_bench(args) -> int:
         for name in sorted(SUITES):
             workloads = get_suite(name)
             print(f"{name}: {', '.join(w.name for w in workloads)}")
+        print("kernels: distance + signature kernel microbenchmarks (single thread)")
         return 0
 
     if args.compare:
@@ -307,6 +321,7 @@ def cmd_bench(args) -> int:
             max_latency_ratio=args.max_latency_ratio,
             quality_tolerance=args.quality_tolerance,
             quality_only=args.quality_only,
+            identical_quality=args.identical_quality,
         )
         result = compare_reports(baseline, new, thresholds)
         print(
@@ -320,7 +335,19 @@ def cmd_bench(args) -> int:
         print("error: provide --suite NAME, --compare BASE NEW, or --list",
               file=sys.stderr)
         return 2
-    report = run_suite(args.suite, progress=print)
+    if args.suite == "kernels":
+        # Kernel microbenchmarks produce their own document kind; they
+        # measure the distance/signature kernels in isolation, single
+        # threaded, so --workers does not apply.
+        from repro.benchmarking.kernels import render_kernel_bench, run_kernel_bench
+
+        report = run_kernel_bench()
+        print(render_kernel_bench(report))
+        path = Path(args.out or default_output_path("kernels"))
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"kernel bench report written to {path}")
+        return 0
+    report = run_suite(args.suite, progress=print, workers=args.workers)
     path = write_bench_report(report, args.out or default_output_path(args.suite))
     print(f"bench report written to {path}")
     return 0
@@ -361,6 +388,16 @@ def _add_encoding_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the parallel stages (default 1: in-process; "
+        "outputs are identical at any worker count)",
+    )
+
+
 def _add_channel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--channel",
@@ -398,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("output")
     _add_channel_arguments(simulate)
     simulate.add_argument("--seed", type=int, default=0)
+    _add_workers_argument(simulate)
     simulate.set_defaults(handler=cmd_simulate)
 
     cluster = commands.add_parser("cluster", help="reads -> clusters")
@@ -405,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("output")
     cluster.add_argument("--signature", choices=("qgram", "wgram"), default="qgram")
     cluster.add_argument("--seed", type=int, default=0)
+    _add_workers_argument(cluster)
     cluster.set_defaults(handler=cmd_cluster)
 
     reconstruct = commands.add_parser(
@@ -416,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     reconstruct.add_argument("--algorithm", choices=sorted(_RECONSTRUCTORS), default="nwa")
     reconstruct.add_argument("--length", type=int, required=True)
     reconstruct.add_argument("--min-cluster-size", type=int, default=2)
+    _add_workers_argument(reconstruct)
     reconstruct.set_defaults(handler=cmd_reconstruct)
 
     pipeline = commands.add_parser("pipeline", help="full round trip")
@@ -426,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--signature", choices=("qgram", "wgram"), default="qgram")
     pipeline.add_argument("--algorithm", choices=sorted(_RECONSTRUCTORS), default="nwa")
     pipeline.add_argument("--seed", type=int, default=0)
+    _add_workers_argument(pipeline)
     pipeline.set_defaults(handler=cmd_pipeline)
 
     density = commands.add_parser("density", help="information-density report")
@@ -482,8 +523,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip latency comparison (for cross-machine baselines, e.g. CI)",
     )
     bench.add_argument(
+        "--identical-quality",
+        action="store_true",
+        help="require byte-identical quality sections (worker-count sweeps)",
+    )
+    bench.add_argument(
         "--list", action="store_true", help="list suites and their workloads"
     )
+    _add_workers_argument(bench)
     bench.set_defaults(handler=cmd_bench)
 
     # Global observability flag: every subcommand (except the renderer

@@ -21,7 +21,6 @@ between unrelated reads and so trims gray-zone edit-distance calls).
 from __future__ import annotations
 
 import random
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -31,6 +30,7 @@ from repro.dna.alphabet import random_sequence
 from repro.dna.distance import levenshtein_distance
 from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
 from repro.observability.trace import Tracer, as_tracer
+from repro.parallel import WorkerPool, as_pool
 from repro.clustering.thresholds import (
     ThresholdEstimate,
     estimate_thresholds,
@@ -67,7 +67,9 @@ class ClusteringConfig:
     sweep_max_size: int = 5
     #: edit-checked merge candidates per straggler during the final sweep
     sweep_candidates: int = 3
-    #: worker processes for signature precomputation (1 = in-process)
+    #: worker processes for signature precomputation and gray-zone edit
+    #: verdicts (1 = in-process); ignored when the caller supplies its own
+    #: :class:`~repro.parallel.WorkerPool`
     workers: int = 1
     seed: int = 0
 
@@ -105,16 +107,15 @@ class ClusteringResult:
         return self.signature_seconds + self.clustering_seconds
 
 
-def _compute_signatures_chunk(args):
+def _compute_signatures_chunk(reads, extra):
     """Worker entry point for parallel signature precomputation."""
-    flavour, grams, reads = args
+    flavour, grams = extra
     scheme = QGramSignature(grams) if flavour == "qgram" else WGramSignature(grams)
-    return [scheme.compute(read) for read in reads]
+    return scheme.compute_batch(reads)
 
 
-def _edit_verdicts_chunk(args):
+def _edit_verdicts_chunk(pairs, threshold):
     """Worker entry point for parallel gray-zone edit-distance checks."""
-    pairs, threshold = args
     return [
         levenshtein_distance(left, right, bound=threshold) <= threshold
         for left, right in pairs
@@ -128,17 +129,35 @@ class RashtchianClusterer:
         self.config = config or ClusteringConfig()
 
     def cluster(
-        self, reads: Sequence[str], tracer: Optional[Tracer] = None
+        self,
+        reads: Sequence[str],
+        tracer: Optional[Tracer] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> ClusteringResult:
         """Cluster *reads*; returns read-index clusters and statistics.
 
         When a :class:`~repro.observability.Tracer` is supplied the run
         emits ``clustering.signatures`` / ``clustering.thresholds`` /
         ``clustering.rounds`` / ``clustering.sweep`` spans and flushes
-        the comparison/merge counts into its metrics registry.
+        the comparison/merge counts into its metrics registry.  Signature
+        precomputation and gray-zone edit verdicts fan out over *pool*
+        (or a pool built from ``config.workers`` when none is supplied);
+        results are identical at any worker count.
         """
         if not reads:
             raise ValueError("cannot cluster an empty read set")
+        config = self.config
+        owns_pool = pool is None
+        pool = as_pool(pool, config.workers)
+        try:
+            return self._cluster(reads, tracer, pool)
+        finally:
+            if owns_pool:
+                pool.close()
+
+    def _cluster(
+        self, reads: Sequence[str], tracer: Optional[Tracer], pool: WorkerPool
+    ) -> ClusteringResult:
         config = self.config
         tracer = as_tracer(tracer)
         rng = random.Random(config.seed)
@@ -153,7 +172,8 @@ class RashtchianClusterer:
         with tracer.span(
             "clustering.signatures", reads=len(reads), flavour=config.signature
         ) as signature_span:
-            signatures = self._compute_signatures(reads, grams)
+            signatures = self._compute_signatures(reads, grams, pool)
+            signature_span.set("shards", pool.last_shards)
 
         with tracer.span("clustering.merge") as merge_span:
             with tracer.span("clustering.thresholds") as span:
@@ -212,6 +232,7 @@ class RashtchianClusterer:
                         rng,
                         result,
                         edit_memo,
+                        pool,
                     )
                 span.set("merges", result.merges)
             with tracer.span("clustering.sweep") as span:
@@ -313,21 +334,13 @@ class RashtchianClusterer:
     # ------------------------------------------------------------------
 
     def _compute_signatures(
-        self, reads: Sequence[str], grams: List[str]
+        self, reads: Sequence[str], grams: List[str], pool: WorkerPool
     ) -> List[np.ndarray]:
-        config = self.config
-        if config.workers <= 1:
-            return _compute_signatures_chunk((config.signature, grams, list(reads)))
-        chunk_size = -(-len(reads) // config.workers)
-        chunks = [
-            (config.signature, grams, list(reads[start : start + chunk_size]))
-            for start in range(0, len(reads), chunk_size)
-        ]
-        signatures: List[np.ndarray] = []
-        with ProcessPoolExecutor(max_workers=config.workers) as pool:
-            for chunk_result in pool.map(_compute_signatures_chunk, chunks):
-                signatures.extend(chunk_result)
-        return signatures
+        if not isinstance(reads, (list, tuple)):
+            reads = list(reads)  # sliceable for the pool's chunking
+        return pool.map_chunks(
+            _compute_signatures_chunk, reads, (self.config.signature, grams)
+        )
 
     def _run_round(
         self,
@@ -342,6 +355,7 @@ class RashtchianClusterer:
         rng: random.Random,
         result: ClusteringResult,
         edit_memo: dict,
+        pool: WorkerPool,
     ) -> None:
         config = self.config
         anchor = random_sequence(config.anchor_length, rng)
@@ -390,7 +404,7 @@ class RashtchianClusterer:
         # fanned out over worker processes (the paper's distributed mode:
         # edit distance dominates clustering cost at realistic error rates).
         verdicts = self._gray_zone_verdicts(
-            reads, gray, edit_threshold, result, edit_memo
+            reads, gray, edit_threshold, result, edit_memo, pool
         )
         for (root_i, root_j, _, _), verdict in zip(gray, verdicts):
             if not verdict or union.connected(root_i, root_j):
@@ -405,6 +419,7 @@ class RashtchianClusterer:
         edit_threshold: int,
         result: ClusteringResult,
         edit_memo: dict,
+        pool: WorkerPool,
     ) -> List[bool]:
         """Evaluate queued gray-zone pairs, using workers when configured."""
         verdicts: List[Optional[bool]] = []
@@ -420,25 +435,8 @@ class RashtchianClusterer:
         if not unresolved:
             return [bool(v) for v in verdicts]
 
-        if self.config.workers <= 1 or len(unresolved) < 64:
-            resolved = [
-                levenshtein_distance(reads[a], reads[b], bound=edit_threshold)
-                <= edit_threshold
-                for _, a, b in unresolved
-            ]
-        else:
-            chunk_size = -(-len(unresolved) // self.config.workers)
-            chunks = [
-                (
-                    [(reads[a], reads[b]) for _, a, b in unresolved[s : s + chunk_size]],
-                    edit_threshold,
-                )
-                for s in range(0, len(unresolved), chunk_size)
-            ]
-            resolved = []
-            with ProcessPoolExecutor(max_workers=self.config.workers) as pool:
-                for chunk_result in pool.map(_edit_verdicts_chunk, chunks):
-                    resolved.extend(chunk_result)
+        pairs = [(reads[a], reads[b]) for _, a, b in unresolved]
+        resolved = pool.map_chunks(_edit_verdicts_chunk, pairs, edit_threshold)
 
         for (index, a, b), verdict in zip(unresolved, resolved):
             edit_memo[(a, b)] = verdict

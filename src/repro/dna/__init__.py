@@ -16,7 +16,15 @@ from repro.dna.alphabet import (
     reverse_complement,
 )
 from repro.dna.sequence import gc_content, homopolymer_runs, kmers, max_homopolymer
-from repro.dna.distance import hamming_distance, levenshtein_distance
+from repro.dna.distance import (
+    banded_levenshtein,
+    hamming_distance,
+    levenshtein_distance,
+    levenshtein_reference,
+    levenshtein_row,
+    myers_levenshtein,
+    prefix_edit_distance,
+)
 from repro.dna.alignment import NWAligner, align_pair, edit_operations
 from repro.dna.poa import PartialOrderGraph, poa_consensus
 from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
@@ -34,8 +42,13 @@ __all__ = [
     "homopolymer_runs",
     "kmers",
     "max_homopolymer",
+    "banded_levenshtein",
     "hamming_distance",
     "levenshtein_distance",
+    "levenshtein_reference",
+    "levenshtein_row",
+    "myers_levenshtein",
+    "prefix_edit_distance",
     "NWAligner",
     "align_pair",
     "edit_operations",

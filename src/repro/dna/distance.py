@@ -1,15 +1,38 @@
-"""String distance metrics.
+"""String distance metrics: the pipeline's hottest inner loops.
 
 Levenshtein (edit) distance is the similarity metric of record for DNA-read
 clustering (Section VI), but it is expensive; the clustering module therefore
 gates edit-distance calls behind cheap signature comparisons and, when it
-does call :func:`levenshtein_distance`, passes a *bound* so the banded
-(Ukkonen) variant can bail out early.
+does call :func:`levenshtein_distance`, passes a *bound* so the kernel can
+bail out early.
+
+Three kernels live here, from slowest to fastest:
+
+* :func:`levenshtein_reference` — the textbook O(nm) dynamic program.  It
+  exists as the oracle the fast kernels are property-tested against and is
+  never called on a hot path.
+* :func:`banded_levenshtein` — Ukkonen's diagonal band: only cells within
+  ``bound`` of the main diagonal are filled, giving O(n * bound) work and an
+  early exit as soon as a full row exceeds the bound.
+* :func:`myers_levenshtein` — Myers' bit-parallel algorithm (Myers 1999, in
+  Hyyrö's formulation): the DP column is packed into the bits of a single
+  Python integer, advancing a whole column of cells per word-sized bitwise
+  operation.  Python integers are arbitrary precision, so patterns longer
+  than 64 characters are handled by the same code path — CPython carries
+  the extra blocks in its C big-int limbs, which is far faster than any
+  explicit Python-level blocking loop.  A bounded call additionally bails
+  out as soon as the best still-reachable final score exceeds the bound.
+
+:func:`levenshtein_distance` is the public dispatcher every caller goes
+through (clustering edit verdicts, threshold auto-configuration,
+reconstruction quality scoring); it picks the bit-parallel kernel and keeps
+the historical ``bound`` semantics (values above the bound are reported as
+``bound + 1``).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 def hamming_distance(left: str, right: str) -> int:
@@ -26,31 +49,176 @@ def hamming_distance(left: str, right: str) -> int:
     return sum(1 for a, b in zip(left, right) if a != b)
 
 
-def prefix_edit_distance(pattern: str, text: str) -> Tuple[int, int]:
-    """Best edit distance of *pattern* against any prefix of *text*.
+# ----------------------------------------------------------------------
+# Reference kernel (oracle)
+# ----------------------------------------------------------------------
 
-    Returns ``(distance, end)`` where ``text[:end]`` is the prefix that
-    matches *pattern* with the fewest edits (ties prefer the longest
-    prefix).  Used to locate primer sites at read boundaries, where indels
-    make fixed-width comparisons unreliable.
+
+def levenshtein_reference(left: str, right: str) -> int:
+    """Textbook O(nm) edit distance; the oracle for the fast kernels.
+
+    Kept deliberately naive — property tests compare the bit-parallel and
+    banded kernels against this implementation, so it must stay obviously
+    correct rather than fast.
     """
-    if not pattern:
-        return 0, 0
-    previous = list(range(len(text) + 1))
-    current = [0] * (len(text) + 1)
-    for row in range(1, len(pattern) + 1):
-        current[0] = row
-        pattern_char = pattern[row - 1]
-        for col in range(1, len(text) + 1):
-            cost = 0 if pattern_char == text[col - 1] else 1
-            current[col] = min(
-                previous[col] + 1,
-                current[col - 1] + 1,
-                previous[col - 1] + cost,
+    previous = list(range(len(right) + 1))
+    for row, char_left in enumerate(left, start=1):
+        current = [row]
+        for col, char_right in enumerate(right, start=1):
+            current.append(
+                min(
+                    previous[col] + 1,
+                    current[col - 1] + 1,
+                    previous[col - 1] + (char_left != char_right),
+                )
             )
+        previous = current
+    return previous[-1]
+
+
+# ----------------------------------------------------------------------
+# Myers bit-parallel kernel
+# ----------------------------------------------------------------------
+
+
+def _pattern_masks(pattern: str) -> Dict[str, int]:
+    """Per-character match bit-masks (``Peq`` in Myers' paper).
+
+    Bit *i* of ``masks[c]`` is set when ``pattern[i] == c``.  A plain dict
+    keyed by the character makes the kernel alphabet-agnostic: DNA, IUPAC
+    ambiguity codes, or arbitrary unicode all work without a translation
+    table.
+    """
+    masks: Dict[str, int] = {}
+    bit = 1
+    for char in pattern:
+        masks[char] = masks.get(char, 0) | bit
+        bit <<= 1
+    return masks
+
+
+def _myers_columns(pattern: str, text: str):
+    """Yield ``D[len(pattern)][j]`` for ``j = 1 .. len(text)``.
+
+    One iteration advances the whole DP column with a constant number of
+    bitwise operations on ``len(pattern)``-bit integers (Hyyrö's variant of
+    Myers' algorithm).  The generator form lets both the full-distance and
+    the best-prefix consumers share the kernel.
+    """
+    length = len(pattern)
+    masks = _pattern_masks(pattern)
+    mask = (1 << length) - 1
+    high = 1 << (length - 1)
+    vertical_pos = mask  # VP: every cell starts one above its upper neighbour
+    vertical_neg = 0  # VN
+    score = length
+    for char in text:
+        matches = masks.get(char, 0)
+        diag_zero = (
+            (((matches & vertical_pos) + vertical_pos) ^ vertical_pos)
+            | matches
+            | vertical_neg
+        )
+        horizontal_pos = vertical_neg | (~(diag_zero | vertical_pos) & mask)
+        horizontal_neg = vertical_pos & diag_zero
+        if horizontal_pos & high:
+            score += 1
+        elif horizontal_neg & high:
+            score -= 1
+        shifted_pos = ((horizontal_pos << 1) | 1) & mask
+        shifted_neg = (horizontal_neg << 1) & mask
+        vertical_pos = shifted_neg | (~(diag_zero | shifted_pos) & mask)
+        vertical_neg = shifted_pos & diag_zero
+        yield score
+
+
+def myers_levenshtein(left: str, right: str, bound: Optional[int] = None) -> int:
+    """Bit-parallel edit distance; the production kernel.
+
+    With *bound*, iteration stops as soon as no suffix can bring the final
+    score back within the bound (the score can drop by at most one per
+    remaining text character), and any value above the bound is reported as
+    ``bound + 1``.
+    """
+    # The shorter string becomes the bit-packed pattern: fewer bits per word
+    # and the text loop runs over the longer string either way.
+    if len(left) < len(right):
+        left, right = right, left
+    if not right:
+        distance = len(left)
+        if bound is not None and distance > bound:
+            return bound + 1
+        return distance
+    remaining = len(left)
+    score = len(right)
+    for score in _myers_columns(right, left):
+        remaining -= 1
+        if bound is not None and score - remaining > bound:
+            return bound + 1
+    if bound is not None and score > bound:
+        return bound + 1
+    return score
+
+
+# ----------------------------------------------------------------------
+# Banded (Ukkonen) kernel
+# ----------------------------------------------------------------------
+
+
+def banded_levenshtein(left: str, right: str, bound: int) -> int:
+    """Edit distance restricted to a diagonal band of half-width *bound*.
+
+    Any value larger than *bound* is reported as ``bound + 1``.  The band
+    plus the per-row early exit give O(len * bound) worst-case work, which
+    made this the production kernel before the bit-parallel one; it is kept
+    as an independently-implemented cross-check and for callers that want
+    band semantics explicitly.
+    """
+    if bound < 0:
+        raise ValueError(f"bound must be non-negative, got {bound}")
+    if left == right:
+        return 0
+    if len(left) < len(right):
+        left, right = right, left
+    len_long, len_short = len(left), len(right)
+    if len_long - len_short > bound:
+        return bound + 1
+    if len_short == 0:
+        return len_long if len_long <= bound else bound + 1
+
+    previous = list(range(len_short + 1))
+    current = [0] * (len_short + 1)
+    for row in range(1, len_long + 1):
+        col_start = max(1, row - bound)
+        col_end = min(len_short, row + bound)
+        # Seed cells just outside the band with a value that cannot win.
+        if col_start > 1:
+            current[col_start - 1] = bound + 1
+        current[0] = row
+        char_long = left[row - 1]
+        best_in_row = current[0]
+        for col in range(col_start, col_end + 1):
+            cost = 0 if char_long == right[col - 1] else 1
+            value = min(
+                previous[col] + 1,  # deletion
+                current[col - 1] + 1,  # insertion
+                previous[col - 1] + cost,  # substitution / match
+            )
+            current[col] = value
+            if value < best_in_row:
+                best_in_row = value
+        if col_end < len_short:
+            current[col_end + 1] = bound + 1
+        if best_in_row > bound:
+            return bound + 1
         previous, current = current, previous
-    best_end = max(range(len(text) + 1), key=lambda col: (-previous[col], col))
-    return previous[best_end], best_end
+    distance = previous[len_short]
+    return distance if distance <= bound else bound + 1
+
+
+# ----------------------------------------------------------------------
+# Public dispatcher
+# ----------------------------------------------------------------------
 
 
 def levenshtein_distance(left: str, right: str, bound: Optional[int] = None) -> int:
@@ -61,57 +229,58 @@ def levenshtein_distance(left: str, right: str, bound: Optional[int] = None) -> 
     left, right:
         The strings to compare.
     bound:
-        Optional inclusive upper bound.  When given, the computation is
-        restricted to a diagonal band of width ``2 * bound + 1`` (Ukkonen's
-        optimisation) and any value larger than *bound* is reported as
-        ``bound + 1``.  This is how the clustering module avoids paying the
-        full quadratic cost for obviously-dissimilar reads.
+        Optional inclusive upper bound.  When given, any value larger than
+        *bound* is reported as ``bound + 1`` and the kernel bails out as
+        soon as the bound is provably exceeded.  This is how the clustering
+        module avoids paying the full cost for obviously-dissimilar reads.
+
+    The work is done by the Myers bit-parallel kernel
+    (:func:`myers_levenshtein`); see the module docstring for the kernel
+    menu and :func:`levenshtein_reference` for the oracle.
     """
+    if bound is not None and bound < 0:
+        raise ValueError(f"bound must be non-negative, got {bound}")
     if left == right:
         return 0
-    # Keep the shorter string in the inner loop.
-    if len(left) < len(right):
-        left, right = right, left
-    len_long, len_short = len(left), len(right)
-    if bound is not None:
-        if bound < 0:
-            raise ValueError(f"bound must be non-negative, got {bound}")
-        if len_long - len_short > bound:
-            return bound + 1
-    if len_short == 0:
-        return len_long
-
-    previous = list(range(len_short + 1))
-    current = [0] * (len_short + 1)
-    for row in range(1, len_long + 1):
-        if bound is None:
-            col_start, col_end = 1, len_short
-        else:
-            col_start = max(1, row - bound)
-            col_end = min(len_short, row + bound)
-            # Seed cells just outside the band with a value that cannot win.
-            if col_start > 1:
-                current[col_start - 1] = bound + 1
-        current[0] = row
-        char_long = left[row - 1]
-        best_in_row = current[0] if bound is not None else 0
-        for col in range(col_start, col_end + 1):
-            cost = 0 if char_long == right[col - 1] else 1
-            value = min(
-                previous[col] + 1,  # deletion
-                current[col - 1] + 1,  # insertion
-                previous[col - 1] + cost,  # substitution / match
-            )
-            current[col] = value
-            if bound is not None and value < best_in_row:
-                best_in_row = value
-        if bound is not None:
-            if col_end < len_short:
-                current[col_end + 1] = bound + 1
-            if best_in_row > bound:
-                return bound + 1
-        previous, current = current, previous
-    distance = previous[len_short]
-    if bound is not None and distance > bound:
+    if bound is not None and abs(len(left) - len(right)) > bound:
         return bound + 1
-    return distance
+    return myers_levenshtein(left, right, bound=bound)
+
+
+def prefix_edit_distance(pattern: str, text: str) -> Tuple[int, int]:
+    """Best edit distance of *pattern* against any prefix of *text*.
+
+    Returns ``(distance, end)`` where ``text[:end]`` is the prefix that
+    matches *pattern* with the fewest edits (ties prefer the longest
+    prefix).  Used to locate primer sites at read boundaries, where indels
+    make fixed-width comparisons unreliable.
+
+    Runs on the bit-parallel kernel: the scores Myers' algorithm tracks per
+    text position are exactly the DP table's last row — the distance of the
+    full pattern against every prefix of the text.
+    """
+    if not pattern:
+        return 0, 0
+    best_distance = len(pattern)  # the empty prefix: delete the whole pattern
+    best_end = 0
+    for end, score in enumerate(_myers_columns(pattern, text), start=1):
+        # ">= " (not ">") pins the documented tie-break: among equally good
+        # prefixes the longest wins, so a trailing match extends the site.
+        if best_distance >= score:
+            best_distance = score
+            best_end = end
+    return best_distance, best_end
+
+
+def levenshtein_row(pattern: str, text: str) -> List[int]:
+    """The DP table's last row: ``pattern`` vs every prefix of ``text``.
+
+    ``row[j]`` is the edit distance between the full pattern and
+    ``text[:j]``.  Exposed for diagnostics and tests; computed with the
+    same bit-parallel kernel as :func:`prefix_edit_distance`.
+    """
+    if not pattern:
+        return list(range(len(text) + 1))
+    row = [len(pattern)]
+    row.extend(_myers_columns(pattern, text))
+    return row

@@ -1,0 +1,145 @@
+"""The pipeline's unified worker-pool abstraction.
+
+Every embarrassingly-parallel stage (signature precomputation, gray-zone
+edit verdicts, per-strand sequencing, per-cluster reconstruction) fans out
+through one :class:`WorkerPool` instead of carrying its own ad-hoc
+``ProcessPoolExecutor`` plumbing.  The pool owns exactly the decisions
+those call sites used to duplicate:
+
+* **backend** — ``workers <= 1`` runs in-process with zero overhead;
+  anything above lazily starts a :class:`~concurrent.futures.ProcessPoolExecutor`
+  that is reused across calls and shut down by :meth:`close` (the pool is
+  a context manager);
+* **chunking** — items are split into one contiguous chunk per worker;
+  small batches (below ``min_items``) stay serial because process
+  round-trips would cost more than they save;
+* **determinism** — the pool never touches RNG state.  Stages that need
+  randomness derive per-item seeds via
+  :func:`~repro.parallel.seeding.derive_seed`, so results are identical
+  at any worker count and any chunking.
+
+Worker functions must be module-level (picklable) and take
+``(chunk, extra)``: a contiguous slice of the items plus one static
+argument shared by every chunk.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+Item = TypeVar("Item")
+ChunkResult = TypeVar("ChunkResult")
+
+#: Below this many items a batch stays serial: pickling the chunk plus the
+#: static argument both ways costs more than the work it would spread.
+DEFAULT_MIN_ITEMS = 64
+
+
+def _invoke(payload):
+    """Process-pool trampoline: unpack ``(fn, chunk, extra)`` and call."""
+    fn, chunk, extra = payload
+    return fn(chunk, extra)
+
+
+class WorkerPool:
+    """Chunked fan-out over serial or process-pool backends.
+
+    ``WorkerPool(1)`` is a true no-op wrapper — every call runs inline —
+    so callers thread one code path and let configuration pick the
+    backend.  After each fan-out :attr:`last_shards` records how many
+    chunks actually ran (1 on the serial path), which tracer spans report
+    so ``repro trace`` shows where the parallelism landed.
+    """
+
+    def __init__(self, workers: int = 1, min_items: int = DEFAULT_MIN_ITEMS):
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if min_items < 1:
+            raise ValueError(f"min_items must be at least 1, got {min_items}")
+        self.workers = workers
+        self.min_items = min_items
+        self.last_shards = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Fan-out
+    # ------------------------------------------------------------------
+
+    def run_chunks(
+        self,
+        fn: Callable[[Sequence[Item], object], ChunkResult],
+        items: Sequence[Item],
+        extra: object = None,
+    ) -> List[ChunkResult]:
+        """Apply *fn* to contiguous chunks of *items*; one result per chunk.
+
+        The serial path (one worker, or fewer than ``min_items`` items)
+        makes a single ``fn(items, extra)`` call, so worker functions see
+        the exact same interface either way.
+        """
+        if self.workers <= 1 or len(items) < self.min_items:
+            self.last_shards = 1
+            return [fn(items, extra)]
+        chunk_size = -(-len(items) // self.workers)
+        # Slices of the original sequence go straight into the pickle —
+        # wrapping them in list() again would only copy them twice.
+        chunks = [
+            items[start : start + chunk_size]
+            for start in range(0, len(items), chunk_size)
+        ]
+        self.last_shards = len(chunks)
+        executor = self._ensure_executor()
+        return list(executor.map(_invoke, [(fn, chunk, extra) for chunk in chunks]))
+
+    def map_chunks(
+        self,
+        fn: Callable[[Sequence[Item], object], List],
+        items: Sequence[Item],
+        extra: object = None,
+    ) -> List:
+        """Like :meth:`run_chunks` but concatenates the per-chunk lists.
+
+        This is the right call when *fn* returns one result per input item
+        (signatures, verdicts, reads): the concatenation restores the
+        original item order.
+        """
+        results: List = []
+        for chunk_result in self.run_chunks(fn, items, extra):
+            results.extend(chunk_result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the backing executor (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        backend = "serial" if self.workers <= 1 else "process"
+        return f"WorkerPool(workers={self.workers}, backend={backend!r})"
+
+
+def as_pool(pool: Optional[WorkerPool], workers: int = 1) -> WorkerPool:
+    """*pool* itself, or a serial/process pool built from *workers*.
+
+    Stages accept an optional pool so the pipeline can share one executor
+    across all of them; standalone callers (CLI subcommands, direct API
+    use) pass ``None`` and get a pool matching their own ``workers`` knob.
+    """
+    return pool if pool is not None else WorkerPool(workers)

@@ -1,0 +1,29 @@
+"""Deterministic seed derivation for parallel pipeline stages.
+
+Sharded stages must produce byte-identical output at any worker count,
+which rules out handing a shared ``random.Random`` to workers (the draw
+order would depend on the chunking).  Instead every parallel unit of work
+— a strand being sequenced, a shuffle, an orientation pass — derives its
+own seed from the pipeline seed plus a stable label path.  The derivation
+is a cryptographic hash, so nearby labels ("strand", 1) / ("strand", 2)
+yield statistically independent streams, unlike small arithmetic schemes
+(``base + index``) where neighbouring ``random.Random`` states correlate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def derive_seed(base: int, *path: object) -> int:
+    """A 64-bit seed derived from *base* and a label path.
+
+    The same ``(base, *path)`` always yields the same seed; any change to
+    the base or any path component yields an unrelated one.  Components
+    are joined by their ``str()`` with a separator that cannot appear in
+    ints or the short labels used here, so ("ab", "c") never collides
+    with ("a", "bc").
+    """
+    text = "\x1f".join(str(component) for component in (base, *path))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -49,6 +49,11 @@ class PipelineConfig:
     #: channel error rates (alignment is quadratic in strand length, so
     #: this is sampled; 0 skips the channel section entirely)
     quality_sample: int = 64
+    #: worker processes shared by the parallel stages (simulation sharding,
+    #: clustering signatures + gray-zone verdicts, per-cluster
+    #: reconstruction); 1 runs everything in-process.  Outputs are
+    #: byte-identical at any worker count — see :mod:`repro.parallel`.
+    workers: int = 1
     seed: Optional[int] = 0
 
     def __post_init__(self) -> None:
@@ -58,6 +63,8 @@ class PipelineConfig:
             raise ValueError("min_cluster_size must be at least 1")
         if self.quality_sample < 0:
             raise ValueError("quality_sample must be non-negative")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
         if (
             self.reverse_orientation_prob > 0
             and self.encoding.primer_pair is None

@@ -28,6 +28,7 @@ from repro.codec.encoder import DNAEncoder, EncodedPool
 from repro.dna.alphabet import reverse_complement
 from repro.observability.quality import QualityReport
 from repro.observability.trace import Tracer, as_tracer
+from repro.parallel import WorkerPool, derive_seed
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.quality import (
     GroundTruth,
@@ -57,13 +58,18 @@ class PipelineResult:
     quality: Optional[QualityReport] = None
 
 
-def _accepts_tracer(method) -> bool:
-    """True when a pluggable stage's method takes a ``tracer`` keyword."""
+def _accepts_kwarg(method, name: str) -> bool:
+    """True when a pluggable stage's method takes keyword *name*.
+
+    Custom clusterers/reconstructors predating the tracer or the worker
+    pool keep working: the pipeline only forwards the keywords their
+    signatures advertise.
+    """
     try:
         signature = inspect.signature(method)
     except (TypeError, ValueError):
         return False
-    return "tracer" in signature.parameters
+    return name in signature.parameters
 
 
 class Pipeline:
@@ -79,13 +85,22 @@ class Pipeline:
     # ------------------------------------------------------------------
 
     def run(self, data: bytes, tracer: Optional[Tracer] = None) -> PipelineResult:
-        """Encode *data*, simulate the wetlab, and recover the file."""
+        """Encode *data*, simulate the wetlab, and recover the file.
+
+        All randomness derives from ``config.seed`` through per-stage (and,
+        inside the sharded stages, per-item) seed streams, so the result is
+        byte-identical at any ``config.workers`` setting.
+        """
         config = self.config
         tracer = as_tracer(tracer)
-        rng = random.Random(config.seed)
+        base_seed = (
+            config.seed if config.seed is not None else random.Random().getrandbits(64)
+        )
         timings = StageTimings()
 
-        with tracer.span("pipeline.run", input_bytes=len(data)):
+        with tracer.span("pipeline.run", input_bytes=len(data)), WorkerPool(
+            config.workers
+        ) as pool:
             with tracer.span("pipeline.encoding") as span:
                 encoded = self._encoder.encode(data)
                 span.set("strands", len(encoded.references))
@@ -98,17 +113,27 @@ class Pipeline:
                     if config.encoding.primer_pair is not None
                     else encoded.references
                 )
-                run = sequence_pool(transmitted, config.channel, config.coverage, rng)
+                run = sequence_pool(
+                    transmitted,
+                    config.channel,
+                    config.coverage,
+                    seed=derive_seed(base_seed, "simulation"),
+                    pool=pool,
+                )
                 reads = run.reads
                 if config.reverse_orientation_prob > 0:
+                    orientation_rng = random.Random(
+                        derive_seed(base_seed, "orientation")
+                    )
                     reads = [
                         reverse_complement(read)
-                        if rng.random() < config.reverse_orientation_prob
+                        if orientation_rng.random() < config.reverse_orientation_prob
                         else read
                         for read in reads
                     ]
                 span.set("reads", len(reads))
                 span.set("dropouts", len(run.dropouts))
+                span.set("shards", pool.last_shards)
             timings.simulation = span.duration
 
             channel_quality = None
@@ -155,6 +180,7 @@ class Pipeline:
                 tracer=tracer,
                 truth=truth,
                 channel_quality=channel_quality,
+                pool=pool,
             )
         result.sequencing = run
         return result
@@ -183,13 +209,16 @@ class Pipeline:
             num_units=expected_units or 0,
             file_length=0,
         )
-        with tracer.span("pipeline.run_from_reads", reads=len(reads)):
+        with tracer.span("pipeline.run_from_reads", reads=len(reads)), WorkerPool(
+            self.config.workers
+        ) as pool:
             return self._recover(
                 list(reads),
                 placeholder,
                 timings,
                 expected_units=expected_units,
                 tracer=tracer,
+                pool=pool,
             )
 
     # ------------------------------------------------------------------
@@ -203,6 +232,7 @@ class Pipeline:
         tracer: Optional[Tracer] = None,
         truth: Optional[GroundTruth] = None,
         channel_quality=None,
+        pool: Optional[WorkerPool] = None,
     ) -> PipelineResult:
         config = self.config
         tracer = as_tracer(tracer)
@@ -213,10 +243,12 @@ class Pipeline:
             clusters_reads: List[List[str]] = []
             if reads:
                 clusterer = config.clusterer or RashtchianClusterer(config.clustering)
-                if _accepts_tracer(clusterer.cluster):
-                    clustering = clusterer.cluster(reads, tracer=tracer)
-                else:
-                    clustering = clusterer.cluster(reads)
+                kwargs = {}
+                if _accepts_kwarg(clusterer.cluster, "tracer"):
+                    kwargs["tracer"] = tracer
+                if pool is not None and _accepts_kwarg(clusterer.cluster, "pool"):
+                    kwargs["pool"] = pool
+                clustering = clusterer.cluster(reads, **kwargs)
                 kept_clusters = [
                     cluster
                     for cluster in clustering.clusters
@@ -246,14 +278,16 @@ class Pipeline:
         with tracer.span(
             "pipeline.reconstruction", clusters=len(clusters_reads)
         ) as span:
-            if _accepts_tracer(config.reconstructor.reconstruct_all):
-                reconstructions = config.reconstructor.reconstruct_all(
-                    clusters_reads, config.encoding.body_nt, tracer=tracer
-                )
-            else:
-                reconstructions = config.reconstructor.reconstruct_all(
-                    clusters_reads, config.encoding.body_nt
-                )
+            kwargs = {}
+            if _accepts_kwarg(config.reconstructor.reconstruct_all, "tracer"):
+                kwargs["tracer"] = tracer
+            if pool is not None and _accepts_kwarg(
+                config.reconstructor.reconstruct_all, "pool"
+            ):
+                kwargs["pool"] = pool
+            reconstructions = config.reconstructor.reconstruct_all(
+                clusters_reads, config.encoding.body_nt, **kwargs
+            )
         timings.reconstruction = span.duration
 
         reconstruction_q = None

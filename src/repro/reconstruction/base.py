@@ -6,6 +6,22 @@ from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence
 
 from repro.observability.trace import Tracer, as_tracer
+from repro.parallel import WorkerPool
+
+
+def _reconstruct_chunk(clusters, extra):
+    """Worker entry point: reconstruct a contiguous slice of the clusters.
+
+    Returns ``(consensus_list, counters)`` — the worker holds a pickled
+    copy of the reconstructor, so its hot-loop event counts must travel
+    back explicitly to be merged into the caller's metrics.
+    """
+    reconstructor, expected_length = extra
+    reconstructor.drain_counters()
+    consensus = [
+        reconstructor.reconstruct(cluster, expected_length) for cluster in clusters
+    ]
+    return consensus, reconstructor.drain_counters()
 
 
 class Reconstructor(ABC):
@@ -31,6 +47,7 @@ class Reconstructor(ABC):
         clusters: Sequence[Sequence[str]],
         expected_length: int,
         tracer: Optional[Tracer] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> List[str]:
         """Reconstruct every cluster (clusters are independent).
 
@@ -39,15 +56,35 @@ class Reconstructor(ABC):
         feed the ``reconstruction_cluster_size`` histogram and any
         algorithm-specific counts from :meth:`drain_counters` (e.g. BMA's
         ``bma_lookahead_invocations``) are flushed into its metrics.
+
+        With a :class:`~repro.parallel.WorkerPool` the clusters fan out
+        over worker processes; reconstruction is deterministic per
+        cluster, so the output is identical at any worker count, and the
+        workers' hot-loop counters are merged back before the flush.
         """
         tracer = as_tracer(tracer)
         self.drain_counters()  # discard counts from untraced earlier calls
         with tracer.span(
             f"reconstruction.{type(self).__name__}", clusters=len(clusters)
-        ):
-            consensus = [
-                self.reconstruct(cluster, expected_length) for cluster in clusters
-            ]
+        ) as span:
+            if not isinstance(clusters, (list, tuple)):
+                clusters = list(clusters)  # sliceable for the pool's chunking
+            if pool is None:
+                consensus = [
+                    self.reconstruct(cluster, expected_length) for cluster in clusters
+                ]
+                counters = self.drain_counters()
+            else:
+                consensus = []
+                counters: Dict[str, int] = {}
+                chunk_results = pool.run_chunks(
+                    _reconstruct_chunk, clusters, (self, expected_length)
+                )
+                for chunk_consensus, chunk_counters in chunk_results:
+                    consensus.extend(chunk_consensus)
+                    for name, value in chunk_counters.items():
+                        counters[name] = counters.get(name, 0) + value
+                span.set("shards", pool.last_shards)
         metrics = tracer.metrics
         metrics.counter("clusters_reconstructed", algorithm=type(self).__name__).inc(
             len(clusters)
@@ -55,7 +92,7 @@ class Reconstructor(ABC):
         histogram = metrics.histogram("reconstruction_cluster_size")
         for cluster in clusters:
             histogram.observe(len(cluster))
-        for name, value in self.drain_counters().items():
+        for name, value in counters.items():
             metrics.counter(name).inc(value)
         return consensus
 

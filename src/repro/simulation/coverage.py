@@ -16,6 +16,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.parallel import WorkerPool, derive_seed
 from repro.simulation.channel import Channel
 
 
@@ -106,12 +107,35 @@ class SequencingRun:
         return clusters
 
 
+def _sequence_chunk(indexed_references, extra):
+    """Worker entry point: sequence a contiguous slice of the pool.
+
+    Every strand runs under its own RNG derived from the pool seed and
+    its index, so the result depends only on ``(seed, index)`` — not on
+    which worker or chunk the strand landed in.
+    """
+    channel, coverage, base_seed = extra
+    per_strand = []
+    for reference_index, reference in indexed_references:
+        strand_rng = random.Random(derive_seed(base_seed, "strand", reference_index))
+        count = coverage.sample(strand_rng)
+        reads = [
+            read
+            for read in channel.transmit_many(reference, count, strand_rng)
+            if read
+        ]
+        per_strand.append((reference_index, count, reads))
+    return per_strand
+
+
 def sequence_pool(
     references: List[str],
     channel: Channel,
     coverage: CoverageModel,
     rng: Optional[random.Random] = None,
     shuffle: bool = True,
+    seed: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> SequencingRun:
     """Simulate sequencing a pool of strands.
 
@@ -119,24 +143,36 @@ def sequence_pool(
     read is an independent transmission through *channel*.  Reads are
     shuffled by default, because a sequencer does not report reads grouped
     by molecule — clustering has to undo exactly this mixing.
+
+    Randomness is governed by *seed* (falling back to one drawn from *rng*):
+    every strand gets its own derived RNG stream and the shuffle its own,
+    so the run can be sharded across a
+    :class:`~repro.parallel.WorkerPool` and still produce byte-identical
+    output at any worker count.
     """
-    rng = rng or random.Random()
+    if seed is None:
+        seed = (rng or random.Random()).getrandbits(64)
+    extra = (channel, coverage, seed)
+    indexed = list(enumerate(references))
+    if pool is None:
+        chunks = [_sequence_chunk(indexed, extra)]
+    else:
+        chunks = pool.run_chunks(_sequence_chunk, indexed, extra)
+
     reads: List[str] = []
     origins: List[int] = []
     dropouts: List[int] = []
-    for reference_index, reference in enumerate(references):
-        count = coverage.sample(rng)
-        if count == 0:
-            dropouts.append(reference_index)
-            continue
-        for _ in range(count):
-            read = channel.transmit(reference, rng)
-            if read:
-                reads.append(read)
-                origins.append(reference_index)
+    for per_strand in chunks:
+        for reference_index, count, strand_reads in per_strand:
+            if count == 0:
+                dropouts.append(reference_index)
+                continue
+            reads.extend(strand_reads)
+            origins.extend(reference_index for _ in strand_reads)
     if shuffle:
+        shuffle_rng = random.Random(derive_seed(seed, "shuffle"))
         order = list(range(len(reads)))
-        rng.shuffle(order)
+        shuffle_rng.shuffle(order)
         reads = [reads[i] for i in order]
         origins = [origins[i] for i in order]
     return SequencingRun(

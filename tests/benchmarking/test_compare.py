@@ -120,3 +120,23 @@ class TestThresholds:
         new["workloads"][0]["quality"]["clustering"]["purity"] = 0.5
         loose = CompareThresholds(quality_tolerance=0.6)
         assert compare_reports(baseline, new, loose).ok
+
+
+class TestIdenticalQualityGate:
+    def test_identical_quality_passes(self):
+        report = bench_report()
+        thresholds = CompareThresholds(identical_quality=True, quality_only=True)
+        result = compare_reports(report, copy.deepcopy(report), thresholds)
+        assert result.ok
+
+    def test_any_quality_drift_fails(self):
+        baseline = bench_report()
+        drifted = copy.deepcopy(baseline)
+        # A drift far inside the tolerant gate's slack must still fail the
+        # exact gate: worker-count sweeps may not move quality at all.
+        row = drifted["workloads"][0]
+        row["quality"]["reconstruction"]["mean_edit_distance"] += 1e-9
+        thresholds = CompareThresholds(identical_quality=True, quality_only=True)
+        result = compare_reports(baseline, drifted, thresholds)
+        assert not result.ok
+        assert any("byte-identical" in line for line in result.regressions)

@@ -1,0 +1,38 @@
+"""Shape and sanity tests for the kernel microbenchmark document."""
+
+from repro.benchmarking.kernels import (
+    KERNEL_BENCH_KIND,
+    KERNEL_BENCH_SCHEMA_VERSION,
+    render_kernel_bench,
+    run_kernel_bench,
+)
+
+
+def tiny_report():
+    return run_kernel_bench(
+        git_sha="test", pairs=10, strand_nt=40, edits=4, reads=30, seed=3
+    )
+
+
+class TestKernelBench:
+    def test_document_shape(self):
+        report = tiny_report()
+        assert report["kind"] == KERNEL_BENCH_KIND
+        assert report["schema_version"] == KERNEL_BENCH_SCHEMA_VERSION
+        kernels = {row["kernel"] for row in report["distance"]["kernels"]}
+        assert kernels == {"reference_dp", "banded", "myers"}
+        flavours = {row["flavour"] for row in report["signatures"]["flavours"]}
+        assert flavours == {"qgram", "wgram"}
+
+    def test_speedups_recorded(self):
+        report = tiny_report()
+        for row in report["distance"]["kernels"]:
+            assert row["seconds"] > 0
+            assert row["speedup_vs_reference"] > 0
+        reference = report["distance"]["kernels"][0]
+        assert reference["speedup_vs_reference"] == 1.0
+
+    def test_render_mentions_kernels(self):
+        rendered = render_kernel_bench(tiny_report())
+        assert "myers" in rendered
+        assert "qgram" in rendered

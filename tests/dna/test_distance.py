@@ -5,12 +5,21 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.dna.distance import (
+    banded_levenshtein,
     hamming_distance,
     levenshtein_distance,
+    levenshtein_reference,
+    levenshtein_row,
+    myers_levenshtein,
     prefix_edit_distance,
 )
 
 dna = st.text(alphabet="ACGT", max_size=60)
+#: strands crossing the 64-bit word boundary exercise the big-int blocks
+#: of the bit-parallel kernel
+long_dna = st.text(alphabet="ACGT", min_size=65, max_size=150)
+#: arbitrary unicode guards the kernels' alphabet-agnostic promise
+unicode_text = st.text(max_size=40)
 
 
 def reference_levenshtein(left: str, right: str) -> int:
@@ -85,6 +94,88 @@ class TestLevenshtein:
         assert levenshtein_distance("", "") == 0
 
 
+class TestMyersKernel:
+    @given(dna, dna)
+    def test_matches_reference(self, a, b):
+        assert myers_levenshtein(a, b) == reference_levenshtein(a, b)
+
+    @given(long_dna, long_dna)
+    def test_matches_reference_beyond_64_chars(self, a, b):
+        assert myers_levenshtein(a, b) == reference_levenshtein(a, b)
+
+    @given(unicode_text, unicode_text)
+    def test_alphabet_agnostic(self, a, b):
+        # The kernel's match masks are keyed by character, not by a DNA
+        # translation table, so arbitrary unicode must work unchanged.
+        assert myers_levenshtein(a, b) == reference_levenshtein(a, b)
+
+    @given(dna, dna, st.integers(min_value=0, max_value=70))
+    def test_bound_bail_out(self, a, b, bound):
+        exact = reference_levenshtein(a, b)
+        bounded = myers_levenshtein(a, b, bound=bound)
+        if exact <= bound:
+            assert bounded == exact
+        else:
+            assert bounded == bound + 1
+
+    def test_empty_strings(self):
+        assert myers_levenshtein("", "") == 0
+        assert myers_levenshtein("", "ACGT") == 4
+        assert myers_levenshtein("ACGT", "") == 4
+        assert myers_levenshtein("ACGT", "", bound=2) == 3
+
+    def test_module_oracle_matches_local_oracle(self):
+        # levenshtein_reference is the in-tree oracle the kernels are
+        # documented against; make sure it agrees with this test file's
+        # independent copy on a non-trivial pair.
+        assert levenshtein_reference("ACGTACGT", "AGTTCGA") == reference_levenshtein(
+            "ACGTACGT", "AGTTCGA"
+        )
+
+
+class TestBandedKernel:
+    @given(dna, dna, st.integers(min_value=0, max_value=70))
+    def test_matches_reference_within_bound(self, a, b, bound):
+        exact = reference_levenshtein(a, b)
+        banded = banded_levenshtein(a, b, bound)
+        if exact <= bound:
+            assert banded == exact
+        else:
+            assert banded == bound + 1
+
+    @given(long_dna, long_dna)
+    def test_beyond_64_chars(self, a, b):
+        exact = reference_levenshtein(a, b)
+        assert banded_levenshtein(a, b, 150) == exact
+
+    @given(dna, dna, st.integers(min_value=0, max_value=70))
+    def test_agrees_with_myers(self, a, b, bound):
+        # Two independently implemented bounded kernels must agree
+        # everywhere, including on the bound+1 saturation.
+        assert banded_levenshtein(a, b, bound) == myers_levenshtein(a, b, bound=bound)
+
+    def test_negative_bound_raises(self):
+        with pytest.raises(ValueError):
+            banded_levenshtein("A", "C", -1)
+
+    def test_empty_strings(self):
+        assert banded_levenshtein("", "", 0) == 0
+        assert banded_levenshtein("", "ACGT", 4) == 4
+        assert banded_levenshtein("", "ACGT", 3) == 4
+
+
+class TestLevenshteinRow:
+    @given(dna, dna)
+    def test_matches_reference_per_prefix(self, pattern, text):
+        row = levenshtein_row(pattern, text)
+        assert len(row) == len(text) + 1
+        for end, value in enumerate(row):
+            assert value == reference_levenshtein(pattern, text[:end])
+
+    def test_empty_pattern(self):
+        assert levenshtein_row("", "ACG") == [0, 1, 2, 3]
+
+
 class TestPrefixEditDistance:
     def test_exact_prefix(self):
         distance, end = prefix_edit_distance("ACGT", "ACGTTTTT")
@@ -115,3 +206,24 @@ class TestPrefixEditDistance:
     def test_self_prefix_is_free(self, pattern):
         distance, end = prefix_edit_distance(pattern, pattern + "ACGT")
         assert distance == 0
+
+    def test_ties_prefer_longest_prefix(self):
+        # "A" vs "CA": the empty prefix (delete A), "C" (substitute) and
+        # "CA" (insert C) all cost 1 — the documented tie-break picks the
+        # longest, so a trailing match extends the located site.
+        assert prefix_edit_distance("A", "CA") == (1, 2)
+        # "AC" vs "ACAC": both "AC" and "ACAC"... only "AC" is 0; but
+        # "ACA" costs 1 while "AC" costs 0, so no tie — end stays at 2.
+        assert prefix_edit_distance("AC", "ACAC") == (0, 2)
+
+    @given(dna, dna)
+    def test_matches_bruteforce_with_longest_tie_break(self, pattern, text):
+        distance, end = prefix_edit_distance(pattern, text)
+        per_prefix = [
+            reference_levenshtein(pattern, text[:j]) for j in range(len(text) + 1)
+        ]
+        best = min(per_prefix)
+        assert distance == best
+        # ties prefer the longest prefix: end is the LAST index achieving
+        # the minimum
+        assert end == max(j for j, value in enumerate(per_prefix) if value == best)

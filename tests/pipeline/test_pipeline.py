@@ -98,3 +98,23 @@ class TestConfigValidation:
     def test_min_cluster_size(self):
         with pytest.raises(ValueError):
             PipelineConfig(min_cluster_size=0)
+
+
+class TestWorkerDeterminism:
+    """Sharded stages must be invisible in the output at any worker count."""
+
+    def test_workers_do_not_change_results(self):
+        data = random.Random(21).randbytes(150)
+        serial = Pipeline(fast_config(workers=1)).run(data)
+        parallel = Pipeline(fast_config(workers=4)).run(data)
+        assert serial.sequencing.reads == parallel.sequencing.reads
+        assert serial.sequencing.origins == parallel.sequencing.origins
+        assert serial.clustering.clusters == parallel.clustering.clusters
+        assert serial.reconstructions == parallel.reconstructions
+        assert serial.decode_report == parallel.decode_report
+        assert serial.quality.as_dict() == parallel.quality.as_dict()
+        assert serial.data == parallel.data == data
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(workers=0)

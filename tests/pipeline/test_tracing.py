@@ -114,8 +114,14 @@ class TestSpanCoverage:
 
 class TestTimingsRollup:
     def test_timings_match_span_durations(self):
+        # Quality assessment runs inside pipeline.run but outside the
+        # timed stages; disable it so the root span is directly
+        # comparable with the stage sum (the fast kernels made the timed
+        # stages cheap enough that the observatory would dominate).
         tracer = Tracer()
-        result = Pipeline(fast_config()).run(b"rollup check" * 6, tracer=tracer)
+        result = Pipeline(fast_config(assess_quality=False)).run(
+            b"rollup check" * 6, tracer=tracer
+        )
         timings = result.timings
         for stage in STAGES:
             (span,) = tracer.find(stage)

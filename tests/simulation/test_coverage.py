@@ -90,3 +90,31 @@ class TestSequencePool:
     def test_empty_coverage(self, rng):
         run = sequence_pool([], IdentityChannel(), ConstantCoverage(3), rng)
         assert run.reads == [] and run.coverage == 0.0
+
+
+class TestSequencePoolSharding:
+    def test_pool_does_not_change_results(self, rng):
+        from repro.parallel import WorkerPool
+
+        references = [random_sequence(60, rng) for _ in range(100)]
+        channel = IIDChannel.from_total_rate(0.08)
+        serial = sequence_pool(
+            references, channel, ConstantCoverage(4), seed=99
+        )
+        with WorkerPool(3, min_items=1) as pool:
+            sharded = sequence_pool(
+                references, channel, ConstantCoverage(4), seed=99, pool=pool
+            )
+        assert pool.last_shards == 3
+        assert sharded.reads == serial.reads
+        assert sharded.origins == serial.origins
+        assert sharded.dropouts == serial.dropouts
+
+    def test_seed_governs_output(self, rng):
+        references = [random_sequence(40, rng) for _ in range(20)]
+        channel = IIDChannel.from_total_rate(0.08)
+        a = sequence_pool(references, channel, ConstantCoverage(3), seed=5)
+        b = sequence_pool(references, channel, ConstantCoverage(3), seed=5)
+        c = sequence_pool(references, channel, ConstantCoverage(3), seed=6)
+        assert a.reads == b.reads
+        assert a.reads != c.reads
