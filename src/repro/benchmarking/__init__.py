@@ -22,8 +22,19 @@ JSON as the new baseline when a change is intentional, and let CI fail
 when quality drifts unintentionally.
 """
 
-from repro.benchmarking.compare import CompareThresholds, compare_reports, render_comparison
-from repro.benchmarking.kernels import render_kernel_bench, run_kernel_bench
+from repro.benchmarking.compare import (
+    CompareThresholds,
+    compare_kernel_reports,
+    compare_reports,
+    render_comparison,
+)
+from repro.benchmarking.kernels import (
+    KERNEL_BENCH_KIND,
+    load_kernel_bench,
+    render_kernel_bench,
+    run_kernel_bench,
+    validate_kernel_bench,
+)
 from repro.benchmarking.report import (
     BENCH_SCHEMA_VERSION,
     build_bench_report,
@@ -39,14 +50,17 @@ from repro.benchmarking.suites import SUITES, Workload, get_suite
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "CompareThresholds",
+    "KERNEL_BENCH_KIND",
     "SUITES",
     "Workload",
     "build_bench_report",
+    "compare_kernel_reports",
     "compare_reports",
     "current_git_sha",
     "default_output_path",
     "get_suite",
     "load_bench_report",
+    "load_kernel_bench",
     "render_comparison",
     "render_kernel_bench",
     "run_kernel_bench",

@@ -82,6 +82,8 @@ class ComparisonResult:
 
     deltas: List[MetricDelta] = field(default_factory=list)
     regressions: List[str] = field(default_factory=list)
+    #: non-fatal findings (machine-dependent timing drift); never gate CI
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -200,6 +202,110 @@ def compare_reports(
     return result
 
 
+#: Boolean correctness fields of kernel-bench rows: gated exactly — a fast
+#: kernel that stops agreeing with its oracle is a correctness regression,
+#: however fast it got.
+_KERNEL_CORRECTNESS_FIELDS = (
+    "matches_oracle",
+    "matches_scalar",
+    "verdicts_match_reference",
+)
+
+#: Speedup fields of kernel-bench rows: machine-dependent, so drops only warn.
+_KERNEL_SPEED_FIELDS = ("speedup", "speedup_vs_reference")
+
+#: Sections of a kernel-bench document and the key naming their rows.
+_KERNEL_SECTIONS = (
+    ("distance", "kernels", "kernel"),
+    ("signatures", "flavours", "flavour"),
+    ("reed_solomon", "kernels", "kernel"),
+)
+
+
+def compare_kernel_reports(
+    baseline: Dict, new: Dict, slowdown_warn_ratio: float = 1.5
+) -> ComparisonResult:
+    """Diff two kernel-bench documents (``kind: repro-kernel-bench``).
+
+    Correctness fields must stay exactly true (regression otherwise);
+    speedup drops beyond ``slowdown_warn_ratio`` produce warnings only,
+    because kernel timings do not transfer between machines.
+    """
+    if slowdown_warn_ratio <= 0:
+        raise ValueError("slowdown_warn_ratio must be positive")
+    result = ComparisonResult()
+    for section, rows_key, name_key in _KERNEL_SECTIONS:
+        base_section = baseline.get(section)
+        new_section = new.get(section)
+        if base_section is None:
+            continue
+        if new_section is None:
+            result.regressions.append(f"{section}: section missing from new report")
+            result.deltas.append(
+                MetricDelta(section, "(section)", None, None, True, "missing")
+            )
+            continue
+        new_rows = {row[name_key]: row for row in new_section.get(rows_key, ())}
+        for base_row in base_section.get(rows_key, ()):
+            name = base_row[name_key]
+            workload = f"{section}/{name}"
+            new_row = new_rows.get(name)
+            if new_row is None:
+                result.regressions.append(f"{workload}: kernel missing from new report")
+                result.deltas.append(
+                    MetricDelta(workload, "(kernel)", None, None, True, "missing")
+                )
+                continue
+            for field_name in _KERNEL_CORRECTNESS_FIELDS:
+                if field_name not in base_row and field_name not in new_row:
+                    continue
+                base_value = base_row.get(field_name)
+                new_value = new_row.get(field_name)
+                # A field the baseline never had may appear (schema grew);
+                # one the baseline had must not vanish or stop being true.
+                exact = new_value is True
+                result.deltas.append(
+                    MetricDelta(
+                        workload,
+                        field_name,
+                        None if base_value is None else float(bool(base_value)),
+                        None if new_value is None else float(bool(new_value)),
+                        not exact,
+                        "exact" if exact else "correctness drift",
+                    )
+                )
+                if not exact:
+                    result.regressions.append(
+                        f"{workload}: {field_name} is "
+                        f"{new_value!r} (baseline {base_value!r}) — "
+                        "correctness fields must stay exactly true"
+                    )
+            for field_name in _KERNEL_SPEED_FIELDS:
+                base_value = base_row.get(field_name)
+                new_value = new_row.get(field_name)
+                if base_value is None or new_value is None:
+                    continue
+                slowed = new_value * slowdown_warn_ratio < base_value
+                result.deltas.append(
+                    MetricDelta(
+                        workload,
+                        field_name,
+                        float(base_value),
+                        float(new_value),
+                        False,
+                        "slower (warn)" if slowed else "",
+                    )
+                )
+                if slowed:
+                    result.warnings.append(
+                        f"{workload}: {field_name} dropped "
+                        f"{base_value:.1f}x -> {new_value:.1f}x "
+                        f"(> {slowdown_warn_ratio:g}x below baseline; timing "
+                        "only, not gated)"
+                    )
+    return result
+
+
 def render_comparison(result: ComparisonResult, title: str = "bench comparison") -> str:
     """The human-readable regression table plus a one-line verdict."""
 
@@ -231,4 +337,7 @@ def render_comparison(result: ComparisonResult, title: str = "bench comparison")
     else:
         details = "\n".join(f"  - {line}" for line in result.regressions)
         verdict = f"verdict: {len(result.regressions)} regression(s)\n{details}"
+    if result.warnings:
+        notes = "\n".join(f"  - {line}" for line in result.warnings)
+        verdict = f"{verdict}\nwarnings ({len(result.warnings)}):\n{notes}"
     return f"{table}\n\n{verdict}"

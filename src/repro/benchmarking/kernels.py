@@ -1,7 +1,7 @@
 """Single-thread kernel microbenchmarks: ``repro bench --suite kernels``.
 
 The end-to-end suites measure whole pipeline runs; this module isolates
-the two hot kernels PR-level optimisations target, so their speedups are
+the hot kernels PR-level optimisations target, so their speedups are
 visible without the noise of the surrounding stages:
 
 * **distance** — the clustering gray-zone edit verdict: bounded
@@ -11,6 +11,15 @@ visible without the noise of the surrounding stages:
   row records its speedup over the reference.
 * **signatures** — q-gram/w-gram signature construction: the scalar
   per-gram ``str`` loop vs the batched radix-encoded numpy path.
+* **reed_solomon** — the outer-code plane: batched GF(256) encode,
+  clean-row syndrome screen and erasure-only direct solve vs the scalar
+  per-row codec (which doubles as the correctness oracle).
+
+Every non-reference row carries a boolean correctness field
+(``matches_oracle`` / ``matches_scalar`` / ``verdicts_match_reference``)
+asserting the fast kernel reproduced the oracle's results on the bench
+workload; the ``--compare`` gate requires those fields to stay exactly
+true while timing drift only warns.
 
 The output is a ``BENCH_kernels.json`` document with its own ``kind``
 (``repro-kernel-bench``) — it deliberately does not pretend to be a
@@ -19,14 +28,17 @@ pipeline bench report, so ``--compare`` refuses to mix the two.
 
 from __future__ import annotations
 
+import json
 import platform
 import random
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.benchmarking.report import current_git_sha
+from repro.codec.reed_solomon import ReedSolomonCodec
 from repro.dna.alphabet import BASES
 from repro.dna.distance import (
     banded_levenshtein,
@@ -36,7 +48,7 @@ from repro.dna.distance import (
 from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
 
 KERNEL_BENCH_KIND = "repro-kernel-bench"
-KERNEL_BENCH_SCHEMA_VERSION = 1
+KERNEL_BENCH_SCHEMA_VERSION = 2
 
 
 def _mutate(strand: str, edits: int, rng: random.Random) -> str:
@@ -100,10 +112,17 @@ def _distance_section(pairs: int, length: int, edits: int, seed: int) -> Dict:
     ]
     rows = []
     reference_seconds = None
+    reference_verdicts: Optional[List[int]] = None
     for name, fn in kernels:
-        seconds, _ = _timed(fn)
+        seconds, distances = _timed(fn)
         if reference_seconds is None:
             reference_seconds = seconds
+            # The bounded kernels saturate at bound + 1; the reference DP
+            # reports the true distance, so compare saturated verdicts.
+            reference_verdicts = [min(d, bound + 1) for d in distances]
+            matches = True
+        else:
+            matches = list(distances) == reference_verdicts
         rows.append(
             {
                 "kernel": name,
@@ -112,6 +131,7 @@ def _distance_section(pairs: int, length: int, edits: int, seed: int) -> Dict:
                 "speedup_vs_reference": (
                     reference_seconds / seconds if seconds > 0 else 0.0
                 ),
+                "verdicts_match_reference": matches,
             }
         )
     return {
@@ -156,8 +176,10 @@ def _signature_section(reads: int, length: int, num_grams: int, seed: int) -> Di
         ("qgram", scalar_qgram, QGramSignature(grams)),
         ("wgram", scalar_wgram, WGramSignature(grams)),
     ):
-        scalar_seconds, _ = _timed(scalar)
-        batched_seconds, _ = _timed(lambda: scheme.compute_batch(pool))
+        scalar_seconds, scalar_signatures = _timed(scalar)
+        batched_seconds, batched_signatures = _timed(
+            lambda: scheme.compute_batch(pool)
+        )
         rows.append(
             {
                 "flavour": flavour,
@@ -165,6 +187,11 @@ def _signature_section(reads: int, length: int, num_grams: int, seed: int) -> Di
                 "batched_seconds": batched_seconds,
                 "speedup": (
                     scalar_seconds / batched_seconds if batched_seconds > 0 else 0.0
+                ),
+                "matches_scalar": bool(
+                    np.array_equal(
+                        np.stack(scalar_signatures), np.stack(batched_signatures)
+                    )
                 ),
             }
         )
@@ -180,12 +207,109 @@ def _signature_section(reads: int, length: int, num_grams: int, seed: int) -> Di
     }
 
 
+def _reed_solomon_section(
+    rows: int, data_columns: int, nsym: int, erasure_count: int, seed: int
+) -> Dict:
+    """Batched vs scalar RS encode / syndrome screen / erasure solve.
+
+    The workload mirrors one large batch of encoding-unit rows at the
+    paper's default geometry.  The decode screen runs on clean codewords —
+    the common case after good consensus, which is exactly the case the
+    batched screen lets skip Berlekamp-Massey entirely.  The erasure solve
+    runs on a smaller slice because its scalar oracle (full errata
+    decoding per row) is the slowest kernel here.
+    """
+    rng = random.Random(seed)
+    codec = ReedSolomonCodec(nsym=nsym)
+    messages = [
+        [rng.randrange(256) for _ in range(data_columns)] for _ in range(rows)
+    ]
+    messages_np = np.array(messages, dtype=np.uint8)
+
+    encode_scalar_s, scalar_codewords = _timed(
+        lambda: [codec.encode(message) for message in messages]
+    )
+    encode_batched_s, codewords = _timed(lambda: codec.encode_batch(messages_np))
+    encode_matches = bool(
+        np.array_equal(np.array(scalar_codewords, dtype=np.uint8), codewords)
+    )
+
+    screen_scalar_s, scalar_clean = _timed(
+        lambda: [codec.check(codeword) for codeword in scalar_codewords]
+    )
+    screen_batched_s, batched_clean = _timed(lambda: codec.check_batch(codewords))
+    screen_matches = bool(
+        np.array_equal(np.array(scalar_clean, dtype=bool), batched_clean)
+    )
+
+    erasure_rows = max(1, rows // 4)
+    erasures = sorted(rng.sample(range(data_columns + nsym), erasure_count))
+    erased = codewords[:erasure_rows].copy()
+    erased[:, erasures] = 0
+
+    def scalar_erasure_decode() -> List[List[int]]:
+        return [
+            codec.decode([int(symbol) for symbol in row], erasures=erasures)
+            for row in erased
+        ]
+
+    erasure_scalar_s, scalar_messages = _timed(scalar_erasure_decode)
+    erasure_batched_s, (candidates, solved) = _timed(
+        lambda: codec.erasure_solve_batch(erased, erasures)
+    )
+    erasure_matches = bool(solved.all()) and bool(
+        np.array_equal(
+            np.array(scalar_messages, dtype=np.uint8),
+            candidates[:, :data_columns],
+        )
+    )
+
+    def row(name, scalar_s, batched_s, units, matches):
+        return {
+            "kernel": name,
+            "scalar_seconds": scalar_s,
+            "batched_seconds": batched_s,
+            "rows": units,
+            "speedup": scalar_s / batched_s if batched_s > 0 else 0.0,
+            "matches_oracle": matches,
+        }
+
+    return {
+        "workload": {
+            "rows": rows,
+            "data_columns": data_columns,
+            "nsym": nsym,
+            "erasure_rows": erasure_rows,
+            "erasures": erasure_count,
+            "seed": seed,
+        },
+        "kernels": [
+            row("encode", encode_scalar_s, encode_batched_s, rows, encode_matches),
+            row(
+                "syndrome_screen",
+                screen_scalar_s,
+                screen_batched_s,
+                rows,
+                screen_matches,
+            ),
+            row(
+                "erasure_solve",
+                erasure_scalar_s,
+                erasure_batched_s,
+                erasure_rows,
+                erasure_matches,
+            ),
+        ],
+    }
+
+
 def run_kernel_bench(
     git_sha: Optional[str] = None,
     pairs: int = 300,
     strand_nt: int = 110,
     edits: int = 12,
     reads: int = 3000,
+    rs_rows: int = 1024,
     seed: int = 29,
 ) -> Dict:
     """Run the kernel microbenchmarks; returns the report document."""
@@ -197,7 +321,36 @@ def run_kernel_bench(
         "python": platform.python_version(),
         "distance": _distance_section(pairs, strand_nt, edits, seed),
         "signatures": _signature_section(reads, strand_nt, 96, seed),
+        "reed_solomon": _reed_solomon_section(rs_rows, 60, 20, 8, seed),
     }
+
+
+def validate_kernel_bench(report: Dict) -> None:
+    """Raise ``ValueError`` unless *report* is a well-formed kernel-bench doc."""
+    if not isinstance(report, dict):
+        raise ValueError("kernel bench report must be a JSON object")
+    if report.get("kind") != KERNEL_BENCH_KIND:
+        raise ValueError(
+            f"not a kernel bench report (kind={report.get('kind')!r})"
+        )
+    version = report.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"bad schema_version {version!r}")
+    if version > KERNEL_BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"kernel bench schema {version} is newer than supported "
+            f"({KERNEL_BENCH_SCHEMA_VERSION})"
+        )
+    for section in ("distance", "signatures"):
+        if section not in report:
+            raise ValueError(f"kernel bench report is missing {section!r}")
+
+
+def load_kernel_bench(path: Union[str, Path]) -> Dict:
+    """Read and validate a kernel-bench document."""
+    report = json.loads(Path(path).read_text())
+    validate_kernel_bench(report)
+    return report
 
 
 def render_kernel_bench(report: Dict) -> str:
@@ -226,4 +379,18 @@ def render_kernel_bench(report: Dict) -> str:
             f"  {row['flavour']:<13} scalar {row['scalar_seconds']:6.3f}s  "
             f"batched {row['batched_seconds']:6.3f}s  {row['speedup']:4.1f}x"
         )
+    reed_solomon = report.get("reed_solomon")
+    if reed_solomon is not None:
+        workload = reed_solomon["workload"]
+        lines.append(
+            f"reed-solomon RS({workload['data_columns'] + workload['nsym']},"
+            f"{workload['data_columns']}) over {workload['rows']} codeword rows"
+        )
+        for row in reed_solomon["kernels"]:
+            oracle = "ok" if row.get("matches_oracle") else "MISMATCH"
+            lines.append(
+                f"  {row['kernel']:<15} scalar {row['scalar_seconds']:6.3f}s  "
+                f"batched {row['batched_seconds']:7.4f}s  "
+                f"{row['speedup']:6.1f}x  oracle {oracle}"
+            )
     return "\n".join(lines)

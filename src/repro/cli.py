@@ -310,20 +310,48 @@ def cmd_bench(args) -> int:
         return 0
 
     if args.compare:
+        from repro.benchmarking import (
+            KERNEL_BENCH_KIND,
+            compare_kernel_reports,
+            load_kernel_bench,
+        )
+
         baseline_path, new_path = args.compare
         try:
-            baseline = load_bench_report(baseline_path)
-            new = load_bench_report(new_path)
+            raw_baseline = json.loads(Path(baseline_path).read_text())
+            raw_new = json.loads(Path(new_path).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        kernel_kinds = [
+            report.get("kind") == KERNEL_BENCH_KIND
+            for report in (raw_baseline, raw_new)
+        ]
+        try:
+            if any(kernel_kinds):
+                if not all(kernel_kinds):
+                    raise ValueError(
+                        "cannot compare a kernel-bench report against a "
+                        "pipeline bench report"
+                    )
+                # Kernel docs gate correctness exactly; timing only warns
+                # (kernel timings do not transfer between machines).
+                result = compare_kernel_reports(
+                    load_kernel_bench(baseline_path), load_kernel_bench(new_path)
+                )
+            else:
+                baseline = load_bench_report(baseline_path)
+                new = load_bench_report(new_path)
+                thresholds = CompareThresholds(
+                    max_latency_ratio=args.max_latency_ratio,
+                    quality_tolerance=args.quality_tolerance,
+                    quality_only=args.quality_only,
+                    identical_quality=args.identical_quality,
+                )
+                result = compare_reports(baseline, new, thresholds)
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        thresholds = CompareThresholds(
-            max_latency_ratio=args.max_latency_ratio,
-            quality_tolerance=args.quality_tolerance,
-            quality_only=args.quality_only,
-            identical_quality=args.identical_quality,
-        )
-        result = compare_reports(baseline, new, thresholds)
         print(
             render_comparison(
                 result, title=f"bench comparison ({baseline_path} -> {new_path})"

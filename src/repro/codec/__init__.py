@@ -7,9 +7,10 @@ Reed-Solomon code laid out over a matrix of molecules (Organick et al.),
 with the Gini and DNAMapper layouts as drop-in alternatives.
 """
 
-from repro.codec.galois import GF256
+from repro.codec.galois import GF256, default_field
+from repro.codec.gf_numpy import gf_alpha_power, gf_inv, gf_matmul, gf_mul
 from repro.codec.reed_solomon import ReedSolomonCodec, RSDecodeError
-from repro.codec.bits import bytes_to_bases, bases_to_bytes
+from repro.codec.bits import bytes_to_bases, bytes_to_bases_batch, bases_to_bytes
 from repro.codec.randomizer import Randomizer
 from repro.codec.index import IndexCodec
 from repro.codec.layout import BaselineLayout, GiniLayout, DNAMapperLayout
@@ -21,9 +22,15 @@ from repro.codec.fountain import Droplet, FountainCodec, robust_soliton
 
 __all__ = [
     "GF256",
+    "default_field",
+    "gf_mul",
+    "gf_matmul",
+    "gf_inv",
+    "gf_alpha_power",
     "ReedSolomonCodec",
     "RSDecodeError",
     "bytes_to_bases",
+    "bytes_to_bases_batch",
     "bases_to_bytes",
     "Randomizer",
     "IndexCodec",

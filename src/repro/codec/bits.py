@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
-from repro.dna.alphabet import BASE_TO_INDEX, INDEX_TO_BASE
+import numpy as np
+
+from repro.dna.alphabet import BASES, BASE_TO_INDEX, INDEX_TO_BASE
 
 _BYTE_TO_BASES: List[str] = [
     "".join(
@@ -20,10 +22,30 @@ _BYTE_TO_BASES: List[str] = [
     for value in range(256)
 ]
 
+#: ASCII codes of the four bases, indexed by 2-bit value.
+_BASE_ASCII = np.frombuffer(BASES.encode("ascii"), dtype=np.uint8)
+
 
 def bytes_to_bases(data: Iterable[int]) -> str:
     """Encode a byte sequence as DNA (four bases per byte, MSB first)."""
     return "".join(_BYTE_TO_BASES[byte] for byte in data)
+
+
+def bytes_to_bases_batch(payloads: np.ndarray) -> List[str]:
+    """:func:`bytes_to_bases` for a ``(strands, payload_bytes)`` uint8 matrix.
+
+    The 2-bit crumbs of the whole matrix are extracted and mapped to base
+    characters in one vectorized pass; one string per row is returned.
+    """
+    payloads = np.asarray(payloads, dtype=np.uint8)
+    if payloads.ndim != 2:
+        raise ValueError(f"expected a 2-D byte matrix, got shape {payloads.shape}")
+    strands, width = payloads.shape
+    crumbs = np.empty((strands, width, 4), dtype=np.uint8)
+    for slot, shift in enumerate((6, 4, 2, 0)):
+        crumbs[:, :, slot] = (payloads >> shift) & 0b11
+    ascii_rows = _BASE_ASCII[crumbs.reshape(strands, width * 4)]
+    return [row.tobytes().decode("ascii") for row in ascii_rows]
 
 
 def bases_to_bytes(sequence: str) -> bytes:

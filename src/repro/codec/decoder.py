@@ -5,15 +5,27 @@ strand bodies are parsed for their index, de-whitened, and placed back into
 their encoding-unit matrix.  Missing molecules become *erasures* at known
 columns; surviving molecules with residual reconstruction errors (including
 indels, which smear into substitutions once the strand is forced back to its
-nominal length) become symbol errors.  Both are corrected row-by-row with
-the Reed-Solomon errata decoder.
+nominal length) become symbol errors.
+
+Error correction is tiered by cost.  One batched syndrome screen classifies
+every codeword row of a unit at once; rows that verify clean (the common
+case after good consensus) skip correction entirely.  Rows whose only
+errata are the unit's missing columns go through the batched erasure
+direct-solve.  Only rows that still fail — erasures *plus* substitution
+errors — reach the scalar Berlekamp-Massey/Chien/Forney errata decoder,
+fanned out through a :class:`~repro.parallel.WorkerPool` when one is
+provided.  All three tiers produce byte-identical output and identical
+:class:`DecodeReport` statistics to running the scalar decoder on every
+row.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.codec.bits import bases_to_bytes
 from repro.codec.encoder import _HEADER_BYTES, EncodingParameters
@@ -21,6 +33,7 @@ from repro.codec.index import IndexCodec
 from repro.codec.randomizer import Randomizer
 from repro.codec.reed_solomon import ReedSolomonCodec, RSDecodeError
 from repro.observability.trace import Tracer, as_tracer
+from repro.parallel import WorkerPool
 
 
 @dataclass
@@ -64,6 +77,7 @@ class DNADecoder:
         strands: Iterable[str],
         expected_units: Optional[int] = None,
         tracer: Optional[Tracer] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> Tuple[bytes, DecodeReport]:
         """Decode strand *bodies* (index + payload, primers already removed).
 
@@ -82,6 +96,10 @@ class DNADecoder:
             run emits ``decoding.collect_columns`` / ``decoding.units``
             spans and RS counters (``rs_decode_errors_corrected``,
             ``rs_rows_corrected`` / ``rs_rows_failed`` / ``rs_rows_clean``).
+        pool:
+            Optional :class:`~repro.parallel.WorkerPool` used to fan out the
+            scalar errata decoding of rows that fail both batched fast
+            paths.  The result is byte-identical at any worker count.
 
         Returns
         -------
@@ -114,7 +132,7 @@ class DNADecoder:
         with tracer.span("decoding.units", units=expected_units):
             for unit in range(expected_units):
                 unit_bytes, failed = self._decode_unit(
-                    unit, columns, report, tracer=tracer
+                    unit, columns, report, tracer=tracer, pool=pool
                 )
                 stream.extend(unit_bytes)
                 if failed:
@@ -182,6 +200,7 @@ class DNADecoder:
         columns: Dict[int, bytes],
         report: DecodeReport,
         tracer: Optional[Tracer] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> Tuple[bytes, bool]:
         """Decode one encoding unit; return (data bytes, any_row_failed)."""
         params = self.parameters
@@ -191,62 +210,136 @@ class DNADecoder:
         erasures_per_row = tracer.metrics.histogram("rs_erasures_per_row")
         rows = params.payload_bytes
         n = params.total_columns
+        k = params.data_columns
         base_index = unit * n
-        matrix = [[0] * n for _ in range(rows)]
-        erasures = []
+        matrix = np.zeros((rows, n), dtype=np.uint8)
+        erasures: List[int] = []
         for column in range(n):
             payload = columns.get(base_index + column)
             if payload is None or len(payload) != rows:
                 erasures.append(column)
                 report.missing_columns += 1
                 continue
-            for row in range(rows):
-                matrix[row][column] = payload[row]
+            matrix[:, column] = np.frombuffer(payload, dtype=np.uint8)
 
-        codewords = params.layout.extract(matrix)
+        codewords = params.layout.extract_array(matrix)
+        decoded = self._decode_rows(codewords, erasures, pool=pool)
+
         failed_rows: List[int] = []
-        data_rows: List[List[int]] = []
-        for row_index, codeword in enumerate(codewords):
+        data_rows = codewords[:, :k].copy()
+        for row_index, message in enumerate(decoded):
             erasures_per_row.observe(len(erasures))
-            if not erasures and self._rs.check(codeword):
-                report.clean_rows += 1
-                corrections_per_row.observe(0)
-                data_rows.append(list(codeword[: params.data_columns]))
-                continue
-            try:
-                message = self._rs.decode(codeword, erasures=erasures)
-                received = list(codeword[: params.data_columns])
-                if received != message:
-                    report.corrected_rows += 1
-                    corrections = sum(
-                        1 for a, b in zip(received, message) if a != b
-                    )
-                    report.symbols_corrected += corrections
-                    errors_corrected.inc(corrections)
-                    corrections_per_row.observe(corrections)
-                else:
-                    report.clean_rows += 1
-                    corrections_per_row.observe(0)
-                data_rows.append(message)
-            except RSDecodeError:
+            if message is None:
                 report.failed_rows += 1
                 failed_rows.append(row_index)
-                data_rows.append(list(codeword[: params.data_columns]))
+                continue
+            corrections = int(
+                np.count_nonzero(data_rows[row_index] != message)
+            )
+            if corrections:
+                report.corrected_rows += 1
+                report.symbols_corrected += corrections
+                errors_corrected.inc(corrections)
+                corrections_per_row.observe(corrections)
+                data_rows[row_index] = message
+            else:
+                report.clean_rows += 1
+                corrections_per_row.observe(0)
         if failed_rows:
             report.unit_failures[unit] = failed_rows
 
-        unit_bytes = bytearray()
-        for column in range(params.data_columns):
-            for row in range(rows):
-                unit_bytes.append(data_rows[row][column])
-        return bytes(unit_bytes), bool(failed_rows)
+        # Column-major assembly: molecule c contributed bytes c*rows..c*rows+rows.
+        unit_bytes = data_rows.T.tobytes()
+        return unit_bytes, bool(failed_rows)
+
+    def _decode_rows(
+        self,
+        codewords: np.ndarray,
+        erasures: List[int],
+        pool: Optional[WorkerPool] = None,
+    ) -> List[Optional[np.ndarray]]:
+        """Errata-decode every codeword row; ``None`` marks uncorrectable rows.
+
+        Rows are triaged through the batched tiers (syndrome screen, then
+        erasure-only direct solve) and only the residual hard rows reach the
+        scalar errata decoder.  Outcomes are identical to scalar-decoding
+        each row.
+        """
+        rows = codewords.shape[0]
+        k = codewords.shape[1] - self._rs.nsym
+        if len(erasures) > self._rs.nsym:
+            # The scalar decoder rejects every row of such a unit up front.
+            return [None] * rows
+
+        syndromes = self._rs.syndromes_batch(codewords)
+        if erasures:
+            candidates, solved = self._rs.erasure_solve_batch(
+                codewords, erasures, syndromes=syndromes
+            )
+        else:
+            candidates, solved = codewords, ~syndromes.any(axis=1)
+
+        decoded: List[Optional[np.ndarray]] = [
+            candidates[row, :k] if solved[row] else None for row in range(rows)
+        ]
+        hard = [row for row in range(rows) if not solved[row]]
+        if not hard:
+            return decoded
+
+        pool = pool or WorkerPool(1)
+        hard_messages = pool.map_chunks(
+            _scalar_decode_rows,
+            [codewords[row].tolist() for row in hard],
+            (self._rs.nsym, tuple(erasures)),
+        )
+        for row, message in zip(hard, hard_messages):
+            if message is not None:
+                decoded[row] = np.array(message, dtype=np.uint8)
+        return decoded
+
+
+def _scalar_decode_rows(
+    codeword_rows: Sequence[List[int]], extra: object
+) -> List[Optional[List[int]]]:
+    """WorkerPool chunk function: scalar-errata-decode hard codeword rows.
+
+    ``extra`` is ``(nsym, erasure_positions)``; uncorrectable rows map to
+    ``None``.  Rebuilding the codec per chunk is cheap — the field tables
+    and generator polynomial come from the module-level caches.
+    """
+    nsym, erasures = extra
+    rs = ReedSolomonCodec(nsym=nsym)
+    messages: List[Optional[List[int]]] = []
+    for codeword in codeword_rows:
+        try:
+            messages.append(rs.decode(codeword, erasures=erasures))
+        except RSDecodeError:
+            messages.append(None)
+    return messages
 
 
 def _bytewise_majority(payloads: List[bytes]) -> bytes:
-    """Resolve duplicate reconstructions of one molecule by bytewise vote."""
+    """Resolve duplicate reconstructions of one molecule by bytewise vote.
+
+    Vectorized column-wise bincount/argmax with the same tie-break as the
+    original ``Counter.most_common`` loop: among values with the maximal
+    count, the one seen first (lowest payload index) wins.
+    """
     length = max(len(p) for p in payloads)
-    result = bytearray()
-    for position in range(length):
-        votes = Counter(p[position] for p in payloads if position < len(p))
-        result.append(votes.most_common(1)[0][0])
-    return bytes(result)
+    stack = np.full((len(payloads), length), -1, dtype=np.int16)
+    for row, payload in enumerate(payloads):
+        stack[row, : len(payload)] = np.frombuffer(payload, dtype=np.uint8)
+    valid = stack >= 0
+    # counts[position, value] via one flat bincount over position*256 + value.
+    flat = (stack + 256 * np.arange(length, dtype=np.int32)[None, :])[valid]
+    counts = np.bincount(flat, minlength=256 * length).reshape(length, 256)
+    max_counts = counts.max(axis=1)
+    cell_counts = counts[
+        np.arange(length, dtype=np.intp)[None, :], np.clip(stack, 0, 255)
+    ]
+    is_winner = valid & (cell_counts == max_counts[None, :])
+    # argmax returns the first winning row; every column has at least one
+    # valid cell (the longest payload), so a winner always exists.
+    first_winner = is_winner.argmax(axis=0)
+    winners = stack[first_winner, np.arange(length, dtype=np.intp)]
+    return winners.astype(np.uint8).tobytes()

@@ -15,7 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.codec.bits import bytes_to_bases
+import numpy as np
+
+from repro.codec.bits import bytes_to_bases_batch
 from repro.codec.index import IndexCodec
 from repro.codec.layout import BaselineLayout, MatrixLayout
 from repro.codec.primers import PrimerPair
@@ -145,17 +147,23 @@ class DNAEncoder:
             )
         stream = stream.ljust(num_units * bytes_per_unit, b"\x00")
 
+        stream_bytes = np.frombuffer(stream, dtype=np.uint8)
         strands: List[str] = []
         references: List[str] = []
         for unit in range(num_units):
-            unit_bytes = stream[unit * bytes_per_unit : (unit + 1) * bytes_per_unit]
+            unit_bytes = stream_bytes[
+                unit * bytes_per_unit : (unit + 1) * bytes_per_unit
+            ]
             matrix = self._encode_unit(unit_bytes)
-            for column in range(params.total_columns):
-                global_index = unit * params.total_columns + column
-                payload = bytes(matrix[row][column] for row in range(params.payload_bytes))
-                if params.randomize:
-                    payload = self._randomizer.apply(payload, global_index)
-                body = self._index_codec.encode(global_index) + bytes_to_bases(payload)
+            # Column c of the unit matrix is molecule c's payload.
+            payloads = matrix.T
+            first_index = unit * params.total_columns
+            indices = np.arange(first_index, first_index + params.total_columns)
+            if params.randomize:
+                payloads = self._randomizer.apply_batch(payloads, indices)
+            payload_bases = bytes_to_bases_batch(payloads)
+            for column, bases in enumerate(payload_bases):
+                body = self._index_codec.encode(first_index + column) + bases
                 references.append(body)
                 if params.primer_pair is not None:
                     strands.append(params.primer_pair.tag(body))
@@ -169,15 +177,15 @@ class DNAEncoder:
             file_length=len(data),
         )
 
-    def _encode_unit(self, unit_bytes: bytes) -> List[List[int]]:
-        """RS-encode one unit's rows and apply the matrix layout."""
+    def _encode_unit(self, unit_bytes: np.ndarray) -> np.ndarray:
+        """RS-encode one unit's rows (all at once) and apply the matrix layout.
+
+        The unit's byte stream is column-major (molecule ``c`` holds bytes
+        ``c*payload_bytes .. (c+1)*payload_bytes``), so the ``(rows, k)``
+        message matrix is just a reshape + transpose; the parity block for
+        every row comes from one batched GF(256) matrix product.
+        """
         params = self.parameters
-        columns = [
-            unit_bytes[c * params.payload_bytes : (c + 1) * params.payload_bytes]
-            for c in range(params.data_columns)
-        ]
-        codewords = []
-        for row in range(params.payload_bytes):
-            message = [columns[c][row] for c in range(params.data_columns)]
-            codewords.append(self._rs.encode(message))
-        return params.layout.place(codewords)
+        messages = unit_bytes.reshape(params.data_columns, params.payload_bytes).T
+        codewords = self._rs.encode_batch(messages)
+        return params.layout.place_array(codewords)

@@ -9,7 +9,7 @@ encoder and the Berlekamp-Massey decoder.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 _PRIMITIVE_POLY = 0x11D
 _FIELD_SIZE = 256
@@ -129,3 +129,20 @@ class GF256:
                     output[index + offset] ^= self.mul(divisor_coeff, factor)
         remainder_length = len(divisor) - 1
         return output[len(output) - remainder_length :]
+
+
+_DEFAULT_FIELD: Optional[GF256] = None
+
+
+def default_field() -> GF256:
+    """The shared module-level :class:`GF256` instance.
+
+    GF(2^8) over 0x11d has no free parameters, so every ``GF256()`` builds
+    the exact same 768-entry exp/log tables.  Codec objects default to this
+    singleton instead of rebuilding them; passing an explicit ``field=``
+    still works everywhere for callers that want isolation.
+    """
+    global _DEFAULT_FIELD
+    if _DEFAULT_FIELD is None:
+        _DEFAULT_FIELD = GF256()
+    return _DEFAULT_FIELD

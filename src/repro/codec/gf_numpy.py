@@ -1,0 +1,115 @@
+"""Vectorized GF(2^8) linear algebra for the batched Reed-Solomon paths.
+
+The scalar :class:`~repro.codec.galois.GF256` multiplies one pair of field
+elements per Python call; the outer-code hot paths (parity generation,
+syndrome screening, erasure solving) need millions of products per encoding
+unit batch.  This module holds numpy views of the shared exp/log tables and
+batched primitives built on them:
+
+* ``gf_mul`` — elementwise product of two broadcastable uint8 arrays;
+* ``gf_matmul`` — matrix product over GF(256) via a log-table gather
+  followed by an XOR reduction;
+* ``gf_inv`` — Gauss-Jordan inversion of a small matrix (the per-unit
+  erasure Vandermonde system);
+* ``gf_alpha_power`` — ``alpha ** e`` for an integer exponent array.
+
+Zero handling uses the classic sentinel trick: ``log 0`` is mapped to 512
+and the exp table is padded with zeros up to index 1024, so any product
+involving zero gathers a zero without a mask pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.galois import default_field
+
+_ORDER = 255  # multiplicative order of GF(256)*
+_ZERO_LOG = 512  # sentinel: any log sum involving it lands in the zero pad
+
+_field = default_field()
+
+#: exp table padded so GF_EXP[GF_LOG[a] + GF_LOG[b]] is a full multiply,
+#: including the a == 0 or b == 0 cases (sums >= 512 gather the zero pad).
+GF_EXP: np.ndarray = np.zeros(2 * _ZERO_LOG + 1, dtype=np.uint8)
+GF_EXP[: len(_field.exp)] = np.array(_field.exp, dtype=np.uint8)
+
+#: log table with the zero sentinel; int16 keeps index sums cheap.
+GF_LOG: np.ndarray = np.full(256, _ZERO_LOG, dtype=np.int16)
+GF_LOG[1:] = np.array(_field.log[1:], dtype=np.int16)
+
+#: Cap on the (m, k, n) intermediate of one gf_matmul block, in elements.
+_MATMUL_BLOCK_ELEMS = 1 << 24
+
+
+def gf_mul(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Elementwise GF(256) product of two broadcastable uint8 arrays."""
+    left = np.asarray(left, dtype=np.uint8)
+    right = np.asarray(right, dtype=np.uint8)
+    return GF_EXP[GF_LOG[left].astype(np.int32) + GF_LOG[right]]
+
+
+def gf_matmul(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """``left @ right`` over GF(256): ``(m, k) x (k, n) -> (m, n)``.
+
+    The product is one gather into the padded exp table over a broadcast
+    ``(m, k, n)`` sum of logs, XOR-reduced along ``k``.  Large left
+    operands are processed in row blocks to bound the intermediate.
+    """
+    left = np.atleast_2d(np.asarray(left, dtype=np.uint8))
+    right = np.atleast_2d(np.asarray(right, dtype=np.uint8))
+    if left.shape[1] != right.shape[0]:
+        raise ValueError(
+            f"gf_matmul shape mismatch: {left.shape} x {right.shape}"
+        )
+    k, n = right.shape
+    log_right = GF_LOG[right].astype(np.int32)[None, :, :]
+    rows_per_block = max(1, _MATMUL_BLOCK_ELEMS // max(1, k * n))
+    if left.shape[0] <= rows_per_block:
+        log_left = GF_LOG[left].astype(np.int32)[:, :, None]
+        return np.bitwise_xor.reduce(GF_EXP[log_left + log_right], axis=1)
+    blocks = [
+        np.bitwise_xor.reduce(
+            GF_EXP[GF_LOG[block].astype(np.int32)[:, :, None] + log_right],
+            axis=1,
+        )
+        for block in np.array_split(
+            left, -(-left.shape[0] // rows_per_block), axis=0
+        )
+    ]
+    return np.concatenate(blocks, axis=0)
+
+
+def gf_alpha_power(exponents: np.ndarray) -> np.ndarray:
+    """``alpha ** e`` (alpha = 2) for an integer exponent array, any sign."""
+    return GF_EXP[np.mod(np.asarray(exponents, dtype=np.int64), _ORDER)]
+
+
+def gf_inv(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square GF(256) matrix by Gauss-Jordan elimination.
+
+    Raises :class:`ZeroDivisionError` when the matrix is singular.  Meant
+    for the small per-unit erasure systems (at most ``nsym x nsym``), not
+    for bulk work — pivoting is a Python loop over columns.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"gf_inv needs a square matrix, got {matrix.shape}")
+    size = matrix.shape[0]
+    augmented = np.concatenate(
+        [matrix.copy(), np.eye(size, dtype=np.uint8)], axis=1
+    )
+    for col in range(size):
+        pivots = np.nonzero(augmented[col:, col])[0]
+        if pivots.size == 0:
+            raise ZeroDivisionError("singular matrix over GF(256)")
+        pivot = col + int(pivots[0])
+        if pivot != col:
+            augmented[[col, pivot]] = augmented[[pivot, col]]
+        augmented[col] = gf_mul(
+            augmented[col], _field.inverse(int(augmented[col, col]))
+        )
+        factors = augmented[:, col].copy()
+        factors[col] = 0
+        augmented ^= gf_mul(factors[:, None], augmented[col][None, :])
+    return augmented[:, size:]

@@ -21,6 +21,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 
 class MatrixLayout(ABC):
     """Bijection between codeword coordinates and matrix coordinates."""
@@ -36,6 +38,20 @@ class MatrixLayout(ABC):
     def extract(self, matrix: Sequence[Sequence[int]]) -> List[List[int]]:
         """Invert :meth:`place`."""
 
+    # The array variants serve the batched codec paths.  The defaults
+    # round-trip through the list API so user-defined layouts keep working;
+    # the built-in layouts override them with pure numpy indexing.
+
+    def place_array(self, codewords: np.ndarray) -> np.ndarray:
+        """:meth:`place` for a uint8 codeword matrix, returning uint8."""
+        _validate_array(codewords)
+        return np.array(self.place(codewords.tolist()), dtype=np.uint8)
+
+    def extract_array(self, matrix: np.ndarray) -> np.ndarray:
+        """:meth:`extract` for a uint8 matrix, returning uint8."""
+        _validate_array(matrix)
+        return np.array(self.extract(matrix.tolist()), dtype=np.uint8)
+
 
 def _validate_rectangular(rows: Sequence[Sequence[int]]) -> None:
     if not rows:
@@ -45,6 +61,13 @@ def _validate_rectangular(rows: Sequence[Sequence[int]]) -> None:
         raise ValueError("layout requires a rectangular matrix")
     if width == 0:
         raise ValueError("layout requires non-empty rows")
+
+
+def _validate_array(matrix: np.ndarray) -> None:
+    if matrix.ndim != 2 or 0 in matrix.shape:
+        raise ValueError(
+            f"layout requires a non-empty 2-D matrix, got shape {matrix.shape}"
+        )
 
 
 class BaselineLayout(MatrixLayout):
@@ -59,6 +82,14 @@ class BaselineLayout(MatrixLayout):
     def extract(self, matrix: Sequence[Sequence[int]]) -> List[List[int]]:
         _validate_rectangular(matrix)
         return [list(row) for row in matrix]
+
+    def place_array(self, codewords: np.ndarray) -> np.ndarray:
+        _validate_array(codewords)
+        return np.asarray(codewords, dtype=np.uint8).copy()
+
+    def extract_array(self, matrix: np.ndarray) -> np.ndarray:
+        _validate_array(matrix)
+        return np.asarray(matrix, dtype=np.uint8).copy()
 
 
 class GiniLayout(MatrixLayout):
@@ -91,6 +122,29 @@ class GiniLayout(MatrixLayout):
             for j in range(cols):
                 codeword[j] = matrix[(i + j) % rows][j]
         return codewords
+
+    @staticmethod
+    def _diagonal_rows(rows: int, cols: int, sign: int) -> np.ndarray:
+        return (
+            np.arange(rows, dtype=np.intp)[:, None]
+            + sign * np.arange(cols, dtype=np.intp)[None, :]
+        ) % rows
+
+    def place_array(self, codewords: np.ndarray) -> np.ndarray:
+        _validate_array(codewords)
+        codewords = np.asarray(codewords, dtype=np.uint8)
+        rows, cols = codewords.shape
+        # matrix[r, j] = codewords[(r - j) % rows, j]
+        gather = self._diagonal_rows(rows, cols, -1)
+        return codewords[gather, np.arange(cols, dtype=np.intp)[None, :]]
+
+    def extract_array(self, matrix: np.ndarray) -> np.ndarray:
+        _validate_array(matrix)
+        matrix = np.asarray(matrix, dtype=np.uint8)
+        rows, cols = matrix.shape
+        # codewords[i, j] = matrix[(i + j) % rows, j]
+        gather = self._diagonal_rows(rows, cols, 1)
+        return matrix[gather, np.arange(cols, dtype=np.intp)[None, :]]
 
 
 class DNAMapperLayout(MatrixLayout):
@@ -147,6 +201,24 @@ class DNAMapperLayout(MatrixLayout):
         for priority, row in enumerate(permutation):
             codewords[priority] = list(matrix[row])
         return codewords
+
+    def place_array(self, codewords: np.ndarray) -> np.ndarray:
+        _validate_array(codewords)
+        codewords = np.asarray(codewords, dtype=np.uint8)
+        permutation = np.asarray(
+            self._permutation_for(codewords.shape[0]), dtype=np.intp
+        )
+        matrix = np.empty_like(codewords)
+        matrix[permutation] = codewords
+        return matrix
+
+    def extract_array(self, matrix: np.ndarray) -> np.ndarray:
+        _validate_array(matrix)
+        matrix = np.asarray(matrix, dtype=np.uint8)
+        permutation = np.asarray(
+            self._permutation_for(matrix.shape[0]), dtype=np.intp
+        )
+        return matrix[permutation]
 
 
 _LAYOUTS = {

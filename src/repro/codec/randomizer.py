@@ -9,6 +9,8 @@ beyond the index already stored in the strand.
 
 from __future__ import annotations
 
+import numpy as np
+
 
 def _xorshift32(state: int) -> int:
     state ^= (state << 13) & 0xFFFFFFFF
@@ -48,3 +50,46 @@ class Randomizer:
             raise ValueError(f"index must be non-negative, got {index}")
         keystream = self._keystream(index, len(payload))
         return bytes(a ^ b for a, b in zip(payload, keystream))
+
+    # ------------------------------------------------------------------
+    # Batched path (one xorshift32 lane per molecule)
+    # ------------------------------------------------------------------
+
+    def keystream_batch(self, indices: np.ndarray, length: int) -> np.ndarray:
+        """Keystreams for many indices at once: ``(len(indices), length)`` uint8.
+
+        Bit-identical to :meth:`_keystream` per lane — the xorshift32
+        recurrence runs on a vector of uint32 states, one per index.
+        """
+        indices = np.asarray(indices, dtype=np.uint64)
+        if indices.size and bool((indices.astype(np.int64) < 0).any()):
+            raise ValueError("indices must be non-negative")
+        state = (
+            (np.uint64(self.seed) ^ (indices * np.uint64(0x9E3779B9)))
+            & np.uint64(0xFFFFFFFF)
+        ).astype(np.uint32)
+        state[state == 0] = np.uint32(0xDEADBEEF)
+        words = -(-length // 4)
+        stream = np.empty((indices.shape[0], words * 4), dtype=np.uint8)
+        for word in range(words):
+            state = state ^ (state << np.uint32(13))
+            state = state ^ (state >> np.uint32(17))
+            state = state ^ (state << np.uint32(5))
+            for offset, shift in enumerate((24, 16, 8, 0)):
+                stream[:, word * 4 + offset] = (
+                    state >> np.uint32(shift)
+                ).astype(np.uint8)
+        return stream[:, :length]
+
+    def apply_batch(self, payloads: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Whiten a ``(molecules, payload_bytes)`` matrix row-by-row.
+
+        Row ``i`` is XORed with the keystream for ``indices[i]``; equivalent
+        to calling :meth:`apply` per row.
+        """
+        payloads = np.asarray(payloads, dtype=np.uint8)
+        if payloads.ndim != 2:
+            raise ValueError(f"expected a 2-D payload matrix, got {payloads.shape}")
+        if payloads.shape[0] != np.asarray(indices).shape[0]:
+            raise ValueError("one index per payload row required")
+        return payloads ^ self.keystream_batch(indices, payloads.shape[1])

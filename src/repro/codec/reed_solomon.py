@@ -10,15 +10,28 @@ Berlekamp-Massey, Chien search and the Forney value formula.
 A codeword of length ``n = k + nsym`` corrects up to ``nsym`` erasures, up
 to ``nsym // 2`` errors, and any combination with
 ``2 * errors + erasures <= nsym``.
+
+The scalar ``encode``/``decode`` pair is the correctness oracle; the
+``*_batch`` methods process a whole matrix of codeword rows at once on the
+vectorized GF(256) layer (:mod:`repro.codec.gf_numpy`) and are pinned to
+the scalar path by property tests.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.codec.galois import GF256
+import numpy as np
+
+from repro.codec.gf_numpy import gf_alpha_power, gf_inv, gf_matmul
+from repro.codec.galois import GF256, default_field
 
 _FIELD_LIMIT = 255
+
+#: Generator polynomials keyed by nsym.  GF(256) over 0x11d is parameterless,
+#: so the generator depends on nsym alone and can be shared by every codec
+#: instance regardless of which field object it was handed.
+_GENERATOR_CACHE: Dict[int, Tuple[int, ...]] = {}
 
 
 class RSDecodeError(Exception):
@@ -34,8 +47,19 @@ class ReedSolomonCodec:
         if nsym >= _FIELD_LIMIT:
             raise ValueError(f"nsym must be < {_FIELD_LIMIT}, got {nsym}")
         self.nsym = nsym
-        self.field = field or GF256()
-        self._generator = self._build_generator(nsym)
+        self.field = field or default_field()
+        self._generator = list(self._cached_generator(nsym))
+        #: per-k systematic parity matrices for the batched encoder
+        self._parity_matrices: Dict[int, np.ndarray] = {}
+        #: per-n syndrome (Vandermonde) matrices for the batched decoder
+        self._syndrome_matrices: Dict[int, np.ndarray] = {}
+
+    def _cached_generator(self, nsym: int) -> Tuple[int, ...]:
+        generator = _GENERATOR_CACHE.get(nsym)
+        if generator is None:
+            generator = tuple(self._build_generator(nsym))
+            _GENERATOR_CACHE[nsym] = generator
+        return generator
 
     def _build_generator(self, nsym: int) -> List[int]:
         generator = [1]
@@ -57,6 +81,135 @@ class ReedSolomonCodec:
         padded = list(message) + [0] * self.nsym
         remainder = self.field.poly_divmod(padded, self._generator)
         return list(message) + remainder
+
+    # ------------------------------------------------------------------
+    # Batched paths (vectorized over whole codeword matrices)
+    # ------------------------------------------------------------------
+
+    def parity_matrix(self, k: int) -> np.ndarray:
+        """The ``(k, nsym)`` systematic parity matrix for messages of length *k*.
+
+        Systematic encoding is linear: the parity of a message is the sum of
+        the parities of its unit vectors, so row ``i`` is the scalar-encoded
+        parity of ``e_i``.  Cached per *k*; deriving it from the scalar
+        encoder keeps the batched path oracle-consistent by construction.
+        """
+        cached = self._parity_matrices.get(k)
+        if cached is None:
+            if k <= 0:
+                raise ValueError(f"message length must be positive, got {k}")
+            if k + self.nsym > _FIELD_LIMIT:
+                raise ValueError(
+                    f"codeword length {k + self.nsym} exceeds {_FIELD_LIMIT}"
+                )
+            unit = [0] * k
+            rows = []
+            for i in range(k):
+                unit[i] = 1
+                rows.append(self.encode(unit)[k:])
+                unit[i] = 0
+            cached = np.array(rows, dtype=np.uint8)
+            self._parity_matrices[k] = cached
+        return cached
+
+    def syndrome_matrix(self, n: int) -> np.ndarray:
+        """The ``(n, nsym)`` evaluation matrix with ``V[i, j] = alpha^(j*(n-1-i))``.
+
+        ``codewords @ V`` over GF(256) yields every row's syndrome vector in
+        one pass — the batched equivalent of :meth:`_syndromes`.
+        """
+        cached = self._syndrome_matrices.get(n)
+        if cached is None:
+            if not self.nsym < n <= _FIELD_LIMIT:
+                raise ValueError(
+                    f"codeword length {n} must be in ({self.nsym}, {_FIELD_LIMIT}]"
+                )
+            degrees = np.arange(n - 1, -1, -1, dtype=np.int64)
+            cached = gf_alpha_power(
+                degrees[:, None] * np.arange(self.nsym, dtype=np.int64)[None, :]
+            )
+            self._syndrome_matrices[n] = cached
+        return cached
+
+    def _as_codeword_matrix(self, rows: np.ndarray, width_label: str) -> np.ndarray:
+        matrix = np.asarray(rows)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix of {width_label} rows")
+        if matrix.dtype != np.uint8:
+            if matrix.size and (matrix.min() < 0 or matrix.max() > 255):
+                raise ValueError("symbol outside GF(256)")
+            matrix = matrix.astype(np.uint8)
+        return matrix
+
+    def encode_batch(self, messages: np.ndarray) -> np.ndarray:
+        """Encode a ``(rows, k)`` message matrix into ``(rows, k + nsym)``.
+
+        Equivalent to calling :meth:`encode` on every row; the parity block
+        is computed for all rows at once as ``messages @ parity_matrix``.
+        """
+        messages = self._as_codeword_matrix(messages, "message")
+        parity = gf_matmul(messages, self.parity_matrix(messages.shape[1]))
+        return np.concatenate([messages, parity], axis=1)
+
+    def syndromes_batch(self, codewords: np.ndarray) -> np.ndarray:
+        """Syndrome vectors for a ``(rows, n)`` codeword matrix, ``(rows, nsym)``."""
+        codewords = self._as_codeword_matrix(codewords, "codeword")
+        return gf_matmul(codewords, self.syndrome_matrix(codewords.shape[1]))
+
+    def check_batch(self, codewords: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows whose syndromes are all zero (valid codewords)."""
+        return ~self.syndromes_batch(codewords).any(axis=1)
+
+    def erasure_solve_batch(
+        self,
+        codewords: np.ndarray,
+        erasures: Sequence[int],
+        syndromes: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Direct-solve the erasure-only case for every codeword row at once.
+
+        The rows of one encoding unit share their erasure columns (a missing
+        molecule erases the same position in every codeword), so the
+        ``e x e`` Vandermonde system ``A[j, p] = X_p^j`` is factored once
+        and applied to all rows: ``Y = S[:, :e] @ inv(A)^T``.  Erasure
+        columns of *codewords* must already be zeroed (matching the scalar
+        decoder, which zeroes them before computing syndromes).
+
+        Returns ``(candidates, solved)``: the codeword matrix with erasure
+        columns filled in, and a boolean mask of rows whose candidate
+        verifies (all ``nsym`` syndromes zero).  Unsolved rows also carry
+        substitution errors and must go through the scalar errata decoder.
+
+        Raises
+        ------
+        RSDecodeError
+            If there are more erasures than parity symbols.
+        """
+        codewords = self._as_codeword_matrix(codewords, "codeword")
+        n = codewords.shape[1]
+        positions = sorted(set(erasures))
+        if any(pos < 0 or pos >= n for pos in positions):
+            raise ValueError("erasure position out of range")
+        if len(positions) > self.nsym:
+            raise RSDecodeError(
+                f"{len(positions)} erasures exceed capability {self.nsym}"
+            )
+        if syndromes is None:
+            syndromes = self.syndromes_batch(codewords)
+        if not positions:
+            return codewords, ~syndromes.any(axis=1)
+
+        count = len(positions)
+        degrees = np.array([n - 1 - pos for pos in positions], dtype=np.int64)
+        vandermonde = gf_alpha_power(
+            np.arange(count, dtype=np.int64)[:, None] * degrees[None, :]
+        )
+        # Vandermonde with distinct non-zero nodes: always invertible.
+        values = gf_matmul(syndromes[:, :count], gf_inv(vandermonde).T)
+        candidates = codewords.copy()
+        candidates[:, positions] = values
+        solved = ~self.syndromes_batch(candidates).any(axis=1)
+        return candidates, solved
 
     # ------------------------------------------------------------------
     # Decoding

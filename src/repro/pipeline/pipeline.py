@@ -303,6 +303,7 @@ class Pipeline:
                 expected_units=expected_units
                 or (encoded.num_units if encoded.num_units else None),
                 tracer=tracer,
+                pool=pool,
             )
             span.set("success", report.success)
         timings.decoding = span.duration

@@ -6,6 +6,7 @@ import pytest
 
 from repro.benchmarking import (
     CompareThresholds,
+    compare_kernel_reports,
     compare_reports,
     render_comparison,
 )
@@ -140,3 +141,104 @@ class TestIdenticalQualityGate:
         result = compare_reports(baseline, drifted, thresholds)
         assert not result.ok
         assert any("byte-identical" in line for line in result.regressions)
+
+
+def kernel_report():
+    """A minimal kernel-bench document for gate tests (no timing runs)."""
+    return {
+        "kind": "repro-kernel-bench",
+        "schema_version": 2,
+        "distance": {
+            "kernels": [
+                {
+                    "kernel": "myers",
+                    "verdicts_match_reference": True,
+                    "speedup_vs_reference": 40.0,
+                }
+            ]
+        },
+        "signatures": {
+            "flavours": [
+                {"flavour": "qgram", "matches_scalar": True, "speedup": 2.0}
+            ]
+        },
+        "reed_solomon": {
+            "kernels": [
+                {"kernel": "encode", "matches_oracle": True, "speedup": 12.0},
+                {"kernel": "erasure_solve", "matches_oracle": True, "speedup": 20.0},
+            ]
+        },
+    }
+
+
+class TestKernelGate:
+    def test_identical_reports_pass(self):
+        result = compare_kernel_reports(kernel_report(), kernel_report())
+        assert result.ok
+        assert result.warnings == []
+
+    def test_correctness_flip_is_regression(self):
+        new = kernel_report()
+        new["reed_solomon"]["kernels"][0]["matches_oracle"] = False
+        result = compare_kernel_reports(kernel_report(), new)
+        assert not result.ok
+        assert any("matches_oracle" in line for line in result.regressions)
+
+    def test_correctness_field_disappearing_is_regression(self):
+        new = kernel_report()
+        del new["distance"]["kernels"][0]["verdicts_match_reference"]
+        result = compare_kernel_reports(kernel_report(), new)
+        assert not result.ok
+
+    def test_new_correctness_field_is_not_a_regression(self):
+        baseline = kernel_report()
+        del baseline["signatures"]["flavours"][0]["matches_scalar"]
+        result = compare_kernel_reports(baseline, kernel_report())
+        assert result.ok
+
+    def test_speed_drop_warns_but_passes(self):
+        new = kernel_report()
+        new["reed_solomon"]["kernels"][0]["speedup"] = 2.0
+        result = compare_kernel_reports(kernel_report(), new)
+        assert result.ok
+        assert any("speedup" in line for line in result.warnings)
+
+    def test_small_speed_drop_does_not_warn(self):
+        new = kernel_report()
+        new["reed_solomon"]["kernels"][0]["speedup"] = 10.0
+        result = compare_kernel_reports(kernel_report(), new)
+        assert result.ok
+        assert result.warnings == []
+
+    def test_missing_kernel_is_regression(self):
+        new = kernel_report()
+        new["reed_solomon"]["kernels"].pop()
+        result = compare_kernel_reports(kernel_report(), new)
+        assert not result.ok
+        assert any("erasure_solve" in line for line in result.regressions)
+
+    def test_missing_section_is_regression(self):
+        new = kernel_report()
+        del new["reed_solomon"]
+        result = compare_kernel_reports(kernel_report(), new)
+        assert not result.ok
+
+    def test_v1_baseline_without_rs_section_passes(self):
+        baseline = kernel_report()
+        del baseline["reed_solomon"]
+        baseline["schema_version"] = 1
+        result = compare_kernel_reports(baseline, kernel_report())
+        assert result.ok
+
+    def test_render_mentions_warnings(self):
+        new = kernel_report()
+        new["reed_solomon"]["kernels"][0]["speedup"] = 1.0
+        rendered = render_comparison(
+            compare_kernel_reports(kernel_report(), new)
+        )
+        assert "warnings (1):" in rendered
+        assert "OK (no regressions)" in rendered
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            compare_kernel_reports(kernel_report(), kernel_report(), 0)

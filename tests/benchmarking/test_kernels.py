@@ -1,16 +1,22 @@
 """Shape and sanity tests for the kernel microbenchmark document."""
 
+import json
+
+import pytest
+
 from repro.benchmarking.kernels import (
     KERNEL_BENCH_KIND,
     KERNEL_BENCH_SCHEMA_VERSION,
+    load_kernel_bench,
     render_kernel_bench,
     run_kernel_bench,
+    validate_kernel_bench,
 )
 
 
 def tiny_report():
     return run_kernel_bench(
-        git_sha="test", pairs=10, strand_nt=40, edits=4, reads=30, seed=3
+        git_sha="test", pairs=10, strand_nt=40, edits=4, reads=30, rs_rows=32, seed=3
     )
 
 
@@ -32,7 +38,64 @@ class TestKernelBench:
         reference = report["distance"]["kernels"][0]
         assert reference["speedup_vs_reference"] == 1.0
 
+    def test_correctness_fields_true(self):
+        report = tiny_report()
+        for row in report["distance"]["kernels"]:
+            assert row["verdicts_match_reference"] is True
+        for row in report["signatures"]["flavours"]:
+            assert row["matches_scalar"] is True
+
+    def test_reed_solomon_section(self):
+        report = tiny_report()
+        section = report["reed_solomon"]
+        assert section["workload"]["rows"] == 32
+        rows = {row["kernel"]: row for row in section["kernels"]}
+        assert set(rows) == {"encode", "syndrome_screen", "erasure_solve"}
+        for row in rows.values():
+            assert row["matches_oracle"] is True
+            assert row["scalar_seconds"] > 0
+            assert row["batched_seconds"] > 0
+            assert row["speedup"] > 0
+            assert row["rows"] > 0
+
     def test_render_mentions_kernels(self):
         rendered = render_kernel_bench(tiny_report())
         assert "myers" in rendered
         assert "qgram" in rendered
+        assert "erasure_solve" in rendered
+        assert "oracle ok" in rendered
+
+
+class TestValidateAndLoad:
+    def test_validate_accepts_fresh_report(self):
+        validate_kernel_bench(tiny_report())
+
+    def test_validate_rejects_wrong_kind(self):
+        report = tiny_report()
+        report["kind"] = "something-else"
+        with pytest.raises(ValueError):
+            validate_kernel_bench(report)
+
+    def test_validate_rejects_future_schema(self):
+        report = tiny_report()
+        report["schema_version"] = KERNEL_BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            validate_kernel_bench(report)
+
+    def test_validate_rejects_missing_section(self):
+        report = tiny_report()
+        del report["distance"]
+        with pytest.raises(ValueError):
+            validate_kernel_bench(report)
+
+    def test_v1_documents_without_rs_section_still_load(self):
+        report = tiny_report()
+        del report["reed_solomon"]
+        report["schema_version"] = 1
+        validate_kernel_bench(report)
+
+    def test_load_roundtrip(self, tmp_path):
+        report = tiny_report()
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps(report))
+        assert load_kernel_bench(path) == report

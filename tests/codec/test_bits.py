@@ -1,10 +1,11 @@
 """Tests for the 2-bit/nucleotide mapping."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.codec.bits import bases_to_bytes, bytes_to_bases
+from repro.codec.bits import bases_to_bytes, bytes_to_bases, bytes_to_bases_batch
 
 
 class TestMapping:
@@ -31,3 +32,28 @@ class TestMapping:
     def test_empty(self):
         assert bytes_to_bases(b"") == ""
         assert bases_to_bytes("") == b""
+
+
+class TestBatchedMapping:
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_batch_matches_scalar(self, rows, width, seed):
+        rng = np.random.default_rng(seed)
+        payloads = rng.integers(0, 256, size=(rows, width), dtype=np.uint8)
+        batched = bytes_to_bases_batch(payloads)
+        assert batched == [
+            bytes_to_bases(payloads[row].tobytes()) for row in range(rows)
+        ]
+
+    @given(st.binary(min_size=0, max_size=80))
+    def test_batch_roundtrip(self, data):
+        payloads = np.frombuffer(data, dtype=np.uint8).reshape(1, -1)
+        (strand,) = bytes_to_bases_batch(payloads)
+        assert bases_to_bytes(strand) == data
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            bytes_to_bases_batch(np.zeros(4, dtype=np.uint8))

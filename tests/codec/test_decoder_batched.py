@@ -1,0 +1,144 @@
+"""The tiered decoder pinned to an all-scalar reference decoder.
+
+``ScalarOnlyDecoder`` routes every codeword row through the scalar errata
+decoder (the pre-vectorization behaviour); decoded bytes *and* the full
+:class:`DecodeReport` must match the production tiered decoder under clean,
+erased, corrupted and uncorrectable inputs.  The vectorized
+``_bytewise_majority`` is pinned against the original ``Counter`` loop,
+whose ``most_common`` tie-break is first-insertion order.
+"""
+
+import dataclasses
+import random
+from collections import Counter
+from typing import List
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import DNADecoder, DNAEncoder, EncodingParameters
+from repro.codec.decoder import _bytewise_majority, _scalar_decode_rows
+from repro.parallel import WorkerPool
+
+FAST = EncodingParameters(
+    payload_bytes=10, data_columns=12, parity_columns=6, index_bytes=2
+)
+
+
+class ScalarOnlyDecoder(DNADecoder):
+    """Reference decoder: every row takes the scalar errata path."""
+
+    def _decode_rows(self, codewords, erasures, pool=None):
+        chunks = _scalar_decode_rows(
+            [row.tolist() for row in codewords],
+            (self._rs.nsym, tuple(erasures)),
+        )
+        return [
+            None if message is None else np.array(message, dtype=np.uint8)
+            for message in chunks
+        ]
+
+
+def corrupt(strand: str, position: int) -> str:
+    replacement = "C" if strand[position] != "C" else "G"
+    return strand[:position] + replacement + strand[position + 1 :]
+
+
+def _damaged_strands(data: bytes, seed: int, drop: int, corruptions: int) -> List[str]:
+    rng = random.Random(seed)
+    strands = list(DNAEncoder(FAST).encode(data).references)
+    for _ in range(corruptions):
+        index = rng.randrange(len(strands))
+        strands[index] = corrupt(strands[index], rng.randrange(len(strands[index])))
+    for _ in range(min(drop, len(strands) - 1)):
+        strands.pop(rng.randrange(len(strands)))
+    return strands
+
+
+class TestTieredMatchesScalar:
+    @given(
+        st.binary(min_size=1, max_size=400),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bytes_and_report_identical(self, data, seed, drop, corruptions):
+        pool = DNAEncoder(FAST).encode(data)
+        strands = _damaged_strands(data, seed, drop, corruptions)
+        tiered_bytes, tiered_report = DNADecoder(FAST).decode(
+            strands, expected_units=pool.num_units
+        )
+        scalar_bytes, scalar_report = ScalarOnlyDecoder(FAST).decode(
+            strands, expected_units=pool.num_units
+        )
+        assert tiered_bytes == scalar_bytes
+        assert dataclasses.asdict(tiered_report) == dataclasses.asdict(scalar_report)
+
+    def test_unit_with_too_many_erasures_fails_identically(self):
+        data = bytes(range(120))
+        pool = DNAEncoder(FAST).encode(data)
+        # Drop more columns of unit 0 than the code can erase.
+        survivors = pool.references[FAST.parity_columns + 1 :]
+        tiered_bytes, tiered_report = DNADecoder(FAST).decode(
+            survivors, expected_units=pool.num_units
+        )
+        scalar_bytes, scalar_report = ScalarOnlyDecoder(FAST).decode(
+            survivors, expected_units=pool.num_units
+        )
+        assert not tiered_report.success
+        assert tiered_report.failed_rows == FAST.payload_bytes
+        assert tiered_bytes == scalar_bytes
+        assert dataclasses.asdict(tiered_report) == dataclasses.asdict(scalar_report)
+
+    def test_worker_pool_does_not_change_output(self):
+        data = bytes(range(200))
+        pool = DNAEncoder(FAST).encode(data)
+        strands = _damaged_strands(data, seed=7, drop=2, corruptions=8)
+        serial_bytes, serial_report = DNADecoder(FAST).decode(
+            strands, expected_units=pool.num_units
+        )
+        with WorkerPool(2) as workers:
+            pooled_bytes, pooled_report = DNADecoder(FAST).decode(
+                strands, expected_units=pool.num_units, pool=workers
+            )
+        assert pooled_bytes == serial_bytes
+        assert dataclasses.asdict(pooled_report) == dataclasses.asdict(serial_report)
+
+
+def _counter_majority(payloads: List[bytes]) -> bytes:
+    """The original scalar implementation, kept verbatim as the oracle."""
+    length = max(len(p) for p in payloads)
+    result = bytearray()
+    for position in range(length):
+        votes = Counter(p[position] for p in payloads if position < len(p))
+        result.append(votes.most_common(1)[0][0])
+    return bytes(result)
+
+
+payload_lists = st.lists(
+    st.binary(min_size=0, max_size=12), min_size=1, max_size=8
+).filter(lambda payloads: any(payloads))
+
+
+class TestBytewiseMajority:
+    @given(payload_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_counter_implementation(self, payloads):
+        assert _bytewise_majority(payloads) == _counter_majority(payloads)
+
+    def test_tie_break_prefers_first_seen_value(self):
+        # 0x01 and 0x02 both appear twice; Counter.most_common returns the
+        # first-inserted value, which is payload 0's byte.
+        payloads = [b"\x01", b"\x02", b"\x01", b"\x02"]
+        assert _bytewise_majority(payloads) == b"\x01"
+        assert _bytewise_majority(list(reversed(payloads))) == b"\x02"
+
+    def test_ragged_payloads(self):
+        payloads = [b"\xaa\xbb\xcc", b"\xaa", b"\xdd\xbb"]
+        assert _bytewise_majority(payloads) == _counter_majority(payloads)
+        assert _bytewise_majority(payloads) == b"\xaa\xbb\xcc"
+
+    def test_single_payload(self):
+        assert _bytewise_majority([b"\x00\xff"]) == b"\x00\xff"

@@ -1,5 +1,6 @@
 """Tests for the Baseline/Gini/DNAMapper matrix layouts."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -8,6 +9,8 @@ from repro.codec.layout import (
     BaselineLayout,
     DNAMapperLayout,
     GiniLayout,
+    MatrixLayout,
+    _validate_rectangular,
     make_layout,
 )
 
@@ -127,3 +130,72 @@ class TestFactory:
     def test_unknown_raises(self):
         with pytest.raises(ValueError):
             make_layout("zigzag")
+
+
+class TestArrayApiMatchesListApi:
+    """place_array/extract_array must mirror the list API for every layout."""
+
+    def _layouts(self, rows):
+        return [
+            BaselineLayout(),
+            GiniLayout(),
+            DNAMapperLayout(list(range(rows))),
+        ]
+
+    @given(matrices())
+    def test_place_array_matches_place(self, matrix):
+        codewords = np.array(matrix, dtype=np.uint8)
+        for layout in self._layouts(codewords.shape[0]):
+            placed = layout.place_array(codewords)
+            assert placed.dtype == np.uint8
+            assert placed.tolist() == layout.place(matrix)
+
+    @given(matrices())
+    def test_extract_array_matches_extract(self, matrix):
+        placed = np.array(matrix, dtype=np.uint8)
+        for layout in self._layouts(placed.shape[0]):
+            extracted = layout.extract_array(placed)
+            assert extracted.dtype == np.uint8
+            assert extracted.tolist() == layout.extract(matrix)
+
+    @given(matrices())
+    def test_array_roundtrip(self, matrix):
+        codewords = np.array(matrix, dtype=np.uint8)
+        for layout in self._layouts(codewords.shape[0]):
+            roundtrip = layout.extract_array(layout.place_array(codewords))
+            assert np.array_equal(roundtrip, codewords)
+
+    def test_base_class_default_delegates_to_list_api(self):
+        class ShiftLayout(MatrixLayout):
+            name = "shift"
+
+            def place(self, codewords):
+                _validate_rectangular(codewords)
+                return [list(reversed(row)) for row in codewords]
+
+            def extract(self, matrix):
+                _validate_rectangular(matrix)
+                return [list(reversed(row)) for row in matrix]
+
+        layout = ShiftLayout()
+        codewords = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        assert layout.place_array(codewords).tolist() == layout.place(
+            codewords.tolist()
+        )
+        assert np.array_equal(
+            layout.extract_array(layout.place_array(codewords)), codewords
+        )
+
+    def test_array_validation(self):
+        for layout in self._layouts(2):
+            with pytest.raises(ValueError):
+                layout.place_array(np.zeros((0, 3), dtype=np.uint8))
+            with pytest.raises(ValueError):
+                layout.extract_array(np.zeros(4, dtype=np.uint8))
+
+    def test_place_array_does_not_alias_input(self):
+        codewords = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        for layout in self._layouts(3):
+            placed = layout.place_array(codewords)
+            placed[0, 0] ^= 0xFF
+            assert codewords[0, 0] == 0

@@ -1,0 +1,233 @@
+"""Batched Reed-Solomon paths pinned to the scalar codec as oracle.
+
+Every batched method (``encode_batch``, ``syndromes_batch``, ``check_batch``,
+``erasure_solve_batch``) must agree with looping the scalar ``encode`` /
+``decode`` over the same rows — including at the correction-capability
+boundary ``2 * errors + erasures <= nsym``, on all-erasure rows, and on
+uncorrectable rows where both paths must fail identically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.galois import GF256, default_field
+from repro.codec.reed_solomon import ReedSolomonCodec, RSDecodeError
+
+NSYM = 8
+K = 12
+N = K + NSYM
+
+codec = ReedSolomonCodec(nsym=NSYM)
+
+
+def _random_messages(rng, rows, k=K):
+    return rng.integers(0, 256, size=(rows, k), dtype=np.uint8)
+
+
+def _scalar_encode_all(messages):
+    return np.array([codec.encode(list(row)) for row in messages], dtype=np.uint8)
+
+
+class TestSharedTables:
+    def test_default_field_is_singleton(self):
+        assert default_field() is default_field()
+        assert ReedSolomonCodec(nsym=4).field is default_field()
+
+    def test_injected_field_still_honoured(self):
+        custom = GF256()
+        assert ReedSolomonCodec(nsym=4, field=custom).field is custom
+
+    def test_generator_cached_across_instances(self):
+        first = ReedSolomonCodec(nsym=6)
+        second = ReedSolomonCodec(nsym=6)
+        assert first._generator == second._generator
+
+
+class TestEncodeBatch:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_encode(self, rows, seed):
+        messages = _random_messages(np.random.default_rng(seed), rows)
+        batched = codec.encode_batch(messages)
+        assert batched.shape == (rows, N)
+        assert np.array_equal(batched, _scalar_encode_all(messages))
+
+    def test_accepts_plain_int_matrix(self):
+        messages = [[1, 2, 3], [250, 0, 7]]
+        batched = codec.encode_batch(np.array(messages))
+        for row, message in zip(batched, messages):
+            assert list(row) == codec.encode(message)
+
+    def test_rejects_out_of_range_symbols(self):
+        with pytest.raises(ValueError):
+            codec.encode_batch(np.array([[0, 300]]))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            codec.encode_batch(np.zeros(5, dtype=np.uint8))
+
+    def test_rejects_overlong_messages(self):
+        with pytest.raises(ValueError):
+            codec.encode_batch(np.zeros((1, 250), dtype=np.uint8))
+
+    def test_parity_matrix_cached(self):
+        assert codec.parity_matrix(K) is codec.parity_matrix(K)
+
+
+class TestSyndromeBatch:
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_syndromes(self, rows, flips, seed):
+        rng = np.random.default_rng(seed)
+        codewords = codec.encode_batch(_random_messages(rng, rows))
+        for _ in range(flips):
+            codewords[rng.integers(rows), rng.integers(N)] ^= rng.integers(1, 256)
+        batched = codec.syndromes_batch(codewords)
+        for row in range(rows):
+            assert list(batched[row]) == codec._syndromes(list(codewords[row]))
+
+    def test_check_batch_flags_corrupted_rows(self):
+        rng = np.random.default_rng(11)
+        codewords = codec.encode_batch(_random_messages(rng, 10))
+        codewords[3, 5] ^= 0x41
+        codewords[7, 0] ^= 0x01
+        mask = codec.check_batch(codewords)
+        expected = np.array([codec.check(list(row)) for row in codewords])
+        assert np.array_equal(mask, expected)
+        assert not mask[3] and not mask[7]
+        assert mask.sum() == 8
+
+
+def _scalar_decode_or_none(codeword, erasures):
+    try:
+        return codec.decode(list(codeword), erasures=erasures)
+    except RSDecodeError:
+        return None
+
+
+errata_patterns = st.tuples(
+    st.integers(min_value=1, max_value=20),  # rows
+    st.integers(min_value=0, max_value=NSYM),  # erasure count
+    st.integers(min_value=0, max_value=NSYM),  # substitution errors per dirty row
+    st.integers(min_value=0, max_value=2**32 - 1),  # seed
+)
+
+
+class TestErasureSolveBatch:
+    @given(errata_patterns)
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_scalar_oracle(self, pattern):
+        rows, erasure_count, error_count, seed = pattern
+        rng = np.random.default_rng(seed)
+        clean = codec.encode_batch(_random_messages(rng, rows))
+        erasures = sorted(
+            rng.choice(N, size=erasure_count, replace=False).tolist()
+        )
+        received = clean.copy()
+        # The decoder zeroes erasure columns before computing syndromes;
+        # feed the batched path the same zeroed matrix.
+        received[:, erasures] = 0
+        # Half the rows also take substitution errors outside the erasures.
+        error_columns = [c for c in range(N) if c not in erasures]
+        dirty_rows = [r for r in range(rows) if r % 2 == 1]
+        for row in dirty_rows:
+            for col in rng.choice(
+                error_columns, size=min(error_count, len(error_columns)), replace=False
+            ):
+                received[row, col] ^= int(rng.integers(1, 256))
+
+        candidates, solved = codec.erasure_solve_batch(received, erasures)
+        for row in range(rows):
+            scalar = _scalar_decode_or_none(received[row], erasures)
+            if solved[row]:
+                # Solved rows must reproduce the scalar decode exactly; a
+                # codeword within nsym erasures of the received word is
+                # unique, so agreement is guaranteed, not heuristic.
+                assert scalar is not None
+                assert list(candidates[row, :K]) == scalar
+            else:
+                # Unsolved rows genuinely carry errors beyond the erasures.
+                assert not codec.check(list(candidates[row]))
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=NSYM),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pure_erasures_always_solve(self, rows, erasure_count, seed):
+        rng = np.random.default_rng(seed)
+        clean = codec.encode_batch(_random_messages(rng, rows))
+        erasures = sorted(rng.choice(N, size=erasure_count, replace=False).tolist())
+        received = clean.copy()
+        received[:, erasures] = 0
+        candidates, solved = codec.erasure_solve_batch(received, erasures)
+        assert solved.all()
+        assert np.array_equal(candidates, clean)
+
+    def test_boundary_two_errors_plus_erasures(self):
+        # 2 * errors + erasures == nsym is still scalar-correctable but the
+        # direct solve must hand those rows back as unsolved.
+        rng = np.random.default_rng(5)
+        clean = codec.encode_batch(_random_messages(rng, 4))
+        erasures = [0, 1, 2, 3]  # nsym - 4 left => 2 errors correctable
+        received = clean.copy()
+        received[:, erasures] = 0
+        received[1, 10] ^= 0x3C
+        received[1, 11] ^= 0x55
+        candidates, solved = codec.erasure_solve_batch(received, erasures)
+        assert solved[0] and solved[2] and solved[3]
+        assert not solved[1]
+        scalar = codec.decode(list(received[1]), erasures=erasures)
+        assert scalar == list(clean[1, :K])
+
+    def test_full_nsym_erasures(self):
+        rng = np.random.default_rng(8)
+        clean = codec.encode_batch(_random_messages(rng, 3))
+        erasures = list(range(NSYM))
+        received = clean.copy()
+        received[:, erasures] = 0
+        candidates, solved = codec.erasure_solve_batch(received, erasures)
+        assert solved.all()
+        assert np.array_equal(candidates, clean)
+
+    def test_too_many_erasures_raises_like_scalar(self):
+        received = codec.encode_batch(_random_messages(np.random.default_rng(1), 2))
+        erasures = list(range(NSYM + 1))
+        with pytest.raises(RSDecodeError):
+            codec.erasure_solve_batch(received, erasures)
+        with pytest.raises(RSDecodeError):
+            codec.decode(list(received[0]), erasures=erasures)
+
+    def test_erasure_position_out_of_range(self):
+        received = codec.encode_batch(_random_messages(np.random.default_rng(2), 1))
+        with pytest.raises(ValueError):
+            codec.erasure_solve_batch(received, [N])
+
+    def test_no_erasures_degenerates_to_syndrome_screen(self):
+        rng = np.random.default_rng(21)
+        codewords = codec.encode_batch(_random_messages(rng, 6))
+        codewords[2, 4] ^= 0x10
+        candidates, solved = codec.erasure_solve_batch(codewords, [])
+        assert candidates is codewords or np.array_equal(candidates, codewords)
+        assert np.array_equal(solved, codec.check_batch(codewords))
+
+    def test_precomputed_syndromes_shortcut(self):
+        rng = np.random.default_rng(30)
+        clean = codec.encode_batch(_random_messages(rng, 5))
+        received = clean.copy()
+        received[:, [2, 9]] = 0
+        syndromes = codec.syndromes_batch(received)
+        with_shortcut = codec.erasure_solve_batch(received, [2, 9], syndromes=syndromes)
+        without = codec.erasure_solve_batch(received, [2, 9])
+        assert np.array_equal(with_shortcut[0], without[0])
+        assert np.array_equal(with_shortcut[1], without[1])

@@ -255,3 +255,55 @@ class TestStatsCommand:
         output = capsys.readouterr().out
         assert code == 1
         assert "violations" in output
+
+
+class TestBenchCompare:
+    def _kernel_doc(self):
+        return {
+            "kind": "repro-kernel-bench",
+            "schema_version": 2,
+            "distance": {
+                "kernels": [
+                    {
+                        "kernel": "myers",
+                        "verdicts_match_reference": True,
+                        "speedup_vs_reference": 40.0,
+                    }
+                ]
+            },
+            "signatures": {
+                "flavours": [
+                    {"flavour": "qgram", "matches_scalar": True, "speedup": 2.0}
+                ]
+            },
+            "reed_solomon": {
+                "kernels": [
+                    {"kernel": "encode", "matches_oracle": True, "speedup": 12.0}
+                ]
+            },
+        }
+
+    def test_kernel_compare_passes(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        new = tmp_path / "new.json"
+        base.write_text(json.dumps(self._kernel_doc()))
+        new.write_text(json.dumps(self._kernel_doc()))
+        assert run("bench", "--compare", base, new) == 0
+        assert "OK (no regressions)" in capsys.readouterr().out
+
+    def test_kernel_correctness_regression_fails(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        new_doc = self._kernel_doc()
+        new_doc["reed_solomon"]["kernels"][0]["matches_oracle"] = False
+        new = tmp_path / "new.json"
+        base.write_text(json.dumps(self._kernel_doc()))
+        new.write_text(json.dumps(new_doc))
+        assert run("bench", "--compare", base, new) == 1
+
+    def test_mixed_kinds_rejected(self, tmp_path, capsys):
+        kernel = tmp_path / "kernel.json"
+        kernel.write_text(json.dumps(self._kernel_doc()))
+        pipeline = tmp_path / "pipeline.json"
+        pipeline.write_text(json.dumps({"suite": "smoke", "workloads": []}))
+        assert run("bench", "--compare", kernel, pipeline) == 2
+        assert "cannot compare" in capsys.readouterr().err
