@@ -17,7 +17,14 @@ parameters; ``decode`` reads it back so the two ends always agree.
 
 Every subcommand accepts ``--trace PATH`` to record an observability trace
 (nested spans + counters, JSONL); ``python -m repro trace PATH`` renders a
-saved trace as a per-stage latency/counter report.
+saved trace as a per-stage latency/counter report.  ``pipeline`` also
+accepts ``--provenance PATH`` to record the per-strand lineage ledger;
+``python -m repro why PATH`` renders its root-cause forensics (add
+``--strand ID`` for one strand's full timeline).
+
+Diagnostics go through the structured ``repro.*`` loggers; the global
+``--log-level/-v`` and ``--log-format`` flags control their verbosity and
+shape (compact human lines or JSONL).
 """
 
 from __future__ import annotations
@@ -33,10 +40,18 @@ from repro.clustering import ClusteringConfig, RashtchianClusterer
 from repro.codec import DNADecoder, DNAEncoder, EncodingParameters
 from repro.codec.layout import make_layout
 from repro.observability import (
+    ProvenanceLedger,
     Tracer,
     as_tracer,
+    configure_logging,
+    get_logger,
+    load_ledger,
     load_trace,
     render_report,
+    render_strand_timeline,
+    render_why_summary,
+    resolve_level,
+    write_ledger,
     write_trace,
 )
 from repro.parallel import WorkerPool
@@ -59,6 +74,10 @@ _RECONSTRUCTORS = {
     "dbma": DoubleSidedBMAReconstructor,
     "nwa": NWConsensusReconstructor,
 }
+
+#: Diagnostics (file-written notices, bench progress) go through the
+#: structured logger; primary command output stays on plain ``print``.
+_log = get_logger("cli")
 
 
 def _channel_from_args(args) -> object:
@@ -128,7 +147,7 @@ def _start_trace(args) -> Optional[Tracer]:
 def _finish_trace(args, tracer: Optional[Tracer]) -> None:
     if tracer is not None:
         path = write_trace(tracer, args.trace)
-        print(f"trace written to {path}")
+        _log.info("trace written to %s", path)
 
 
 # ----------------------------------------------------------------------
@@ -260,8 +279,12 @@ def cmd_pipeline(args) -> int:
         seed=args.seed,
         workers=args.workers,
     )
-    result = Pipeline(config).run(data, tracer=tracer)
+    ledger = ProvenanceLedger() if args.provenance else None
+    result = Pipeline(config).run(data, tracer=tracer, ledger=ledger)
     Path(args.output).write_bytes(result.data)
+    if ledger is not None and result.provenance is not None:
+        path = write_ledger(result.provenance, args.provenance)
+        _log.info("provenance ledger written to %s (render with `repro why`)", path)
     rows = [
         [stage, f"{seconds:.2f}"]
         for stage, seconds in result.timings.as_dict().items()
@@ -285,6 +308,36 @@ def cmd_density(args) -> int:
 def cmd_trace(args) -> int:
     trace = load_trace(args.input)
     print(render_report(trace, title=f"trace report ({args.input})"))
+    return 0
+
+
+def cmd_why(args) -> int:
+    try:
+        report = load_ledger(args.input)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.strand is not None:
+        record = report.strand(args.strand)
+        if record is None:
+            print(
+                f"error: strand {args.strand} not in ledger "
+                f"({len(report.strands)} strands recorded)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.json:
+            print(json.dumps(record.as_dict(), indent=2))
+        else:
+            unit = next(
+                (u for u in report.units if u.unit == record.unit), None
+            )
+            print(render_strand_timeline(record, unit))
+        return 0
+    if args.json:
+        print(json.dumps(report.summary.as_dict(), indent=2))
+    else:
+        print(render_why_summary(report, title=f"decode forensics ({args.input})"))
     return 0
 
 
@@ -373,11 +426,11 @@ def cmd_bench(args) -> int:
         print(render_kernel_bench(report))
         path = Path(args.out or default_output_path("kernels"))
         path.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"kernel bench report written to {path}")
+        _log.info("kernel bench report written to %s", path)
         return 0
-    report = run_suite(args.suite, progress=print, workers=args.workers)
+    report = run_suite(args.suite, progress=_log.info, workers=args.workers)
     path = write_bench_report(report, args.out or default_output_path(args.suite))
-    print(f"bench report written to {path}")
+    _log.info("bench report written to %s", path)
     return 0
 
 
@@ -494,6 +547,13 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--signature", choices=("qgram", "wgram"), default="qgram")
     pipeline.add_argument("--algorithm", choices=sorted(_RECONSTRUCTORS), default="nwa")
     pipeline.add_argument("--seed", type=int, default=0)
+    pipeline.add_argument(
+        "--provenance",
+        metavar="PATH",
+        default=None,
+        help="record the per-strand provenance ledger to PATH as JSONL "
+        "(render with `repro why PATH`)",
+    )
     _add_workers_argument(pipeline)
     pipeline.set_defaults(handler=cmd_pipeline)
 
@@ -513,6 +573,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("input", help="JSONL trace written by --trace")
     trace.set_defaults(handler=cmd_trace)
+
+    why = commands.add_parser(
+        "why",
+        help="decode-failure forensics from a saved provenance ledger",
+    )
+    why.add_argument(
+        "input", help="JSONL ledger written by `pipeline --provenance`"
+    )
+    why.add_argument(
+        "--strand",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="show one strand's full lineage timeline instead of the summary",
+    )
+    why.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary (or strand record) as JSON for scripting",
+    )
+    why.set_defaults(handler=cmd_why)
 
     bench = commands.add_parser(
         "bench",
@@ -561,11 +642,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_argument(bench)
     bench.set_defaults(handler=cmd_bench)
 
-    # Global observability flag: every subcommand (except the renderer
+    # Global observability flag: every subcommand (except the renderers
     # and the bench harness, which manage their own tracers) can record
     # its run as a JSONL trace.
     for name, subparser in commands.choices.items():
-        if name not in ("trace", "bench"):
+        if name not in ("trace", "why", "bench"):
             subparser.add_argument(
                 "--trace",
                 metavar="PATH",
@@ -574,12 +655,43 @@ def build_parser() -> argparse.ArgumentParser:
                 "(render with `repro trace PATH`)",
             )
 
+    # Global logging flags: the CLI defaults to info-level diagnostics;
+    # -v raises to debug, --log-level overrides outright.
+    for subparser in commands.choices.values():
+        subparser.add_argument(
+            "--log-level",
+            choices=("debug", "info", "warning", "error"),
+            default=None,
+            help="diagnostic verbosity (default info)",
+        )
+        subparser.add_argument(
+            "-v",
+            "--verbose",
+            action="count",
+            default=0,
+            help="raise diagnostic verbosity (-v = debug)",
+        )
+        subparser.add_argument(
+            "--log-format",
+            choices=("human", "json"),
+            default="human",
+            help="diagnostic format: compact lines or JSONL records",
+        )
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # The CLI runs one verbosity step above the library default (info,
+    # not warning) so file-written notices are visible; diagnostics go to
+    # stdout so they interleave with the primary output they annotate.
+    configure_logging(
+        resolve_level(args.log_level, args.verbose + 1),
+        fmt=args.log_format,
+        stream=sys.stdout,
+    )
     return args.handler(args)
 
 

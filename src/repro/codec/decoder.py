@@ -32,6 +32,11 @@ from repro.codec.encoder import _HEADER_BYTES, EncodingParameters
 from repro.codec.index import IndexCodec
 from repro.codec.randomizer import Randomizer
 from repro.codec.reed_solomon import ReedSolomonCodec, RSDecodeError
+from repro.observability.provenance import (
+    ProvenanceLedger,
+    UnitOutcome,
+    as_ledger,
+)
 from repro.observability.trace import Tracer, as_tracer
 from repro.parallel import WorkerPool
 
@@ -78,6 +83,7 @@ class DNADecoder:
         expected_units: Optional[int] = None,
         tracer: Optional[Tracer] = None,
         pool: Optional[WorkerPool] = None,
+        ledger: Optional[ProvenanceLedger] = None,
     ) -> Tuple[bytes, DecodeReport]:
         """Decode strand *bodies* (index + payload, primers already removed).
 
@@ -100,6 +106,12 @@ class DNADecoder:
             Optional :class:`~repro.parallel.WorkerPool` used to fan out the
             scalar errata decoding of rows that fail both batched fast
             paths.  The result is byte-identical at any worker count.
+        ledger:
+            Optional :class:`~repro.observability.ProvenanceLedger`; when
+            given, the run records the molecule index parsed from every
+            input strand and each unit's Reed-Solomon outcome (erasures,
+            failed rows, per-column corrected symbols) for the
+            ``repro why`` forensics.
 
         Returns
         -------
@@ -110,9 +122,10 @@ class DNADecoder:
         """
         params = self.parameters
         tracer = as_tracer(tracer)
+        ledger = as_ledger(ledger)
         report = DecodeReport()
         with tracer.span("decoding.collect_columns") as span:
-            columns = self._collect_columns(strands, report)
+            columns = self._collect_columns(strands, report, ledger)
             span.set("strands", report.total_strands)
             span.set("columns", len(columns))
         tracer.metrics.counter("reads_discarded", stage="decoding").inc(
@@ -132,7 +145,7 @@ class DNADecoder:
         with tracer.span("decoding.units", units=expected_units):
             for unit in range(expected_units):
                 unit_bytes, failed = self._decode_unit(
-                    unit, columns, report, tracer=tracer, pool=pool
+                    unit, columns, report, tracer=tracer, pool=pool, ledger=ledger
                 )
                 stream.extend(unit_bytes)
                 if failed:
@@ -153,22 +166,32 @@ class DNADecoder:
     # ------------------------------------------------------------------
 
     def _collect_columns(
-        self, strands: Iterable[str], report: DecodeReport
+        self,
+        strands: Iterable[str],
+        report: DecodeReport,
+        ledger: Optional[ProvenanceLedger] = None,
     ) -> Dict[int, bytes]:
         """Parse strands into per-index payloads; resolve duplicates by vote."""
         params = self.parameters
+        ledger = as_ledger(ledger)
         candidates: Dict[int, List[bytes]] = defaultdict(list)
-        for strand in strands:
+        for position, strand in enumerate(strands):
             report.total_strands += 1
             body = self._normalise_length(strand, report)
             if body is None:
+                if ledger.enabled:
+                    ledger.record_strand_parse(position, None)
                 continue
             try:
                 index = self._index_codec.decode(body)
                 payload = bases_to_bytes(body[self._index_codec.index_nt :])
             except ValueError:
                 report.bad_symbols += 1
+                if ledger.enabled:
+                    ledger.record_strand_parse(position, None)
                 continue
+            if ledger.enabled:
+                ledger.record_strand_parse(position, index)
             if params.randomize:
                 payload = self._randomizer.apply(payload, index)
             candidates[index].append(payload)
@@ -201,10 +224,12 @@ class DNADecoder:
         report: DecodeReport,
         tracer: Optional[Tracer] = None,
         pool: Optional[WorkerPool] = None,
+        ledger: Optional[ProvenanceLedger] = None,
     ) -> Tuple[bytes, bool]:
         """Decode one encoding unit; return (data bytes, any_row_failed)."""
         params = self.parameters
         tracer = as_tracer(tracer)
+        ledger = as_ledger(ledger)
         errors_corrected = tracer.metrics.counter("rs_decode_errors_corrected")
         corrections_per_row = tracer.metrics.histogram("rs_corrections_per_row")
         erasures_per_row = tracer.metrics.histogram("rs_erasures_per_row")
@@ -226,6 +251,8 @@ class DNADecoder:
         decoded = self._decode_rows(codewords, erasures, pool=pool)
 
         failed_rows: List[int] = []
+        clean_rows = corrected_rows = 0
+        corrections_by_column: Dict[int, int] = {}
         data_rows = codewords[:, :k].copy()
         for row_index, message in enumerate(decoded):
             erasures_per_row.observe(len(erasures))
@@ -233,20 +260,41 @@ class DNADecoder:
                 report.failed_rows += 1
                 failed_rows.append(row_index)
                 continue
-            corrections = int(
-                np.count_nonzero(data_rows[row_index] != message)
-            )
+            changed = data_rows[row_index] != message
+            corrections = int(np.count_nonzero(changed))
             if corrections:
                 report.corrected_rows += 1
+                corrected_rows += 1
                 report.symbols_corrected += corrections
                 errors_corrected.inc(corrections)
                 corrections_per_row.observe(corrections)
+                if ledger.enabled:
+                    # Codeword column j holds matrix column j's byte for
+                    # every layout (layouts permute/rotate *rows* within a
+                    # column), so corrections attribute straight to strands.
+                    for column in np.nonzero(changed)[0]:
+                        column = int(column)
+                        corrections_by_column[column] = (
+                            corrections_by_column.get(column, 0) + 1
+                        )
                 data_rows[row_index] = message
             else:
                 report.clean_rows += 1
+                clean_rows += 1
                 corrections_per_row.observe(0)
         if failed_rows:
             report.unit_failures[unit] = failed_rows
+        if ledger.enabled:
+            ledger.record_unit(
+                UnitOutcome(
+                    unit=unit,
+                    erased_columns=list(erasures),
+                    failed_rows=failed_rows,
+                    clean_rows=clean_rows,
+                    corrected_rows=corrected_rows,
+                    corrections_by_column=corrections_by_column,
+                )
+            )
 
         # Column-major assembly: molecule c contributed bytes c*rows..c*rows+rows.
         unit_bytes = data_rows.T.tobytes()

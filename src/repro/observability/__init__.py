@@ -8,7 +8,12 @@ Three pieces:
 * :mod:`repro.observability.metrics` — labelled counters, gauges and
   percentile histograms (:class:`MetricsRegistry`);
 * :mod:`repro.observability.export` — JSONL serialisation and the
-  plain-text report behind ``repro trace``.
+  plain-text report behind ``repro trace``;
+* :mod:`repro.observability.provenance` /
+  :mod:`repro.observability.forensics` — the per-strand lineage ledger
+  and root-cause verdict engine behind ``repro why``;
+* :mod:`repro.observability.log` — structured stdlib logging behind the
+  global ``--log-level/-v`` CLI flags.
 
 Enable end-to-end tracing by passing a tracer into the pipeline::
 
@@ -51,9 +56,32 @@ from repro.observability.quality import (
     ChannelQuality,
     ClusteringQuality,
     DecodingQuality,
+    ProvenanceQuality,
     QualityReport,
     ReconstructionQuality,
 )
+from repro.observability.metrics import emit_process_gauges
+from repro.observability.provenance import (
+    NULL_LEDGER,
+    PROVENANCE_SCHEMA_VERSION,
+    VERDICTS,
+    NullProvenanceLedger,
+    ProvenanceLedger,
+    ProvenanceReport,
+    ProvenanceSummary,
+    StrandProvenance,
+    UnitOutcome,
+    as_ledger,
+    ledger_lines,
+    load_ledger,
+    write_ledger,
+)
+from repro.observability.forensics import (
+    analyze,
+    render_strand_timeline,
+    render_why_summary,
+)
+from repro.observability.log import configure_logging, get_logger, resolve_level
 
 __all__ = [
     "Counter",
@@ -79,6 +107,27 @@ __all__ = [
     "ChannelQuality",
     "ClusteringQuality",
     "DecodingQuality",
+    "ProvenanceQuality",
     "QualityReport",
     "ReconstructionQuality",
+    "emit_process_gauges",
+    "NULL_LEDGER",
+    "PROVENANCE_SCHEMA_VERSION",
+    "VERDICTS",
+    "NullProvenanceLedger",
+    "ProvenanceLedger",
+    "ProvenanceReport",
+    "ProvenanceSummary",
+    "StrandProvenance",
+    "UnitOutcome",
+    "as_ledger",
+    "ledger_lines",
+    "load_ledger",
+    "write_ledger",
+    "analyze",
+    "render_strand_timeline",
+    "render_why_summary",
+    "configure_logging",
+    "get_logger",
+    "resolve_level",
 ]

@@ -222,8 +222,12 @@ def render_report(trace: TraceData, title: str = "trace report") -> str:
         # Percentages are of wall time (the sum of root spans); nested spans
         # overlap their parents, so the column does not sum to 100%.
         wall = sum(root.duration for root in trace.roots)
+        # Total-duration descending, with equal-duration spans ordered by
+        # name so the report is stable across runs (spans that measure
+        # nothing, e.g. sub-resolution stages, routinely tie at 0.0).
         aggregated = sorted(
-            aggregate_spans(trace.roots), key=lambda entry: entry[2], reverse=True
+            aggregate_spans(trace.roots),
+            key=lambda entry: (-entry[2], entry[0]),
         )
         rows = [
             [

@@ -1,0 +1,101 @@
+"""Structured logging on the stdlib ``logging`` machinery.
+
+Every component gets a scoped logger under the ``repro`` hierarchy::
+
+    from repro.observability.log import get_logger
+    log = get_logger("pipeline")
+    log.info("decoded %d bytes", n)
+
+The library itself never configures handlers (a :class:`logging.NullHandler`
+keeps it silent when embedded); the CLI calls :func:`configure_logging`
+once, wired to the global ``--log-level/-v`` and ``--log-format`` flags,
+choosing between a compact human formatter and a JSONL formatter whose
+records can sit next to the trace/ledger artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import IO, Optional
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: CLI-facing level names (``-v`` bumps warning -> info -> debug).
+LEVELS = ("debug", "info", "warning", "error")
+
+# Embedded use stays silent unless the host application configures
+# logging; this also suppresses the "no handlers" stderr warning.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(component: str) -> logging.Logger:
+    """The scoped logger for *component* (e.g. ``cli``, ``pipeline``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{component}")
+
+
+class HumanFormatter(logging.Formatter):
+    """Compact single-line format: ``level component: message``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        component = record.name
+        prefix = f"{ROOT_LOGGER}."
+        if component.startswith(prefix):
+            component = component[len(prefix):]
+        return f"{record.levelname.lower()} {component}: {record.getMessage()}"
+
+
+class JSONFormatter(logging.Formatter):
+    """One JSON object per record: ``ts``, ``level``, ``component``, ``message``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "component": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def resolve_level(name: Optional[str], verbosity: int = 0) -> int:
+    """Map a ``--log-level`` name and ``-v`` count to a logging level.
+
+    An explicit name wins; otherwise each ``-v`` raises the default
+    ``warning`` one step (info, then debug).
+    """
+    if name:
+        return getattr(logging, name.upper())
+    if verbosity >= 2:
+        return logging.DEBUG
+    if verbosity == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def configure_logging(
+    level: int = logging.WARNING,
+    fmt: str = "human",
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree with one stream handler.
+
+    Idempotent: previous handlers installed by this function are replaced,
+    so repeated CLI invocations in one process (tests!) never stack
+    handlers or leak streams captured from an earlier call.
+    """
+    if fmt not in ("human", "json"):
+        raise ValueError(f"log format must be 'human' or 'json', got {fmt!r}")
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JSONFormatter() if fmt == "json" else HumanFormatter())
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -191,3 +191,27 @@ class NullMetricsRegistry(MetricsRegistry):
 
 #: Shared no-op registry used by the no-op tracer.
 NULL_REGISTRY = NullMetricsRegistry()
+
+
+def emit_process_gauges(metrics: MetricsRegistry) -> None:
+    """Record process resource usage as gauges (peak RSS, CPU time).
+
+    CPU times sum the process itself and its reaped children, so worker-
+    pool runs report the whole fan-out.  ``ru_maxrss`` is kibibytes on
+    Linux but bytes on macOS; both normalise to bytes here.  A no-op on
+    platforms without the :mod:`resource` module (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return
+    import sys
+
+    scale = 1 if sys.platform == "darwin" else 1024
+    own = resource.getrusage(resource.RUSAGE_SELF)
+    children = resource.getrusage(resource.RUSAGE_CHILDREN)
+    metrics.gauge("process_peak_rss_bytes").set(
+        max(own.ru_maxrss, children.ru_maxrss) * scale
+    )
+    metrics.gauge("process_user_cpu_seconds").set(own.ru_utime + children.ru_utime)
+    metrics.gauge("process_sys_cpu_seconds").set(own.ru_stime + children.ru_stime)

@@ -128,11 +128,35 @@ class DecodingQuality:
         return self.clean_rows / total if total else 0.0
 
 
+@dataclass
+class ProvenanceQuality:
+    """Per-strand root-cause verdict counts from the provenance ledger.
+
+    Populated only when a run records a
+    :class:`~repro.observability.provenance.ProvenanceLedger`; the verdict
+    vocabulary is documented in :mod:`repro.observability.forensics`.
+    """
+
+    strands: int = 0
+    ok: int = 0
+    dropout: int = 0
+    underclustered: int = 0
+    misclustered: int = 0
+    consensus_error: int = 0
+    ecc_overload: int = 0
+
+    @property
+    def failures(self) -> int:
+        """Strands whose verdict names a fault (everything but ``ok``)."""
+        return self.strands - self.ok
+
+
 _SECTION_TYPES = {
     "channel": ChannelQuality,
     "clustering": ClusteringQuality,
     "reconstruction": ReconstructionQuality,
     "decoding": DecodingQuality,
+    "provenance": ProvenanceQuality,
 }
 
 
@@ -149,6 +173,9 @@ class QualityReport:
     clustering: Optional[ClusteringQuality] = None
     reconstruction: Optional[ReconstructionQuality] = None
     decoding: Optional[DecodingQuality] = None
+    #: per-strand root-cause verdict counts; ``None`` unless the run
+    #: recorded a provenance ledger
+    provenance: Optional[ProvenanceQuality] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """A JSON-ready dict (schema-versioned; ``from_dict`` inverts it)."""
@@ -226,3 +253,15 @@ class QualityReport:
             metrics.gauge("decode_bytes_recovered").set(
                 self.decoding.bytes_recovered
             )
+        if self.provenance is not None:
+            for verdict in (
+                "ok",
+                "dropout",
+                "underclustered",
+                "misclustered",
+                "consensus_error",
+                "ecc_overload",
+            ):
+                metrics.gauge("provenance_verdicts", verdict=verdict).set(
+                    getattr(self.provenance, verdict)
+                )

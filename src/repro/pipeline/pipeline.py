@@ -26,7 +26,15 @@ from repro.clustering.rashtchian import ClusteringResult, RashtchianClusterer
 from repro.codec.decoder import DecodeReport, DNADecoder
 from repro.codec.encoder import DNAEncoder, EncodedPool
 from repro.dna.alphabet import reverse_complement
-from repro.observability.quality import QualityReport
+from repro.observability.log import get_logger
+from repro.observability.metrics import emit_process_gauges
+from repro.observability.provenance import (
+    NULL_LEDGER,
+    ProvenanceLedger,
+    ProvenanceReport,
+    as_ledger,
+)
+from repro.observability.quality import ProvenanceQuality, QualityReport
 from repro.observability.trace import Tracer, as_tracer
 from repro.parallel import WorkerPool, derive_seed
 from repro.pipeline.config import PipelineConfig
@@ -56,6 +64,9 @@ class PipelineResult:
     #: per-stage quality sections (channel / clustering / reconstruction /
     #: decoding); ``None`` when ``config.assess_quality`` is off
     quality: Optional[QualityReport] = None
+    #: per-strand lineage + root-cause verdicts; ``None`` unless a
+    #: :class:`~repro.observability.ProvenanceLedger` was passed to ``run``
+    provenance: Optional[ProvenanceReport] = None
 
 
 def _accepts_kwarg(method, name: str) -> bool:
@@ -84,15 +95,33 @@ class Pipeline:
     # Full simulated round trip
     # ------------------------------------------------------------------
 
-    def run(self, data: bytes, tracer: Optional[Tracer] = None) -> PipelineResult:
+    def run(
+        self,
+        data: bytes,
+        tracer: Optional[Tracer] = None,
+        ledger: Optional[ProvenanceLedger] = None,
+    ) -> PipelineResult:
         """Encode *data*, simulate the wetlab, and recover the file.
 
         All randomness derives from ``config.seed`` through per-stage (and,
         inside the sharded stages, per-item) seed streams, so the result is
         byte-identical at any ``config.workers`` setting.
+
+        Pass a :class:`~repro.observability.ProvenanceLedger` to record
+        every strand's lineage for the ``repro why`` forensics (the same
+        opt-in pattern as *tracer*).  Lineage needs the read->origin
+        pairing, which primer preprocessing destroys, so the ledger is
+        ignored on primer-wrapped configurations.
         """
         config = self.config
         tracer = as_tracer(tracer)
+        ledger = as_ledger(ledger)
+        if ledger.enabled and config.encoding.primer_pair is not None:
+            get_logger("pipeline").warning(
+                "provenance ledger disabled: primer preprocessing loses the "
+                "read->origin pairing lineage needs"
+            )
+            ledger = NULL_LEDGER
         base_seed = (
             config.seed if config.seed is not None else random.Random().getrandbits(64)
         )
@@ -106,6 +135,9 @@ class Pipeline:
                 span.set("strands", len(encoded.references))
                 span.set("units", encoded.num_units)
             timings.encoding = span.duration
+            ledger.record_encoding(
+                encoded.references, config.encoding.total_columns, encoded.num_units
+            )
 
             with tracer.span("pipeline.simulation") as span:
                 transmitted = (
@@ -135,6 +167,12 @@ class Pipeline:
                 span.set("dropouts", len(run.dropouts))
                 span.set("shards", pool.last_shards)
             timings.simulation = span.duration
+
+            if ledger.enabled:
+                # The ledger's one expensive pass: align every read against
+                # its origin (sharded; order-preserving merge).
+                with tracer.span("provenance.sequencing", reads=len(run.reads)):
+                    ledger.record_sequencing(run, pool=pool)
 
             channel_quality = None
             truth = None
@@ -181,7 +219,9 @@ class Pipeline:
                 truth=truth,
                 channel_quality=channel_quality,
                 pool=pool,
+                ledger=ledger,
             )
+            emit_process_gauges(tracer.metrics)
         result.sequencing = run
         return result
 
@@ -212,7 +252,7 @@ class Pipeline:
         with tracer.span("pipeline.run_from_reads", reads=len(reads)), WorkerPool(
             self.config.workers
         ) as pool:
-            return self._recover(
+            result = self._recover(
                 list(reads),
                 placeholder,
                 timings,
@@ -220,6 +260,8 @@ class Pipeline:
                 tracer=tracer,
                 pool=pool,
             )
+            emit_process_gauges(tracer.metrics)
+        return result
 
     # ------------------------------------------------------------------
 
@@ -233,9 +275,11 @@ class Pipeline:
         truth: Optional[GroundTruth] = None,
         channel_quality=None,
         pool: Optional[WorkerPool] = None,
+        ledger: Optional[ProvenanceLedger] = None,
     ) -> PipelineResult:
         config = self.config
         tracer = as_tracer(tracer)
+        ledger = as_ledger(ledger)
 
         with tracer.span("pipeline.clustering", reads=len(reads)) as span:
             clustering = None
@@ -249,11 +293,15 @@ class Pipeline:
                 if pool is not None and _accepts_kwarg(clusterer.cluster, "pool"):
                     kwargs["pool"] = pool
                 clustering = clusterer.cluster(reads, **kwargs)
-                kept_clusters = [
-                    cluster
-                    for cluster in clustering.clusters
+                kept_ids = [
+                    cluster_id
+                    for cluster_id, cluster in enumerate(clustering.clusters)
                     if len(cluster) >= config.min_cluster_size
                 ]
+                kept_clusters = [
+                    clustering.clusters[cluster_id] for cluster_id in kept_ids
+                ]
+                ledger.record_clustering(clustering.clusters, kept_ids)
                 clusters_reads = [
                     [reads[index] for index in cluster] for cluster in kept_clusters
                 ]
@@ -290,6 +338,12 @@ class Pipeline:
             )
         timings.reconstruction = span.duration
 
+        if ledger.enabled:
+            with tracer.span(
+                "provenance.reconstruction", strands=len(reconstructions)
+            ):
+                ledger.record_reconstruction(reconstructions, pool=pool)
+
         reconstruction_q = None
         if truth is not None and reconstructions:
             with tracer.span("quality.reconstruction"):
@@ -304,17 +358,36 @@ class Pipeline:
                 or (encoded.num_units if encoded.num_units else None),
                 tracer=tracer,
                 pool=pool,
+                ledger=ledger,
             )
             span.set("success", report.success)
         timings.decoding = span.duration
 
+        provenance = None
+        if ledger.enabled:
+            with tracer.span("provenance.forensics"):
+                provenance = ledger.finalize()
+
         quality = None
         if config.assess_quality:
+            provenance_q = None
+            if provenance is not None:
+                verdicts = provenance.summary.verdicts
+                provenance_q = ProvenanceQuality(
+                    strands=provenance.summary.strands,
+                    ok=verdicts.get("ok", 0),
+                    dropout=verdicts.get("dropout", 0),
+                    underclustered=verdicts.get("underclustered", 0),
+                    misclustered=verdicts.get("misclustered", 0),
+                    consensus_error=verdicts.get("consensus_error", 0),
+                    ecc_overload=verdicts.get("ecc_overload", 0),
+                )
             quality = QualityReport(
                 channel=channel_quality,
                 clustering=clustering_q,
                 reconstruction=reconstruction_q,
                 decoding=decoding_quality(report, len(data)),
+                provenance=provenance_q,
             )
             quality.emit(tracer.metrics)
 
@@ -328,4 +401,5 @@ class Pipeline:
             reconstructions=reconstructions,
             decode_report=report,
             quality=quality,
+            provenance=provenance,
         )

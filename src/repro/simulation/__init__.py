@@ -26,6 +26,7 @@ from repro.simulation.learned_profile import LearnedProfileChannel
 from repro.simulation.coverage import (
     ConstantCoverage,
     CoverageModel,
+    InjectedDropoutCoverage,
     NegativeBinomialCoverage,
     PoissonCoverage,
     SequencingRun,
@@ -44,6 +45,7 @@ __all__ = [
     "LearnedProfileChannel",
     "CoverageModel",
     "ConstantCoverage",
+    "InjectedDropoutCoverage",
     "PoissonCoverage",
     "NegativeBinomialCoverage",
     "SequencingRun",

@@ -27,6 +27,16 @@ class CoverageModel(ABC):
     def sample(self, rng: random.Random) -> int:
         """Draw a read count for one strand."""
 
+    def sample_for(self, strand_index: int, rng: random.Random) -> int:
+        """Draw a read count for the strand at *strand_index*.
+
+        The default ignores the index and delegates to :meth:`sample`
+        (consuming the RNG identically, so existing seeds reproduce).
+        Index-aware models — :class:`InjectedDropoutCoverage` — override
+        this to target specific strands.
+        """
+        return self.sample(rng)
+
 
 class ConstantCoverage(CoverageModel):
     """Exactly *coverage* reads per strand (the paper's Table II/III setup)."""
@@ -78,6 +88,27 @@ class NegativeBinomialCoverage(CoverageModel):
         return PoissonCoverage(rate).sample(rng)
 
 
+class InjectedDropoutCoverage(CoverageModel):
+    """Wrap a coverage model and force chosen strands to zero reads.
+
+    A fault-injection harness for the provenance forensics: the wrapped
+    model decides every other strand's count (drawing from the RNG even
+    for dropped strands, so the rest of the run is bit-for-bit identical
+    to the uninjected baseline).
+    """
+
+    def __init__(self, base: CoverageModel, drop: List[int]):
+        self.base = base
+        self.drop = frozenset(drop)
+
+    def sample(self, rng: random.Random) -> int:
+        return self.base.sample(rng)
+
+    def sample_for(self, strand_index: int, rng: random.Random) -> int:
+        count = self.base.sample_for(strand_index, rng)
+        return 0 if strand_index in self.drop else count
+
+
 @dataclass
 class SequencingRun:
     """The output of sequencing a pool: noisy reads plus ground truth.
@@ -118,7 +149,7 @@ def _sequence_chunk(indexed_references, extra):
     per_strand = []
     for reference_index, reference in indexed_references:
         strand_rng = random.Random(derive_seed(base_seed, "strand", reference_index))
-        count = coverage.sample(strand_rng)
+        count = coverage.sample_for(reference_index, strand_rng)
         reads = [
             read
             for read in channel.transmit_many(reference, count, strand_rng)

@@ -18,15 +18,42 @@ rates.
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.dna.alignment import edit_operations
+from repro.dna.distance import levenshtein_distance
 from repro.observability.quality import ChannelQuality
+from repro.parallel import WorkerPool
 from repro.simulation.coverage import SequencingRun
 
 #: Default cap on reads aligned per run; alignment is O(len^2) per read,
 #: and a few hundred reads pin the rate estimates to well under a percent.
 DEFAULT_SAMPLE = 200
+
+
+def _read_edit_chunk(pairs, _extra) -> List[int]:
+    """Worker entry point: edit distance for (read, reference) pairs."""
+    return [levenshtein_distance(read, reference) for read, reference in pairs]
+
+
+def per_read_edit_distances(
+    run: SequencingRun, pool: Optional[WorkerPool] = None
+) -> List[int]:
+    """Edit distance of *every* read to its origin reference, in read order.
+
+    Where :func:`observe_channel_quality` samples reads to estimate rates,
+    this aligns the full run — it feeds the provenance ledger, which needs
+    a per-read number, not an aggregate.  The computation shards over
+    *pool*; :meth:`~repro.parallel.WorkerPool.map_chunks` preserves item
+    order, so the result is identical at any worker count.
+    """
+    pairs = [
+        (read, run.references[origin])
+        for read, origin in zip(run.reads, run.origins)
+    ]
+    if pool is None:
+        return _read_edit_chunk(pairs, None)
+    return pool.map_chunks(_read_edit_chunk, pairs, None)
 
 
 def observe_channel_quality(

@@ -123,3 +123,29 @@ class TestReportRendering:
             line for line in report.splitlines() if line.startswith("repeated")
         )
         assert "| 3 " in row
+
+    def test_equal_duration_spans_sort_by_name(self):
+        # Sub-resolution spans routinely tie at duration 0.0; the table
+        # must still come out in one deterministic order (name ascending).
+        lines = ['{"kind": "meta", "version": 1}']
+        for span_id, name in enumerate(["zeta", "alpha", "mid"], start=1):
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "span",
+                        "id": span_id,
+                        "parent": 0,
+                        "name": name,
+                        "start": 0.0,
+                        "duration": 0.0,
+                        "attributes": {},
+                    }
+                )
+            )
+        report = render_report(load_trace(lines))
+        table = [
+            line.split("|")[0].strip()
+            for line in report.splitlines()
+            if line.startswith(("alpha", "mid", "zeta"))
+        ]
+        assert table[:3] == ["alpha", "mid", "zeta"]

@@ -1,0 +1,186 @@
+"""Forensics tests: injected faults must be attributed to the right cause.
+
+The acceptance bar for ``repro why``: on seeded runs with a known injected
+failure (dropout beyond erasure capacity, sabotaged cluster thresholds),
+at least 90% of the failed RS rows are attributed to the injected root
+cause, and every strand receives exactly one verdict.
+"""
+
+from repro.clustering import ClusteringConfig
+from repro.codec import EncodingParameters
+from repro.observability import ProvenanceLedger, VERDICTS
+from repro.observability.forensics import (
+    render_strand_timeline,
+    render_why_summary,
+)
+from repro.observability.provenance import UnitOutcome
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.simulation import (
+    ConstantCoverage,
+    IIDChannel,
+    InjectedDropoutCoverage,
+)
+
+FAST = EncodingParameters(
+    payload_bytes=10, data_columns=12, parity_columns=6, index_bytes=2
+)
+
+
+def run_with_ledger(**overrides):
+    defaults = dict(
+        encoding=FAST,
+        channel=IIDChannel.from_total_rate(0.03),
+        coverage=ConstantCoverage(5),
+        seed=21,
+    )
+    defaults.update(overrides)
+    ledger = ProvenanceLedger()
+    result = Pipeline(PipelineConfig(**defaults)).run(
+        b"forensics acceptance payload", ledger=ledger
+    )
+    return result, result.provenance
+
+
+def attribution_fraction(report, cause: str) -> float:
+    attributed = report.summary.failed_row_causes.get(cause, 0)
+    return attributed / report.summary.failed_rows
+
+
+class TestInjectedDropout:
+    def test_dropped_strands_are_verdicted_dropout(self):
+        dropped = [1, 4, 9]
+        result, report = run_with_ledger(
+            coverage=InjectedDropoutCoverage(ConstantCoverage(5), dropped)
+        )
+        for strand_id in dropped:
+            assert report.strand(strand_id).verdict == "dropout"
+        # Within erasure capacity: the file still decodes, but the error
+        # budget must keep charging the dropouts (Organick-style accounting).
+        assert result.success
+        assert report.summary.verdicts["dropout"] == len(dropped)
+
+    def test_dropout_beyond_parity_attributes_failed_rows(self):
+        # 7 dropped columns in unit 0 exceed the 6 parity columns: every
+        # row of the unit fails, and forensics must say why.
+        dropped = list(range(7))
+        result, report = run_with_ledger(
+            coverage=InjectedDropoutCoverage(ConstantCoverage(5), dropped)
+        )
+        assert not result.success
+        assert report.summary.failed_rows > 0
+        assert attribution_fraction(report, "dropout") >= 0.90
+        for strand_id in dropped:
+            record = report.strand(strand_id)
+            assert record.verdict == "dropout"
+            assert record.column_fate == "uncorrectable"
+
+    def test_every_strand_gets_exactly_one_verdict(self):
+        _, report = run_with_ledger(
+            coverage=InjectedDropoutCoverage(ConstantCoverage(5), [0, 1, 2])
+        )
+        assert all(record.verdict in VERDICTS for record in report.strands)
+        assert sum(report.summary.verdicts.values()) == len(report.strands)
+
+
+class TestSabotagedClustering:
+    def test_merge_everything_yields_misclustered(self):
+        # Absurd theta_low: every signature distance "matches", so all
+        # reads collapse into one cluster; only its dominant strand gets a
+        # consensus and everyone else is misclustered.
+        _, report = run_with_ledger(
+            clustering=ClusteringConfig(
+                theta_low=1e9, theta_high=1e9, sweep_max_size=10**6, seed=1
+            ),
+        )
+        assert report.summary.failed_rows > 0
+        misclustered = report.summary.verdicts["misclustered"]
+        assert misclustered >= 0.8 * len(report.strands)
+        assert attribution_fraction(report, "misclustered") >= 0.90
+
+    def test_merge_nothing_yields_underclustered(self):
+        # Zero thresholds: nothing merges, every read is a singleton
+        # cluster, and min_cluster_size=2 discards them all.
+        _, report = run_with_ledger(
+            channel=IIDChannel.from_total_rate(0.06),
+            clustering=ClusteringConfig(
+                theta_low=0.0, theta_high=0.0, edit_threshold=0,
+                sweep_max_size=0, seed=1,
+            ),
+        )
+        assert report.summary.failed_rows > 0
+        underclustered = report.summary.verdicts["underclustered"]
+        assert underclustered >= 0.8 * len(report.strands)
+        assert attribution_fraction(report, "underclustered") >= 0.90
+
+
+class TestVerdictDecisionTree:
+    def synthetic_ledger(self) -> ProvenanceLedger:
+        ledger = ProvenanceLedger()
+        ledger.record_encoding(["AAAA", "CCCC", "GGGG"], 3, 1)
+        ledger.origins = [0, 0, 1, 1]
+        ledger.read_edits = [0, 1, 0, 0]
+        ledger.sequencing_recorded = True
+        ledger.record_clustering([[0, 1], [2, 3]], kept_ids=[0, 1])
+        ledger.record_reconstruction(["AAAA", "CCCC"])
+        ledger.record_strand_parse(0, 0)
+        ledger.record_strand_parse(1, 1)
+        return ledger
+
+    def test_dropout_wins_even_when_column_was_rescued(self):
+        ledger = self.synthetic_ledger()
+        ledger.record_unit(UnitOutcome(unit=0, erased_columns=[2], clean_rows=1))
+        report = ledger.finalize()
+        assert report.strand(2).verdict == "dropout"
+        assert report.strand(2).column_fate == "erased"
+        assert report.strand(0).verdict == "ok"
+
+    def test_clean_journey_with_corrected_column_is_ecc_overload(self):
+        ledger = self.synthetic_ledger()
+        ledger.record_unit(
+            UnitOutcome(
+                unit=0,
+                erased_columns=[2],
+                corrected_rows=1,
+                corrections_by_column={0: 2},
+            )
+        )
+        report = ledger.finalize()
+        assert report.strand(0).verdict == "ecc_overload"
+        assert report.strand(0).symbols_corrected == 2
+        assert report.strand(1).verdict == "ok"
+
+    def test_wrong_consensus_is_consensus_error(self):
+        ledger = self.synthetic_ledger()
+        ledger.record_reconstruction(["AAAA", "CCGG"])  # strand 1 corrupted
+        ledger.record_unit(UnitOutcome(unit=0, erased_columns=[2]))
+        report = ledger.finalize()
+        assert report.strand(1).verdict == "consensus_error"
+
+    def test_failed_unit_with_no_journey_fault_blames_the_ecc(self):
+        ledger = self.synthetic_ledger()
+        ledger.origins = [0, 0, 1, 1]
+        ledger.record_encoding(["AAAA", "CCCC"], 2, 1)
+        ledger.record_unit(
+            UnitOutcome(
+                unit=0,
+                failed_rows=[0],
+                corrections_by_column={0: 1},
+            )
+        )
+        report = ledger.finalize()
+        assert report.summary.failed_row_causes == {"ecc_overload": 1}
+
+
+class TestRendering:
+    def test_summary_and_timeline_render(self):
+        _, report = run_with_ledger(
+            coverage=InjectedDropoutCoverage(ConstantCoverage(5), [2])
+        )
+        summary = render_why_summary(report)
+        assert "per-strand verdicts" in summary
+        assert "dropout" in summary
+        timeline = render_strand_timeline(report.strand(2))
+        assert "strand 2" in timeline
+        assert "dropout" in timeline
+        healthy = render_strand_timeline(report.strand(3))
+        assert "verdict: ok" in healthy

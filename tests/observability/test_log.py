@@ -1,0 +1,111 @@
+"""Structured logging tests: formatters, level resolution, idempotency."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.observability.log import (
+    HumanFormatter,
+    JSONFormatter,
+    ROOT_LOGGER,
+    configure_logging,
+    get_logger,
+    resolve_level,
+)
+
+
+@pytest.fixture(autouse=True)
+def reset_logging():
+    """Leave the repro logger tree the way the session found it."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    saved = list(logger.handlers)
+    saved_level = logger.level
+    saved_propagate = logger.propagate
+    yield
+    logger.handlers[:] = saved
+    logger.setLevel(saved_level)
+    logger.propagate = saved_propagate
+
+
+class TestLoggerScoping:
+    def test_component_loggers_nest_under_repro(self):
+        assert get_logger("pipeline").name == "repro.pipeline"
+        assert get_logger("cli").parent.name.startswith("repro")
+
+    def test_library_is_silent_without_configuration(self):
+        logger = logging.getLogger(ROOT_LOGGER)
+        assert any(
+            isinstance(handler, logging.NullHandler)
+            for handler in logger.handlers
+        )
+
+
+class TestResolveLevel:
+    def test_explicit_name_wins(self):
+        assert resolve_level("error", verbosity=5) == logging.ERROR
+        assert resolve_level("debug") == logging.DEBUG
+
+    def test_verbosity_steps(self):
+        assert resolve_level(None, 0) == logging.WARNING
+        assert resolve_level(None, 1) == logging.INFO
+        assert resolve_level(None, 2) == logging.DEBUG
+        assert resolve_level(None, 7) == logging.DEBUG
+
+
+class TestConfigure:
+    def test_human_format(self):
+        stream = io.StringIO()
+        configure_logging(logging.INFO, fmt="human", stream=stream)
+        get_logger("cli").info("trace written to %s", "out.jsonl")
+        assert stream.getvalue() == "info cli: trace written to out.jsonl\n"
+
+    def test_json_format_emits_parseable_records(self):
+        stream = io.StringIO()
+        configure_logging(logging.INFO, fmt="json", stream=stream)
+        get_logger("pipeline").warning("cluster %d discarded", 3)
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "warning"
+        assert record["component"] == "repro.pipeline"
+        assert record["message"] == "cluster 3 discarded"
+        assert "ts" in record
+
+    def test_reconfiguration_replaces_handlers(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging(logging.INFO, stream=first)
+        configure_logging(logging.INFO, stream=second)
+        get_logger("cli").info("only once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("only once") == 1
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging(logging.WARNING, stream=stream)
+        get_logger("cli").info("hidden")
+        get_logger("cli").warning("shown")
+        assert "hidden" not in stream.getvalue()
+        assert "shown" in stream.getvalue()
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="log format"):
+            configure_logging(fmt="xml")
+
+
+class TestFormatters:
+    def make_record(self, name="repro.cli", msg="hello"):
+        return logging.LogRecord(name, logging.INFO, __file__, 1, msg, (), None)
+
+    def test_human_strips_root_prefix(self):
+        assert HumanFormatter().format(self.make_record()) == "info cli: hello"
+
+    def test_json_includes_exception_text(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+
+            record = self.make_record()
+            record.exc_info = sys.exc_info()
+        payload = json.loads(JSONFormatter().format(record))
+        assert "boom" in payload["exception"]

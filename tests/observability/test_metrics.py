@@ -126,3 +126,25 @@ class TestRegistryIteration:
         left.merge(right)
         assert left.counter("n").value == 5
         assert left.histogram("h").count == 1
+
+
+class TestProcessGauges:
+    def test_records_rss_and_cpu(self):
+        from repro.observability import emit_process_gauges
+
+        registry = MetricsRegistry()
+        emit_process_gauges(registry)
+        gauges = {name: gauge.value for name, _, gauge in registry.gauges()}
+        # A running Python interpreter has spent memory and CPU.
+        assert gauges["process_peak_rss_bytes"] > 1024 * 1024
+        assert gauges["process_user_cpu_seconds"] > 0
+        assert gauges["process_sys_cpu_seconds"] >= 0
+
+    def test_last_write_wins(self):
+        from repro.observability import emit_process_gauges
+
+        registry = MetricsRegistry()
+        emit_process_gauges(registry)
+        first = registry.gauge("process_peak_rss_bytes").value
+        emit_process_gauges(registry)
+        assert registry.gauge("process_peak_rss_bytes").value >= first

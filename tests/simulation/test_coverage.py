@@ -9,6 +9,7 @@ from repro.simulation import (
     ConstantCoverage,
     IdentityChannel,
     IIDChannel,
+    InjectedDropoutCoverage,
     NegativeBinomialCoverage,
     PoissonCoverage,
     sequence_pool,
@@ -44,6 +45,42 @@ class TestCoverageModels:
     def test_negative_binomial_validation(self):
         with pytest.raises(ValueError):
             NegativeBinomialCoverage(10.0, dispersion=0.0)
+
+    def test_sample_for_default_matches_sample(self):
+        # The index-aware hook must consume the RNG exactly like sample()
+        # so existing seeds keep reproducing bit-for-bit.
+        model = NegativeBinomialCoverage(6.0, dispersion=2.0)
+        plain = [model.sample(random.Random(42)) for _ in range(5)]
+        indexed = [
+            model.sample_for(index, random.Random(42)) for index in range(5)
+        ]
+        assert indexed == plain
+
+
+class TestInjectedDropout:
+    def test_targets_exact_strands(self, rng):
+        model = InjectedDropoutCoverage(ConstantCoverage(4), [1, 3])
+        counts = [model.sample_for(index, rng) for index in range(5)]
+        assert counts == [4, 0, 4, 0, 4]
+
+    def test_other_strands_keep_the_base_stream(self):
+        base = NegativeBinomialCoverage(6.0, dispersion=2.0)
+        injected = InjectedDropoutCoverage(base, [2])
+        for index in (0, 1, 3):
+            assert injected.sample_for(index, random.Random(7)) == base.sample_for(
+                index, random.Random(7)
+            )
+
+    def test_sequence_pool_records_injected_dropouts(self, rng):
+        references = [random_sequence(40, rng) for _ in range(10)]
+        run = sequence_pool(
+            references,
+            IdentityChannel(),
+            InjectedDropoutCoverage(ConstantCoverage(3), [0, 7]),
+            seed=3,
+        )
+        assert sorted(run.dropouts) == [0, 7]
+        assert 0 not in run.origins and 7 not in run.origins
 
 
 class TestSequencePool:
@@ -90,6 +127,29 @@ class TestSequencePool:
     def test_empty_coverage(self, rng):
         run = sequence_pool([], IdentityChannel(), ConstantCoverage(3), rng)
         assert run.reads == [] and run.coverage == 0.0
+
+
+class TestPerReadEditDistances:
+    def test_identity_channel_distances_are_zero(self, rng):
+        from repro.simulation.observed import per_read_edit_distances
+
+        references = [random_sequence(40, rng) for _ in range(5)]
+        run = sequence_pool(references, IdentityChannel(), ConstantCoverage(3), rng)
+        assert per_read_edit_distances(run) == [0] * len(run.reads)
+
+    def test_sharded_result_matches_serial(self, rng):
+        from repro.parallel import WorkerPool
+        from repro.simulation.observed import per_read_edit_distances
+
+        references = [random_sequence(50, rng) for _ in range(20)]
+        run = sequence_pool(
+            references, IIDChannel.from_total_rate(0.08), ConstantCoverage(4), rng
+        )
+        serial = per_read_edit_distances(run)
+        with WorkerPool(3, min_items=1) as pool:
+            sharded = per_read_edit_distances(run, pool=pool)
+        assert sharded == serial
+        assert any(distance > 0 for distance in serial)
 
 
 class TestSequencePoolSharding:

@@ -232,6 +232,106 @@ class TestTraceCommand:
         assert "clusters_formed" in output
 
 
+class TestWhyCommand:
+    def run_with_ledger(self, payload, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        code = run(
+            "pipeline",
+            payload,
+            tmp_path / "out.bin",
+            *ENCODING_ARGS,
+            "--coverage",
+            8,
+            "--error-rate",
+            0.04,
+            "--provenance",
+            ledger_path,
+        )
+        assert code == 0
+        assert "provenance ledger written to" in capsys.readouterr().out
+        return ledger_path
+
+    def test_summary_renders_verdict_table(self, payload, tmp_path, capsys):
+        ledger_path = self.run_with_ledger(payload, tmp_path, capsys)
+        assert run("why", ledger_path) == 0
+        output = capsys.readouterr().out
+        assert "per-strand verdicts" in output
+        assert "dropout" in output and "ok" in output
+
+    def test_json_summary_accounts_for_every_strand(
+        self, payload, tmp_path, capsys
+    ):
+        ledger_path = self.run_with_ledger(payload, tmp_path, capsys)
+        assert run("why", ledger_path, "--json") == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert sum(summary["verdicts"].values()) == summary["strands"]
+        assert summary["strands"] > 0
+
+    def test_strand_timeline(self, payload, tmp_path, capsys):
+        ledger_path = self.run_with_ledger(payload, tmp_path, capsys)
+        assert run("why", ledger_path, "--strand", 0) == 0
+        output = capsys.readouterr().out
+        assert "strand 0" in output
+        assert "encoded" in output and "decoded" in output
+
+    def test_unknown_strand_errors(self, payload, tmp_path, capsys):
+        ledger_path = self.run_with_ledger(payload, tmp_path, capsys)
+        assert run("why", ledger_path, "--strand", 10**6) == 2
+        assert "not in ledger" in capsys.readouterr().err
+
+    def test_unreadable_ledger_errors(self, tmp_path, capsys):
+        assert run("why", tmp_path / "missing.jsonl") == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestLoggingFlags:
+    def test_log_level_warning_hides_diagnostics(self, payload, tmp_path, capsys):
+        code = run(
+            "encode",
+            payload,
+            tmp_path / "strands.txt",
+            *ENCODING_ARGS,
+            "--trace",
+            tmp_path / "trace.jsonl",
+            "--log-level",
+            "warning",
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "trace written to" not in output
+        assert "encoded" in output  # primary output is not logging
+
+    def test_json_log_format(self, payload, tmp_path, capsys):
+        code = run(
+            "encode",
+            payload,
+            tmp_path / "strands.txt",
+            *ENCODING_ARGS,
+            "--trace",
+            tmp_path / "trace.jsonl",
+            "--log-format",
+            "json",
+        )
+        assert code == 0
+        record_lines = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        records = [json.loads(line) for line in record_lines]
+        assert any("trace written to" in r["message"] for r in records)
+        assert all(r["component"].startswith("repro.") for r in records)
+
+    def test_verbose_enables_debug(self, payload, tmp_path):
+        import logging
+
+        code = run(
+            "encode", payload, tmp_path / "strands.txt", *ENCODING_ARGS, "-v"
+        )
+        assert code == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+
 class TestDensityCommand:
     def test_prints_report(self, capsys):
         assert run("density", "--parity-columns", 20) == 0
