@@ -22,6 +22,10 @@ One bench run produces one self-describing JSON document::
             "total": {...}
           },
           "throughput_bytes_per_s": ...,   # data_bytes / median total
+          "load_imbalance": {              # worst max/mean chunk duration per
+            "pipeline.simulation": 1.18,   # fan-out site over the repeats
+            ...                            # (1.0 = perfectly balanced)
+          },
           "quality": {...}                 # QualityReport.as_dict()
         }
       ]

@@ -3,7 +3,10 @@
 Each workload is repeated ``workload.repeats`` times under its own
 :class:`~repro.observability.Tracer`; stage latencies come from the span
 rollups (the same numbers ``StageTimings`` reports), quality from the
-pipeline's :class:`~repro.observability.quality.QualityReport`.  Workloads
+pipeline's :class:`~repro.observability.quality.QualityReport`, and the
+per-fan-out ``worker_load_imbalance`` gauges roll up into each row's
+``load_imbalance`` section so lopsided sharding is visible (and
+regression-checkable) in the ``BENCH_*.json`` artifact.  Workloads
 are fully seeded, so the quality section is identical across repeats and
 across machines — which is what lets CI gate on a committed baseline with
 ``--compare --quality-only`` while latency floats with the hardware.
@@ -52,6 +55,7 @@ def run_workload(workload: Workload, workers: int = 1) -> Dict:
     per_stage: Dict[str, List[float]] = {stage: [] for stage in STAGES}
     successes = 0
     quality = None
+    imbalance: Dict[str, float] = {}
     for _ in range(workload.repeats):
         tracer = Tracer()
         config = workload.make_config()
@@ -64,6 +68,13 @@ def run_workload(workload: Workload, workers: int = 1) -> Dict:
             per_stage[stage].append(timings[stage])
         successes += 1 if (result.success and result.data == data) else 0
         quality = result.quality
+        # Worst (max) load imbalance per fan-out site over the repeats:
+        # the pipeline's worker pool records one gauge per calling span,
+        # so imbalance regressions surface in the BENCH artifact.
+        for name, labels, gauge in tracer.metrics.gauges():
+            if name == "worker_load_imbalance":
+                key = labels.get("span", "-")
+                imbalance[key] = max(imbalance.get(key, 0.0), gauge.value)
     totals = per_stage["total"]
     return {
         "name": workload.name,
@@ -76,6 +87,9 @@ def run_workload(workload: Workload, workers: int = 1) -> Dict:
         "throughput_bytes_per_s": (
             workload.data_bytes / percentile(totals, 50) if max(totals) > 0 else 0.0
         ),
+        "load_imbalance": {
+            span: round(value, 4) for span, value in sorted(imbalance.items())
+        },
         "quality": quality.as_dict() if quality is not None else None,
     }
 

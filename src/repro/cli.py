@@ -17,10 +17,14 @@ parameters; ``decode`` reads it back so the two ends always agree.
 
 Every subcommand accepts ``--trace PATH`` to record an observability trace
 (nested spans + counters, JSONL); ``python -m repro trace PATH`` renders a
-saved trace as a per-stage latency/counter report.  ``pipeline`` also
-accepts ``--provenance PATH`` to record the per-strand lineage ledger;
-``python -m repro why PATH`` renders its root-cause forensics (add
-``--strand ID`` for one strand's full timeline).
+saved trace as a per-stage latency/counter report.  ``--trace-out PATH``
+writes the same run as Chrome Trace Event JSON (one lane per worker
+process — open in Perfetto or ``chrome://tracing``), ``repro trace PATH
+--chrome OUT`` converts a saved JSONL trace, and ``--profile`` adds
+tracemalloc memory / GC attributes to the top-level stage spans.
+``pipeline`` also accepts ``--provenance PATH`` to record the per-strand
+lineage ledger; ``python -m repro why PATH`` renders its root-cause
+forensics (add ``--strand ID`` for one strand's full timeline).
 
 Diagnostics go through the structured ``repro.*`` loggers; the global
 ``--log-level/-v`` and ``--log-format`` flags control their verbosity and
@@ -49,8 +53,10 @@ from repro.observability import (
     load_trace,
     render_report,
     render_strand_timeline,
+    render_tracer_report,
     render_why_summary,
     resolve_level,
+    write_chrome_trace,
     write_ledger,
     write_trace,
 )
@@ -140,14 +146,34 @@ def _write_lines(path: str, lines) -> None:
 
 
 def _start_trace(args) -> Optional[Tracer]:
-    """A recording tracer when ``--trace`` was given, else None."""
-    return Tracer() if getattr(args, "trace", None) else None
+    """A recording tracer when ``--trace``/``--trace-out``/``--profile``
+    asked for one, else None."""
+    wants_trace = (
+        getattr(args, "trace", None)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "profile", False)
+    )
+    if not wants_trace:
+        return None
+    return Tracer(profile=bool(getattr(args, "profile", False)))
 
 
 def _finish_trace(args, tracer: Optional[Tracer]) -> None:
-    if tracer is not None:
+    if tracer is None:
+        return
+    if getattr(args, "trace", None):
         path = write_trace(tracer, args.trace)
         _log.info("trace written to %s", path)
+    if getattr(args, "trace_out", None):
+        path = write_chrome_trace(tracer, args.trace_out)
+        _log.info(
+            "chrome trace written to %s (open in Perfetto or chrome://tracing)",
+            path,
+        )
+    if getattr(args, "profile", False) and not getattr(args, "trace", None):
+        # --profile without --trace still deserves its numbers: render the
+        # live tracer (stage table + fan-out balance + gauges) to stdout.
+        print(render_tracer_report(tracer, title="profile report"))
 
 
 # ----------------------------------------------------------------------
@@ -197,7 +223,7 @@ def cmd_simulate(args) -> int:
     channel = _channel_from_args(args)
     with as_tracer(tracer).span(
         "pipeline.simulation", strands=len(strands), coverage=args.coverage
-    ) as span, WorkerPool(args.workers) as pool:
+    ) as span, WorkerPool(args.workers, tracer=tracer) as pool:
         run = sequence_pool(
             strands,
             channel,
@@ -254,7 +280,7 @@ def cmd_reconstruct(args) -> int:
     ]
     with as_tracer(tracer).span(
         "pipeline.reconstruction", clusters=len(kept)
-    ), WorkerPool(args.workers) as pool:
+    ), WorkerPool(args.workers, tracer=tracer) as pool:
         consensus = reconstructor.reconstruct_all(
             kept, args.length, tracer=tracer, pool=pool
         )
@@ -308,6 +334,12 @@ def cmd_density(args) -> int:
 def cmd_trace(args) -> int:
     trace = load_trace(args.input)
     print(render_report(trace, title=f"trace report ({args.input})"))
+    if args.chrome:
+        path = write_chrome_trace(trace, args.chrome)
+        _log.info(
+            "chrome trace written to %s (open in Perfetto or chrome://tracing)",
+            path,
+        )
     return 0
 
 
@@ -572,6 +604,13 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="render a saved trace (latency + counters report)"
     )
     trace.add_argument("input", help="JSONL trace written by --trace")
+    trace.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default=None,
+        help="also convert the trace to Chrome Trace Event JSON at PATH "
+        "(open in Perfetto or chrome://tracing)",
+    )
     trace.set_defaults(handler=cmd_trace)
 
     why = commands.add_parser(
@@ -642,9 +681,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_argument(bench)
     bench.set_defaults(handler=cmd_bench)
 
-    # Global observability flag: every subcommand (except the renderers
+    # Global observability flags: every subcommand (except the renderers
     # and the bench harness, which manage their own tracers) can record
-    # its run as a JSONL trace.
+    # its run as a JSONL trace and/or a Chrome (Perfetto) timeline, and
+    # opt into per-stage resource profiling.
     for name, subparser in commands.choices.items():
         if name not in ("trace", "why", "bench"):
             subparser.add_argument(
@@ -653,6 +693,20 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="record spans + counters to PATH as JSONL "
                 "(render with `repro trace PATH`)",
+            )
+            subparser.add_argument(
+                "--trace-out",
+                metavar="PATH",
+                default=None,
+                help="record the run as Chrome Trace Event JSON at PATH — "
+                "one lane per worker process; open in Perfetto or "
+                "chrome://tracing",
+            )
+            subparser.add_argument(
+                "--profile",
+                action="store_true",
+                help="profile top-level stages (tracemalloc current/peak "
+                "memory + GC counts as span attributes); implies tracing",
             )
 
     # Global logging flags: the CLI defaults to info-level diagnostics;

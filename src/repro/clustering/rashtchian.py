@@ -29,7 +29,7 @@ import numpy as np
 from repro.dna.alphabet import random_sequence
 from repro.dna.distance import levenshtein_distance
 from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
-from repro.observability.trace import Tracer, as_tracer
+from repro.observability.trace import Tracer, as_tracer, worker_span
 from repro.parallel import WorkerPool, as_pool
 from repro.clustering.thresholds import (
     ThresholdEstimate,
@@ -110,16 +110,20 @@ class ClusteringResult:
 def _compute_signatures_chunk(reads, extra):
     """Worker entry point for parallel signature precomputation."""
     flavour, grams = extra
-    scheme = QGramSignature(grams) if flavour == "qgram" else WGramSignature(grams)
-    return scheme.compute_batch(reads)
+    with worker_span("clustering.signature_chunk", reads=len(reads)):
+        scheme = (
+            QGramSignature(grams) if flavour == "qgram" else WGramSignature(grams)
+        )
+        return scheme.compute_batch(reads)
 
 
 def _edit_verdicts_chunk(pairs, threshold):
     """Worker entry point for parallel gray-zone edit-distance checks."""
-    return [
-        levenshtein_distance(left, right, bound=threshold) <= threshold
-        for left, right in pairs
-    ]
+    with worker_span("clustering.edit_verdicts_chunk", pairs=len(pairs)):
+        return [
+            levenshtein_distance(left, right, bound=threshold) <= threshold
+            for left, right in pairs
+        ]
 
 
 class RashtchianClusterer:

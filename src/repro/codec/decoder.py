@@ -37,7 +37,7 @@ from repro.observability.provenance import (
     UnitOutcome,
     as_ledger,
 )
-from repro.observability.trace import Tracer, as_tracer
+from repro.observability.trace import Tracer, as_tracer, worker_span
 from repro.parallel import WorkerPool
 
 
@@ -358,11 +358,12 @@ def _scalar_decode_rows(
     nsym, erasures = extra
     rs = ReedSolomonCodec(nsym=nsym)
     messages: List[Optional[List[int]]] = []
-    for codeword in codeword_rows:
-        try:
-            messages.append(rs.decode(codeword, erasures=erasures))
-        except RSDecodeError:
-            messages.append(None)
+    with worker_span("decoding.scalar_fallback_chunk", rows=len(codeword_rows)):
+        for codeword in codeword_rows:
+            try:
+                messages.append(rs.decode(codeword, erasures=erasures))
+            except RSDecodeError:
+                messages.append(None)
     return messages
 
 

@@ -7,8 +7,11 @@ Three pieces:
   (:data:`NULL_TRACER`);
 * :mod:`repro.observability.metrics` — labelled counters, gauges and
   percentile histograms (:class:`MetricsRegistry`);
-* :mod:`repro.observability.export` — JSONL serialisation and the
-  plain-text report behind ``repro trace``;
+* :mod:`repro.observability.export` — JSONL serialisation, the
+  plain-text report behind ``repro trace``, and Chrome Trace Event
+  export (``repro trace --chrome`` / ``--trace-out``) for Perfetto;
+* :mod:`repro.observability.profile` — opt-in per-stage tracemalloc/GC
+  profiling (``Tracer(profile=True)``, CLI ``--profile``);
 * :mod:`repro.observability.provenance` /
   :mod:`repro.observability.forensics` — the per-strand lineage ledger
   and root-cause verdict engine behind ``repro why``;
@@ -33,6 +36,7 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    load_imbalance,
     percentile,
 )
 from repro.observability.trace import (
@@ -40,15 +44,23 @@ from repro.observability.trace import (
     NullTracer,
     Span,
     Tracer,
+    WorkerTracer,
     as_tracer,
+    capture_worker_spans,
+    current_worker_tracer,
+    worker_span,
 )
+from repro.observability.profile import StageProfiler
 from repro.observability.export import (
     TraceData,
     load_trace,
     render_report,
     render_span_tree,
     render_tracer_report,
+    span_structure,
+    to_chrome_trace,
     trace_lines,
+    write_chrome_trace,
     write_trace,
 )
 from repro.observability.quality import (
@@ -90,18 +102,27 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_REGISTRY",
+    "load_imbalance",
     "percentile",
     "Span",
     "Tracer",
+    "WorkerTracer",
     "NullTracer",
     "NULL_TRACER",
     "as_tracer",
+    "capture_worker_spans",
+    "current_worker_tracer",
+    "worker_span",
+    "StageProfiler",
     "TraceData",
     "load_trace",
     "render_report",
     "render_span_tree",
     "render_tracer_report",
+    "span_structure",
+    "to_chrome_trace",
     "trace_lines",
+    "write_chrome_trace",
     "write_trace",
     "QUALITY_SCHEMA_VERSION",
     "ChannelQuality",

@@ -15,6 +15,12 @@ trace can be streamed, grepped, and diffed:
 :func:`render_report` turns one into the plain-text latency/counter
 report behind ``repro trace`` (reusing
 :func:`repro.analysis.reporting.format_table`).
+
+:func:`to_chrome_trace` / :func:`write_chrome_trace` convert either
+representation to the Chrome Trace Event Format (``repro trace --chrome``,
+``--trace-out``): one complete-event ("X") per span with microsecond
+timestamps, one ``pid`` lane per worker process, so fan-outs render as
+parallel tracks in Perfetto or ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -156,6 +162,106 @@ def load_trace(source: Union[str, Path, Iterable[str]]) -> TraceData:
 
 
 # ----------------------------------------------------------------------
+# Chrome Trace Event Format (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+
+#: The synthetic pid of the parent process's lane (worker lanes use the
+#: real OS pid stitched into their span attributes; OS pid 1 is init and
+#: can never collide with a worker).
+MAIN_LANE_PID = 1
+
+
+def to_chrome_trace(source: Union[Tracer, "TraceData"]) -> Dict:
+    """Convert a live tracer or loaded trace to Chrome Trace Event JSON.
+
+    Every span becomes one complete event (``"ph": "X"``) with
+    microsecond ``ts``/``dur`` and its attributes under ``args``.  Spans
+    stitched from workers carry a ``pid`` attribute; they and their
+    descendants land in that worker's lane, with one thread track per
+    ``chunk_index`` so chunks that shared a worker process never overlap
+    on a track.  Everything else lives in the ``main`` lane.  Process
+    lanes are named via ``process_name`` metadata events.
+    """
+    events: List[Dict] = []
+    worker_pids = set()
+
+    def visit(span: Span, pid: int, tid: int) -> None:
+        attr_pid = span.attributes.get("pid")
+        if isinstance(attr_pid, int):
+            pid = attr_pid
+            tid = int(span.attributes.get("chunk_index", 0)) + 1
+            worker_pids.add(pid)
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": dict(span.attributes),
+            }
+        )
+        for child in span.children:
+            visit(child, pid, tid)
+
+    for root in source.roots:
+        visit(root, MAIN_LANE_PID, 1)
+
+    metadata = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": MAIN_LANE_PID,
+            "tid": 0,
+            "args": {"name": "main"},
+        }
+    ]
+    for pid in sorted(worker_pids):
+        metadata.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"worker {pid}"},
+            }
+        )
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    source: Union[Tracer, "TraceData"], path: Union[str, Path]
+) -> Path:
+    """Write *source* as a Chrome trace JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(to_chrome_trace(source), default=str) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def span_structure(roots: List[Span]):
+    """A worker-count-invariant signature of the span tree's shape.
+
+    Captures which span names appear and how they nest, collapsing the
+    multiplicity of same-named siblings — fan-outs repeat ``worker.chunk``
+    once per chunk, and the chunk count is the one thing that legitimately
+    varies with ``--workers``.  Two traces of the same workload therefore
+    compare equal at any worker count, while a missing stage, a renamed
+    span, or a hierarchy change shows up as a signature difference.
+    """
+
+    def signature(span: Span):
+        return (
+            span.name,
+            tuple(sorted({signature(child) for child in span.children})),
+        )
+
+    return tuple(sorted({signature(root) for root in roots}))
+
+
+# ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
 
@@ -249,6 +355,39 @@ def render_report(trace: TraceData, title: str = "trace report") -> str:
             )
         )
         sections.append("span tree\n" + render_span_tree(trace.roots))
+
+    imbalance = [
+        (labels.get("span", "-"), value)
+        for name, labels, value in trace.gauges
+        if name == "worker_load_imbalance"
+    ]
+    if imbalance:
+        # One row per fan-out site: how many chunks ran (histogram count)
+        # and how lopsided the slowest one was (gauge, 1.0 = balanced).
+        chunk_stats = {
+            labels.get("span", "-"): summary
+            for name, labels, summary in trace.histograms
+            if name == "worker_chunk_seconds"
+        }
+        rows = []
+        for stage, value in sorted(imbalance):
+            summary = chunk_stats.get(stage, {})
+            rows.append(
+                [
+                    stage,
+                    str(int(summary.get("count", 0))),
+                    f"{summary.get('mean', 0.0):.4g}",
+                    f"{summary.get('max', 0.0):.4g}",
+                    f"{value:.3f}",
+                ]
+            )
+        sections.append(
+            format_table(
+                ["fan-out", "chunks", "mean chunk s", "max chunk s", "imbalance"],
+                rows,
+                title="fan-out balance (imbalance = max/mean chunk duration; 1.0 = even)",
+            )
+        )
 
     if trace.counters:
         rows = [

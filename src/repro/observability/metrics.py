@@ -193,6 +193,23 @@ class NullMetricsRegistry(MetricsRegistry):
 NULL_REGISTRY = NullMetricsRegistry()
 
 
+def load_imbalance(durations: Sequence[float]) -> float:
+    """Max/mean chunk duration for one fan-out: 1.0 is perfectly balanced.
+
+    The metric the worker pool records per fan-out (gauge
+    ``worker_load_imbalance{span=...}``): at *w* equal chunks it stays at
+    1.0, while one straggler chunk doing all the work pushes it toward
+    *w*.  Empty or sub-resolution fan-outs (all-zero durations) report 1.0
+    — nothing measurable was unbalanced.
+    """
+    if not durations:
+        return 1.0
+    mean = sum(durations) / len(durations)
+    if mean <= 0.0:
+        return 1.0
+    return max(durations) / mean
+
+
 def emit_process_gauges(metrics: MetricsRegistry) -> None:
     """Record process resource usage as gauges (peak RSS, CPU time).
 

@@ -50,6 +50,7 @@ from typing import (
 )
 
 from repro.dna.distance import levenshtein_distance
+from repro.observability.trace import worker_span
 from repro.parallel import WorkerPool
 
 #: Version of the ledger JSONL format (bumped on breaking change).
@@ -241,7 +242,8 @@ class ProvenanceReport:
 
 def _edit_distance_chunk(pairs, _extra) -> List[int]:
     """WorkerPool entry point: edit distance for (sequence, reference) pairs."""
-    return [levenshtein_distance(left, right) for left, right in pairs]
+    with worker_span("provenance.edit_distance_chunk", pairs=len(pairs)):
+        return [levenshtein_distance(left, right) for left, right in pairs]
 
 
 class ProvenanceLedger:

@@ -19,12 +19,22 @@ measure duration (so rollups keep working untraced) but retain nothing —
 no tree, no attributes, no metrics — making disabled instrumentation cost
 exactly what the old hand-rolled ``perf_counter()`` pairs did.
 
+Tracing crosses process boundaries through :class:`WorkerTracer`: the
+worker-pool trampoline installs one per chunk (see
+:func:`capture_worker_spans`), worker code adds spans through the ambient
+:func:`worker_span`, and the parent grafts the exported records back into
+its own tree with :meth:`Tracer.attach_worker_export` — re-based onto the
+parent epoch and annotated with ``pid``/``chunk_index``/``items``, so one
+merged tree covers the whole fan-out.
+
 Tracers are not thread-safe; use one per thread (or per pipeline run).
 """
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.observability.metrics import NULL_REGISTRY, MetricsRegistry
@@ -81,15 +91,28 @@ class Span:
 
 
 class Tracer:
-    """Builds a tree of :class:`Span` objects plus a metrics registry."""
+    """Builds a tree of :class:`Span` objects plus a metrics registry.
+
+    ``profile=True`` attaches a
+    :class:`~repro.observability.profile.StageProfiler`: top-level stage
+    spans (roots and their direct children) then record tracemalloc
+    current/peak memory and GC collection counts as span attributes.
+    """
 
     enabled = True
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+    def __init__(
+        self, metrics: Optional[MetricsRegistry] = None, profile: bool = False
+    ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.roots: List[Span] = []
         self._stack: List[Span] = []
         self.epoch = time.perf_counter()
+        self.profiler = None
+        if profile:
+            from repro.observability.profile import StageProfiler
+
+            self.profiler = StageProfiler()
 
     def span(self, name: str, **attributes: Any) -> Span:
         """A new span; enter it (``with``) to start the clock."""
@@ -98,19 +121,28 @@ class Tracer:
     # -- stack discipline (driven by Span.__enter__/__exit__) ----------
 
     def _push(self, span: Span) -> None:
+        depth = len(self._stack)
         if self._stack:
             self._stack[-1].children.append(span)
         else:
             self.roots.append(span)
         self._stack.append(span)
+        if self.profiler is not None and depth <= 1:
+            self.profiler.enter(span)
 
     def _pop(self, span: Span) -> None:
+        if self.profiler is not None:
+            self.profiler.exit(span)
         if self._stack and self._stack[-1] is span:
             self._stack.pop()
         elif span in self._stack:  # tolerate out-of-order exits
             self._stack.remove(span)
 
     # -- queries -------------------------------------------------------
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
 
     def walk(self) -> Iterator[Span]:
         """Every recorded span, depth-first across all roots."""
@@ -122,10 +154,58 @@ class Tracer:
         return [span for span in self.walk() if span.name == name]
 
     def reset(self) -> None:
-        """Drop recorded spans (metrics are left alone)."""
+        """Drop recorded spans and re-base the epoch (metrics are left alone)."""
         self.roots = []
         self._stack = []
         self.epoch = time.perf_counter()
+
+    # -- distributed capture -------------------------------------------
+
+    def attach_worker_export(
+        self,
+        export: Dict[str, Any],
+        chunk_index: int,
+        items: int,
+        base_offset: float = 0.0,
+    ) -> List[Span]:
+        """Graft one worker chunk's exported spans into this tracer's tree.
+
+        *export* is the dict produced by :meth:`WorkerTracer.export`.  The
+        reconstructed spans become children of the currently open span (or
+        new roots); each worker-side root is annotated with the worker
+        ``pid`` plus its ``chunk_index``/``items`` within the fan-out, and
+        every start offset is re-based by *base_offset* — the fan-out's
+        start relative to this tracer's epoch — so the merged timeline is
+        consistent.  Worker counters are summed into the metrics registry;
+        worker gauges are last-write-wins, matching
+        :meth:`MetricsRegistry.merge`.
+        """
+        spans: List[Span] = []
+        roots: List[Span] = []
+        for record in export.get("spans", ()):
+            span = Span(record["name"], dict(record["attributes"]))
+            span.start = base_offset + record["start"]
+            span.duration = record["duration"]
+            spans.append(span)
+            parent = record["parent"]
+            if parent < 0:
+                roots.append(span)
+            else:
+                spans[parent].children.append(span)
+        for root in roots:
+            root.attributes.setdefault("pid", export.get("pid"))
+            root.attributes.setdefault("chunk_index", chunk_index)
+            root.attributes.setdefault("items", items)
+        target = self.current_span()
+        if target is not None:
+            target.children.extend(roots)
+        else:
+            self.roots.extend(roots)
+        for name, value in export.get("counters", {}).items():
+            self.metrics.counter(name).inc(value)
+        for name, value in export.get("gauges", {}).items():
+            self.metrics.gauge(name).set(value)
+        return roots
 
 
 class _NullSpan:
@@ -135,18 +215,22 @@ class _NullSpan:
     rollups (``StageTimings``, ``ClusteringResult.signature_seconds``,
     ``TrainingHistory.seconds``) are part of the library's regular
     return values, not optional diagnostics.
+
+    ``attributes``/``children`` are fresh per instance: callers that write
+    ``span.attributes[...]`` directly (bypassing the no-op :meth:`set`)
+    must not leak state into every other null span in the process.
     """
 
-    __slots__ = ("duration", "_t0")
+    __slots__ = ("duration", "_t0", "attributes", "children")
 
     name = ""
     start = 0.0
-    attributes: Dict[str, Any] = {}
-    children: List[Span] = []
 
     def __init__(self) -> None:
         self.duration = 0.0
         self._t0 = 0.0
+        self.attributes: Dict[str, Any] = {}
+        self.children: List[Span] = []
 
     def set(self, key: str, value: Any) -> None:
         pass
@@ -170,6 +254,9 @@ class NullTracer:
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         return _NullSpan()
 
+    def current_span(self) -> None:
+        return None
+
     def walk(self) -> Iterator[Span]:
         return iter(())
 
@@ -187,3 +274,120 @@ NULL_TRACER = NullTracer()
 def as_tracer(tracer: Optional["Tracer"]) -> "Tracer":
     """Normalise an optional tracer argument (``None`` -> no-op)."""
     return NULL_TRACER if tracer is None else tracer
+
+
+# ----------------------------------------------------------------------
+# Worker-side capture
+# ----------------------------------------------------------------------
+
+
+class WorkerTracer:
+    """Span capture inside one worker chunk; exports plain records.
+
+    Spans recorded here start relative to the worker's own epoch (chunk
+    entry); :meth:`export` flattens them into picklable dicts so the
+    process-pool trampoline can ship them back, and
+    :meth:`Tracer.attach_worker_export` re-bases them onto the parent's
+    timeline.  ``gauges``/``counters`` are plain name→value maps for the
+    same reason — worker processes must not require a live
+    :class:`~repro.observability.metrics.MetricsRegistry` round trip.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self.epoch = time.perf_counter()
+        self.gauges: Dict[str, float] = {}
+        self.counters: Dict[str, int] = {}
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        return Span(name, attributes, _tracer=self)
+
+    # Same stack discipline as Tracer (Span.__enter__/__exit__ drive it).
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def inc_counter(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def export(self) -> Dict[str, Any]:
+        """Flatten the recorded tree into a picklable record list.
+
+        ``spans`` is depth-first with ``parent`` holding the index of the
+        parent record (-1 for roots) — the same shape the JSONL exporter
+        uses, minus the ids.
+        """
+        records: List[Dict[str, Any]] = []
+
+        def emit(span: Span, parent: int) -> None:
+            index = len(records)
+            records.append(
+                {
+                    "name": span.name,
+                    "start": span.start,
+                    "duration": span.duration,
+                    "attributes": span.attributes,
+                    "parent": parent,
+                }
+            )
+            for child in span.children:
+                emit(child, index)
+
+        for root in self.roots:
+            emit(root, -1)
+        return {
+            "pid": os.getpid(),
+            "spans": records,
+            "gauges": dict(self.gauges),
+            "counters": dict(self.counters),
+        }
+
+
+#: The ambient per-process worker tracer (installed by the pool trampoline).
+_WORKER_TRACER: Optional[WorkerTracer] = None
+
+
+def current_worker_tracer() -> Optional[WorkerTracer]:
+    """The ambient :class:`WorkerTracer`, or ``None`` outside capture."""
+    return _WORKER_TRACER
+
+
+def worker_span(name: str, **attributes: Any):
+    """A span on the ambient worker tracer (a no-op span outside capture).
+
+    Worker-pool chunk functions call this instead of threading a tracer
+    through their ``(chunk, extra)`` interface; the spans surface in the
+    parent's merged tree when the fan-out runs under a recording tracer.
+    """
+    if _WORKER_TRACER is None:
+        return _NullSpan()
+    return _WORKER_TRACER.span(name, **attributes)
+
+
+@contextmanager
+def capture_worker_spans() -> Iterator[WorkerTracer]:
+    """Install a fresh ambient :class:`WorkerTracer` for one chunk."""
+    global _WORKER_TRACER
+    previous = _WORKER_TRACER
+    tracer = WorkerTracer()
+    _WORKER_TRACER = tracer
+    try:
+        yield tracer
+    finally:
+        _WORKER_TRACER = previous

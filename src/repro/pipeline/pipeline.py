@@ -12,6 +12,11 @@ Both entry points accept an optional
 emitting finer-grained child spans and counters), and
 :class:`~repro.pipeline.stats.StageTimings` is rolled up from those span
 durations.  Without a tracer the spans degrade to timing-only no-ops.
+
+The pipeline's :class:`~repro.parallel.WorkerPool` shares the tracer, so
+sharded stages stitch their worker-side spans (pid-annotated
+``worker.chunk`` subtrees, per-chunk duration histograms, the
+``worker_load_imbalance`` gauge) into the same merged tree.
 """
 
 from __future__ import annotations
@@ -128,7 +133,7 @@ class Pipeline:
         timings = StageTimings()
 
         with tracer.span("pipeline.run", input_bytes=len(data)), WorkerPool(
-            config.workers
+            config.workers, tracer=tracer
         ) as pool:
             with tracer.span("pipeline.encoding") as span:
                 encoded = self._encoder.encode(data)
@@ -250,7 +255,7 @@ class Pipeline:
             file_length=0,
         )
         with tracer.span("pipeline.run_from_reads", reads=len(reads)), WorkerPool(
-            self.config.workers
+            self.config.workers, tracer=tracer
         ) as pool:
             result = self._recover(
                 list(reads),

@@ -5,7 +5,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence
 
-from repro.observability.trace import Tracer, as_tracer
+from repro.observability.trace import Tracer, as_tracer, worker_span
 from repro.parallel import WorkerPool
 
 
@@ -18,9 +18,14 @@ def _reconstruct_chunk(clusters, extra):
     """
     reconstructor, expected_length = extra
     reconstructor.drain_counters()
-    consensus = [
-        reconstructor.reconstruct(cluster, expected_length) for cluster in clusters
-    ]
+    with worker_span(
+        f"reconstruction.{type(reconstructor).__name__}_chunk",
+        clusters=len(clusters),
+    ):
+        consensus = [
+            reconstructor.reconstruct(cluster, expected_length)
+            for cluster in clusters
+        ]
     return consensus, reconstructor.drain_counters()
 
 

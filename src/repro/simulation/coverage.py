@@ -16,6 +16,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.observability.trace import worker_span
 from repro.parallel import WorkerPool, derive_seed
 from repro.simulation.channel import Channel
 
@@ -147,15 +148,21 @@ def _sequence_chunk(indexed_references, extra):
     """
     channel, coverage, base_seed = extra
     per_strand = []
-    for reference_index, reference in indexed_references:
-        strand_rng = random.Random(derive_seed(base_seed, "strand", reference_index))
-        count = coverage.sample_for(reference_index, strand_rng)
-        reads = [
-            read
-            for read in channel.transmit_many(reference, count, strand_rng)
-            if read
-        ]
-        per_strand.append((reference_index, count, reads))
+    with worker_span(
+        "simulation.sequence_strands", strands=len(indexed_references)
+    ) as span:
+        for reference_index, reference in indexed_references:
+            strand_rng = random.Random(
+                derive_seed(base_seed, "strand", reference_index)
+            )
+            count = coverage.sample_for(reference_index, strand_rng)
+            reads = [
+                read
+                for read in channel.transmit_many(reference, count, strand_rng)
+                if read
+            ]
+            per_strand.append((reference_index, count, reads))
+        span.set("reads", sum(len(reads) for _, _, reads in per_strand))
     return per_strand
 
 

@@ -1,0 +1,24 @@
+"""Bench runner rows: shape and the load-imbalance rollup."""
+
+from repro.benchmarking.report import build_bench_report, validate_bench_report
+from repro.benchmarking.runner import STAGES, run_workload
+from repro.benchmarking.suites import get_suite
+
+
+class TestRunWorkload:
+    def test_row_includes_load_imbalance_rollup(self):
+        workload = get_suite("smoke")[0]
+        row = run_workload(workload)
+        assert isinstance(row["load_imbalance"], dict)
+        # The pipeline's fan-out sites record one gauge per calling span;
+        # every rolled-up value is max/mean >= 1.0 by construction.
+        assert row["load_imbalance"]
+        for span, value in row["load_imbalance"].items():
+            assert isinstance(span, str)
+            assert value >= 1.0
+
+    def test_row_validates_as_bench_workload(self):
+        workload = get_suite("smoke")[0]
+        row = run_workload(workload)
+        assert set(row["latency_s"]) == set(STAGES)
+        validate_bench_report(build_bench_report("smoke", [row], git_sha="test"))

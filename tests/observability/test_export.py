@@ -1,4 +1,4 @@
-"""JSONL serialisation round trip and report rendering."""
+"""JSONL serialisation round trip, chrome export, and report rendering."""
 
 import json
 
@@ -10,9 +10,14 @@ from repro.observability import (
     render_report,
     render_span_tree,
     render_tracer_report,
+    span_structure,
+    to_chrome_trace,
     trace_lines,
+    write_chrome_trace,
     write_trace,
 )
+from repro.observability.export import MAIN_LANE_PID
+from repro.observability.trace import WorkerTracer
 
 
 def make_tracer() -> Tracer:
@@ -81,6 +86,149 @@ class TestJsonlRoundTrip:
         lines = list(trace_lines(make_tracer()))
         trace = load_trace(["", *lines, "  "])
         assert trace.roots
+
+
+def make_fanout_tracer(chunks: int = 2) -> Tracer:
+    """A tracer with worker spans stitched under a fan-out span."""
+    tracer = Tracer()
+    with tracer.span("pipeline.run"):
+        with tracer.span("pipeline.simulation") as fanout:
+            durations = []
+            for chunk_index in range(chunks):
+                worker = WorkerTracer()
+                with worker.span("worker.chunk", items=5):
+                    with worker.span("simulation.sequence_strands"):
+                        pass
+                export = worker.export()
+                # Fake distinct worker pids so lane assignment is testable.
+                export["pid"] = 40000 + chunk_index
+                tracer.attach_worker_export(
+                    export, chunk_index=chunk_index, items=5, base_offset=0.01
+                )
+                duration = 0.01 * (chunk_index + 1)
+                durations.append(duration)
+                tracer.metrics.histogram(
+                    "worker_chunk_seconds", span=fanout.name
+                ).observe(duration)
+            tracer.metrics.gauge(
+                "worker_load_imbalance", span=fanout.name
+            ).set(max(durations) / (sum(durations) / len(durations)))
+    return tracer
+
+
+class TestChromeTrace:
+    def test_events_are_complete_events_in_microseconds(self):
+        tracer = make_fanout_tracer()
+        document = to_chrome_trace(tracer)
+        assert document["displayTimeUnit"] == "ms"
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in events} >= {
+            "pipeline.run",
+            "pipeline.simulation",
+            "worker.chunk",
+            "simulation.sequence_strands",
+        }
+        run = next(e for e in events if e["name"] == "pipeline.run")
+        original = tracer.roots[0]
+        assert run["ts"] == pytest.approx(original.start * 1e6, abs=0.01)
+        assert run["dur"] == pytest.approx(original.duration * 1e6, abs=0.01)
+        assert run["pid"] == MAIN_LANE_PID
+
+    def test_worker_spans_get_their_own_pid_lanes(self):
+        document = to_chrome_trace(make_fanout_tracer(chunks=3))
+        chunk_events = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "worker.chunk"
+        ]
+        assert len(chunk_events) == 3
+        assert {e["pid"] for e in chunk_events} == {40000, 40001, 40002}
+        # tid = chunk_index + 1, so chunks sharing an OS pid never overlap.
+        assert [e["tid"] for e in sorted(chunk_events, key=lambda e: e["pid"])] == [
+            1,
+            2,
+            3,
+        ]
+        # Descendants of a worker root inherit its lane.
+        nested = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "simulation.sequence_strands"
+        ]
+        assert {e["pid"] for e in nested} == {40000, 40001, 40002}
+
+    def test_process_name_metadata_for_main_and_workers(self):
+        document = to_chrome_trace(make_fanout_tracer(chunks=2))
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        names = {e["pid"]: e["args"]["name"] for e in metadata}
+        assert names[MAIN_LANE_PID] == "main"
+        assert names[40000] == "worker 40000"
+        assert names[40001] == "worker 40001"
+
+    def test_round_trips_through_jsonl(self, tmp_path):
+        tracer = make_fanout_tracer()
+        trace = load_trace(write_trace(tracer, tmp_path / "t.jsonl"))
+        assert to_chrome_trace(trace) == to_chrome_trace(tracer)
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(make_fanout_tracer(), tmp_path / "chrome.json")
+        document = json.loads(path.read_text())
+        assert document["traceEvents"]
+
+    def test_attributes_become_args(self):
+        document = to_chrome_trace(make_fanout_tracer())
+        chunk = next(
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "worker.chunk"
+        )
+        assert chunk["args"]["items"] == 5
+        assert chunk["args"]["chunk_index"] == 0
+
+
+class TestSpanStructure:
+    def test_collapses_same_named_sibling_multiplicity(self):
+        assert span_structure(make_fanout_tracer(chunks=1).roots) == span_structure(
+            make_fanout_tracer(chunks=4).roots
+        )
+
+    def test_detects_renamed_span(self):
+        one = make_fanout_tracer()
+        other = make_fanout_tracer()
+        other.roots[0].name = "renamed"
+        assert span_structure(one.roots) != span_structure(other.roots)
+
+    def test_detects_hierarchy_change(self):
+        one = make_fanout_tracer()
+        other = make_fanout_tracer()
+        # Hoist the fan-out's children up a level.
+        fanout = other.roots[0].children[0]
+        other.roots[0].children = fanout.children
+        assert span_structure(one.roots) != span_structure(other.roots)
+
+    def test_empty(self):
+        assert span_structure([]) == ()
+
+
+class TestFanoutBalanceSection:
+    def test_report_includes_balance_table(self, tmp_path):
+        tracer = make_fanout_tracer(chunks=2)
+        trace = load_trace(write_trace(tracer, tmp_path / "t.jsonl"))
+        report = render_report(trace)
+        assert "fan-out balance" in report
+        section = report[report.index("fan-out balance") :]
+        row = next(
+            line
+            for line in section.splitlines()
+            if line.startswith("pipeline.simulation") and "|" in line
+        )
+        columns = [cell.strip() for cell in row.split("|")]
+        assert columns[1] == "2"  # chunk count from the histogram
+        assert float(columns[4]) == pytest.approx(4 / 3, abs=0.001)
+
+    def test_no_section_without_imbalance_gauges(self, tmp_path):
+        trace = load_trace(write_trace(make_tracer(), tmp_path / "t.jsonl"))
+        assert "fan-out balance" not in render_report(trace)
 
 
 class TestReportRendering:

@@ -1,11 +1,19 @@
 """Tracer behaviour: nesting, durations, attributes, and the no-op path."""
 
+import os
 import time
 
 import pytest
 
 from repro.observability import NULL_TRACER, NullTracer, Tracer, as_tracer
 from repro.observability.metrics import NULL_REGISTRY
+from repro.observability.trace import (
+    WorkerTracer,
+    _NullSpan,
+    capture_worker_spans,
+    current_worker_tracer,
+    worker_span,
+)
 
 
 class TestSpanNesting:
@@ -139,6 +147,24 @@ class TestNullTracer:
         assert len(NULL_TRACER.metrics._counters) == registry_size_before
 
 
+class TestNullSpanIsolation:
+    def test_instances_do_not_share_attributes(self):
+        # Regression: class-level mutable attributes/children meant one
+        # caller writing span.attributes[...] polluted every null span.
+        first = _NullSpan()
+        second = _NullSpan()
+        first.attributes["leak"] = True
+        first.children.append(object())
+        assert second.attributes == {}
+        assert second.children == []
+
+    def test_null_tracer_vends_fresh_spans(self):
+        a = NULL_TRACER.span("a")
+        b = NULL_TRACER.span("b")
+        a.attributes["x"] = 1
+        assert b.attributes == {}
+
+
 class TestReset:
     def test_reset_drops_spans(self):
         tracer = Tracer()
@@ -148,3 +174,131 @@ class TestReset:
         tracer.reset()
         assert tracer.roots == []
         assert tracer.metrics.counter("kept").value == 1
+
+    def test_reset_rebases_epoch(self):
+        tracer = Tracer()
+        time.sleep(0.03)
+        tracer.reset()
+        with tracer.span("fresh") as span:
+            pass
+        # Start offsets are relative to the *new* epoch, not the old one.
+        assert span.start < 0.02
+
+    def test_spans_after_reset_become_roots(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            tracer.reset()
+        with tracer.span("after"):
+            pass
+        assert [root.name for root in tracer.roots] == ["after"]
+
+
+class TestOutOfOrderExit:
+    def test_parent_exit_before_child_unwinds_stack(self):
+        # Manual __enter__/__exit__ lets callers close spans out of order;
+        # _pop must tolerate it so later spans still root correctly.
+        tracer = Tracer()
+        parent = tracer.span("parent").__enter__()
+        child = tracer.span("child").__enter__()
+        parent.__exit__(None, None, None)  # parent first: removed mid-stack
+        assert tracer.current_span() is child
+        child.__exit__(None, None, None)
+        assert tracer.current_span() is None
+        with tracer.span("later"):
+            pass
+        assert [root.name for root in tracer.roots] == ["parent", "later"]
+
+    def test_pop_of_unknown_span_is_harmless(self):
+        tracer = Tracer()
+        with tracer.span("open"):
+            stray = tracer.span("stray")
+            tracer._pop(stray)  # never pushed: must not corrupt the stack
+            assert tracer.current_span().name == "open"
+
+
+class TestWorkerTracer:
+    def test_export_flattens_depth_first_with_parent_indices(self):
+        worker = WorkerTracer()
+        with worker.span("chunk", items=3):
+            with worker.span("inner.a"):
+                pass
+            with worker.span("inner.b"):
+                pass
+        worker.inc_counter("calls", 2)
+        worker.set_gauge("items_seen", 3)
+        export = worker.export()
+        assert export["pid"] == os.getpid()
+        assert [record["name"] for record in export["spans"]] == [
+            "chunk",
+            "inner.a",
+            "inner.b",
+        ]
+        assert [record["parent"] for record in export["spans"]] == [-1, 0, 0]
+        assert export["counters"] == {"calls": 2}
+        assert export["gauges"] == {"items_seen": 3.0}
+
+    def test_attach_round_trip_rebases_and_annotates(self):
+        worker = WorkerTracer()
+        with worker.span("worker.chunk"):
+            with worker.span("nested"):
+                pass
+        export = worker.export()
+
+        tracer = Tracer()
+        with tracer.span("fanout") as calling:
+            roots = tracer.attach_worker_export(
+                export, chunk_index=2, items=17, base_offset=1.5
+            )
+        assert len(roots) == 1
+        grafted = roots[0]
+        assert grafted in calling.children
+        assert grafted.attributes["pid"] == os.getpid()
+        assert grafted.attributes["chunk_index"] == 2
+        assert grafted.attributes["items"] == 17
+        assert grafted.start >= 1.5
+        assert [child.name for child in grafted.children] == ["nested"]
+        # Only roots get the fan-out annotations.
+        assert "pid" not in grafted.children[0].attributes
+
+    def test_attach_sums_counters_and_sets_gauges(self):
+        tracer = Tracer()
+        tracer.metrics.counter("calls").inc(1)
+        for value in (2, 3):
+            worker = WorkerTracer()
+            worker.inc_counter("calls", value)
+            worker.set_gauge("latest", value)
+            tracer.attach_worker_export(worker.export(), chunk_index=0, items=0)
+        assert tracer.metrics.counter("calls").value == 6
+        assert tracer.metrics.gauge("latest").value == 3.0
+
+    def test_attach_outside_span_creates_roots(self):
+        worker = WorkerTracer()
+        with worker.span("worker.chunk"):
+            pass
+        tracer = Tracer()
+        tracer.attach_worker_export(worker.export(), chunk_index=0, items=1)
+        assert [root.name for root in tracer.roots] == ["worker.chunk"]
+
+
+class TestAmbientWorkerCapture:
+    def test_worker_span_is_noop_outside_capture(self):
+        assert current_worker_tracer() is None
+        with worker_span("anything", n=1) as span:
+            pass
+        assert isinstance(span, _NullSpan)
+        assert span.duration >= 0.0
+
+    def test_capture_installs_and_restores(self):
+        with capture_worker_spans() as worker:
+            assert current_worker_tracer() is worker
+            with worker_span("captured", n=2):
+                pass
+        assert current_worker_tracer() is None
+        assert [root.name for root in worker.roots] == ["captured"]
+        assert worker.roots[0].attributes == {"n": 2}
+
+    def test_capture_nests_and_restores_previous(self):
+        with capture_worker_spans() as outer:
+            with capture_worker_spans() as inner:
+                assert current_worker_tracer() is inner
+            assert current_worker_tracer() is outer

@@ -210,6 +210,74 @@ class TestTraceFlag:
         )
 
 
+class TestChromeTraceFlag:
+    def test_pipeline_trace_out_writes_chrome_json(self, payload, tmp_path, capsys):
+        chrome_path = tmp_path / "chrome.json"
+        code = run(
+            "pipeline",
+            payload,
+            tmp_path / "out.bin",
+            *ENCODING_ARGS,
+            "--coverage",
+            8,
+            "--error-rate",
+            0.04,
+            "--workers",
+            2,
+            "--trace-out",
+            chrome_path,
+        )
+        assert code == 0
+        assert "chrome trace written to" in capsys.readouterr().out
+        document = json.loads(chrome_path.read_text())
+        events = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+        names = {e["name"] for e in events}
+        assert "pipeline.run" in names
+        # Fan-outs capture worker-side spans even at low worker counts.
+        assert "worker.chunk" in names
+        metadata = [e for e in document["traceEvents"] if e.get("ph") == "M"]
+        assert any(e["args"]["name"] == "main" for e in metadata)
+
+    def test_profile_adds_memory_attributes(self, payload, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        code = run(
+            "pipeline",
+            payload,
+            tmp_path / "out.bin",
+            *ENCODING_ARGS,
+            "--coverage",
+            8,
+            "--profile",
+            "--trace",
+            trace_path,
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        stage_spans = [
+            line
+            for line in lines
+            if line["kind"] == "span" and line["name"] == "pipeline.decoding"
+        ]
+        assert stage_spans
+        for span in stage_spans:
+            assert "mem_peak_kb" in span["attributes"]
+            assert "mem_current_kb" in span["attributes"]
+            assert "gc_collections" in span["attributes"]
+
+    def test_profile_without_trace_prints_report(self, payload, tmp_path, capsys):
+        code = run(
+            "pipeline",
+            payload,
+            tmp_path / "out.bin",
+            *ENCODING_ARGS,
+            "--coverage",
+            8,
+            "--profile",
+        )
+        assert code == 0
+        assert "profile report" in capsys.readouterr().out
+
+
 class TestTraceCommand:
     def test_renders_report_from_trace_file(self, payload, tmp_path, capsys):
         trace_path = tmp_path / "trace.jsonl"
@@ -230,6 +298,47 @@ class TestTraceCommand:
         assert "pipeline.clustering" in output
         assert "counters" in output
         assert "clusters_formed" in output
+
+    def test_reports_fanout_balance_from_worker_runs(
+        self, payload, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "trace.jsonl"
+        run(
+            "pipeline",
+            payload,
+            tmp_path / "out.bin",
+            *ENCODING_ARGS,
+            "--coverage",
+            8,
+            "--trace",
+            trace_path,
+        )
+        capsys.readouterr()
+        assert run("trace", trace_path) == 0
+        output = capsys.readouterr().out
+        assert "fan-out balance" in output
+        assert "imbalance" in output
+
+    def test_converts_jsonl_to_chrome(self, payload, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        run(
+            "pipeline",
+            payload,
+            tmp_path / "out.bin",
+            *ENCODING_ARGS,
+            "--coverage",
+            8,
+            "--trace",
+            trace_path,
+        )
+        capsys.readouterr()
+        chrome_path = tmp_path / "chrome.json"
+        assert run("trace", trace_path, "--chrome", chrome_path) == 0
+        assert "chrome trace written to" in capsys.readouterr().out
+        document = json.loads(chrome_path.read_text())
+        names = {e["name"] for e in document["traceEvents"] if e.get("ph") == "X"}
+        assert "pipeline.run" in names
+        assert "worker.chunk" in names
 
 
 class TestWhyCommand:
