@@ -26,6 +26,7 @@ from repro.benchmarking.compare import (
     CompareThresholds,
     compare_kernel_reports,
     compare_reports,
+    diff_metric_maps,
     render_comparison,
 )
 from repro.benchmarking.kernels import (
@@ -57,6 +58,7 @@ __all__ = [
     "compare_kernel_reports",
     "compare_reports",
     "current_git_sha",
+    "diff_metric_maps",
     "default_output_path",
     "get_suite",
     "load_bench_report",

@@ -202,6 +202,63 @@ def compare_reports(
     return result
 
 
+def diff_metric_maps(
+    baseline: Dict[str, float],
+    new: Dict[str, float],
+    tolerance: float = 0.10,
+    slack: float = 0.0,
+    workload: str = "run",
+    baseline_name: str = "baseline",
+) -> ComparisonResult:
+    """Diff two flat metric maps with the quality-gate tolerance rules.
+
+    The generic core the run registry reuses (``repro runs diff/drift``):
+    every shared key compares with "match" direction — movement beyond
+    ``max(tolerance * |baseline|, slack)`` in *either* direction flags,
+    because a same-fingerprint seeded run should reproduce its metrics
+    exactly.  Keys missing from *new* that *baseline* had are regressions
+    (a metric vanished); keys only *new* has warn (the schema grew — not
+    a behaviour change the old history can witness).
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    result = ComparisonResult()
+    for key in sorted(set(baseline) | set(new)):
+        base_value = baseline.get(key)
+        new_value = new.get(key)
+        if base_value is None:
+            result.deltas.append(
+                MetricDelta(
+                    workload, key, None, new_value, False,
+                    f"new metric (absent from {baseline_name})",
+                )
+            )
+            result.warnings.append(
+                f"{workload}: {key} has no history in {baseline_name}"
+            )
+            continue
+        if new_value is None:
+            result.deltas.append(
+                MetricDelta(workload, key, base_value, None, True, "missing")
+            )
+            result.regressions.append(
+                f"{workload}: {key} missing (present in {baseline_name})"
+            )
+            continue
+        regressed = _quality_regressed(
+            "match", base_value, new_value, tolerance, slack
+        )
+        result.deltas.append(
+            MetricDelta(workload, key, base_value, new_value, regressed)
+        )
+        if regressed:
+            result.regressions.append(
+                f"{workload}: {key} drifted {base_value:.6g} -> "
+                f"{new_value:.6g} (vs {baseline_name})"
+            )
+    return result
+
+
 #: Boolean correctness fields of kernel-bench rows: gated exactly — a fast
 #: kernel that stops agreeing with its oracle is a correctness regression,
 #: however fast it got.

@@ -14,9 +14,12 @@ across machines — which is what lets CI gate on a committed baseline with
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.benchmarking.report import build_bench_report
+
+if TYPE_CHECKING:
+    from repro.observability.runs import RunRegistry
 from repro.benchmarking.suites import Workload, get_suite
 from repro.observability.metrics import percentile
 from repro.observability.trace import Tracer
@@ -99,11 +102,16 @@ def run_suite(
     git_sha: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
     workers: int = 1,
+    registry: Optional["RunRegistry"] = None,
 ) -> Dict:
     """Run every workload of *suite*; returns the BENCH report document.
 
     *progress* (when given) receives one line per workload as it finishes —
-    the CLI uses it so long suites show life.
+    the CLI uses it so long suites show life.  Pass a
+    :class:`~repro.observability.runs.RunRegistry` to also append one
+    ``kind="bench"`` :class:`~repro.observability.runs.RunRecord` for the
+    whole invocation (suite-params fingerprint, per-workload quality
+    metrics and p50 latencies) — the raw material of ``repro runs drift``.
     """
     rows = []
     for workload in get_suite(suite):
@@ -115,4 +123,9 @@ def run_suite(
                 f"{workload.repeats} repeat(s), success {row['success_rate']:.0%}"
             )
         rows.append(row)
-    return build_bench_report(suite, rows, git_sha=git_sha)
+    report = build_bench_report(suite, rows, git_sha=git_sha)
+    if registry is not None:
+        from repro.observability.runs import bench_run_record
+
+        registry.append(bench_run_record(report))
+    return report

@@ -26,6 +26,17 @@ tracemalloc memory / GC attributes to the top-level stage spans.
 lineage ledger; ``python -m repro why PATH`` renders its root-cause
 forensics (add ``--strand ID`` for one strand's full timeline).
 
+``pipeline`` and ``bench --suite`` runs append a
+:class:`~repro.observability.runs.RunRecord` to the persistent run
+registry (default ``.repro/runs/``; redirect with ``--runs-dir`` or
+``$REPRO_RUNS_DIR``, disable with ``--no-record``).  ``python -m repro
+runs`` works the registry: ``list``/``show`` browse history, ``diff``
+compares two runs, ``drift`` gates the newest run against its trailing
+same-fingerprint window (exit 4 — distinct from ``bench --compare``'s
+exit 3 — so CI can tell the two gates apart), ``gc`` prunes by age/count.
+``pipeline --sample-interval S`` additionally runs a background telemetry
+sampler whose counter/gauge/RSS time-series lands in the RunRecord.
+
 Diagnostics go through the structured ``repro.*`` loggers; the global
 ``--log-level/-v`` and ``--log-format`` flags control their verbosity and
 shape (compact human lines or JSONL).
@@ -45,12 +56,18 @@ from repro.codec import DNADecoder, DNAEncoder, EncodingParameters
 from repro.codec.layout import make_layout
 from repro.observability import (
     ProvenanceLedger,
+    RunRegistry,
+    TelemetrySampler,
     Tracer,
     as_tracer,
     configure_logging,
+    default_runs_dir,
+    detect_drift,
+    diff_runs,
     get_logger,
     load_ledger,
     load_trace,
+    pipeline_run_record,
     render_report,
     render_strand_timeline,
     render_tracer_report,
@@ -80,6 +97,28 @@ _RECONSTRUCTORS = {
     "dbma": DoubleSidedBMAReconstructor,
     "nwa": NWConsensusReconstructor,
 }
+
+# Exit-code contract (documented in the --help epilog).  The two
+# regression gates use distinct codes so CI scripts can tell "the bench
+# baseline regressed" apart from "the run registry drifted".
+EXIT_OK = 0
+#: operation failed (decode/round-trip failure, screen violations)
+EXIT_FAILURE = 1
+#: usage or unreadable-input error
+EXIT_USAGE = 2
+#: ``repro bench --compare`` found a regression against the baseline
+EXIT_BENCH_REGRESSION = 3
+#: ``repro runs drift``/``repro runs diff`` found metric drift
+EXIT_DRIFT = 4
+
+_EXIT_CODE_EPILOG = """\
+exit codes:
+  0  success
+  1  operation failure (decode/round-trip failure, screen violations)
+  2  usage or input error
+  3  bench regression (`repro bench --compare`)
+  4  run-registry drift (`repro runs drift`, `repro runs diff`)
+"""
 
 #: Diagnostics (file-written notices, bench progress) go through the
 #: structured logger; primary command output stays on plain ``print``.
@@ -306,8 +345,36 @@ def cmd_pipeline(args) -> int:
         workers=args.workers,
     )
     ledger = ProvenanceLedger() if args.provenance else None
-    result = Pipeline(config).run(data, tracer=tracer, ledger=ledger)
+    recording = not args.no_record
+    # Recording and sampling need a live metrics registry even when no
+    # --trace was requested; a private tracer changes no output.
+    run_tracer = tracer
+    if run_tracer is None and (recording or args.sample_interval):
+        run_tracer = Tracer()
+    sampler = (
+        TelemetrySampler(run_tracer.metrics, interval=args.sample_interval)
+        if args.sample_interval
+        else None
+    )
+    result = Pipeline(config).run(
+        data, tracer=run_tracer, ledger=ledger, sampler=sampler
+    )
     Path(args.output).write_bytes(result.data)
+    if recording:
+        registry = RunRegistry(args.runs_dir)
+        record = registry.append(
+            pipeline_run_record(
+                config,
+                result,
+                data_bytes=len(data),
+                label=str(args.input),
+                samples=sampler.samples if sampler is not None else (),
+                tracer=run_tracer,
+            )
+        )
+        # Debug level: the default (no-flag) stdout must stay identical
+        # to the unrecorded output.
+        _log.debug("run %s recorded to %s", record.run_id, registry.root)
     if ledger is not None and result.provenance is not None:
         path = write_ledger(result.provenance, args.provenance)
         _log.info("provenance ledger written to %s (render with `repro why`)", path)
@@ -332,8 +399,20 @@ def cmd_density(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    trace = load_trace(args.input)
-    print(render_report(trace, title=f"trace report ({args.input})"))
+    source = args.input or args.from_file
+    if source is None or (args.input and args.from_file):
+        print(
+            "error: provide exactly one saved trace "
+            "(positional PATH or --from PATH)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    try:
+        trace = load_trace(source)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    print(render_report(trace, title=f"trace report ({source})"))
     if args.chrome:
         path = write_chrome_trace(trace, args.chrome)
         _log.info(
@@ -442,7 +521,7 @@ def cmd_bench(args) -> int:
                 result, title=f"bench comparison ({baseline_path} -> {new_path})"
             )
         )
-        return 0 if result.ok else 1
+        return EXIT_OK if result.ok else EXIT_BENCH_REGRESSION
 
     if not args.suite:
         print("error: provide --suite NAME, --compare BASE NEW, or --list",
@@ -460,10 +539,152 @@ def cmd_bench(args) -> int:
         path.write_text(json.dumps(report, indent=2) + "\n")
         _log.info("kernel bench report written to %s", path)
         return 0
-    report = run_suite(args.suite, progress=_log.info, workers=args.workers)
+    registry = None if args.no_record else RunRegistry(args.runs_dir)
+    report = run_suite(
+        args.suite, progress=_log.info, workers=args.workers, registry=registry
+    )
     path = write_bench_report(report, args.out or default_output_path(args.suite))
     _log.info("bench report written to %s", path)
+    if registry is not None:
+        _log.debug("bench run recorded to %s", registry.root)
     return 0
+
+
+def _run_summary_row(record) -> List[str]:
+    return [
+        record.run_id,
+        record.kind,
+        record.created_iso,
+        record.fingerprint[:12],
+        "-" if record.seed is None else str(record.seed),
+        str(record.workers),
+        f"{record.total_seconds:.2f}",
+        record.label or "-",
+    ]
+
+
+def cmd_runs(args) -> int:
+    from repro.benchmarking import render_comparison
+
+    registry = RunRegistry(args.dir)
+    action = args.runs_command
+
+    if action == "list":
+        records = registry.records()
+        if args.limit and args.limit > 0:
+            records = records[-args.limit :]
+        records = list(reversed(records))  # newest first
+        if args.json:
+            print(json.dumps([record.as_dict() for record in records], indent=2))
+            return EXIT_OK
+        if not records:
+            print(f"no runs recorded in {registry.root}")
+            return EXIT_OK
+        print(
+            format_table(
+                ["run id", "kind", "created (UTC)", "fingerprint", "seed",
+                 "workers", "total s", "label"],
+                [_run_summary_row(record) for record in records],
+                title=f"run registry ({registry.root}, newest first)",
+            )
+        )
+        return EXIT_OK
+
+    if action == "show":
+        try:
+            record = registry.get(args.run_id)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return EXIT_USAGE
+        if args.json:
+            print(json.dumps(record.as_dict(), indent=2))
+            return EXIT_OK
+        rows = [
+            ["run id", record.run_id],
+            ["kind", record.kind],
+            ["created (UTC)", record.created_iso],
+            ["git sha", record.git_sha],
+            ["fingerprint", record.fingerprint],
+            ["label", record.label or "-"],
+            ["seed", "-" if record.seed is None else str(record.seed)],
+            ["workers", str(record.workers)],
+            ["total seconds", f"{record.total_seconds:.3f}"],
+            ["peak RSS", f"{record.peak_rss_bytes / 1e6:.1f} MB"],
+            ["telemetry samples", str(len(record.samples))],
+        ]
+        print(format_table(["field", "value"], rows, title=f"run {record.run_id}"))
+        if record.timings:
+            print()
+            print(
+                format_table(
+                    ["stage", "seconds"],
+                    [[k, f"{v:.3f}"] for k, v in record.timings.items()],
+                    title="timings (informational, never drift-gated)",
+                )
+            )
+        if record.metrics:
+            print()
+            print(
+                format_table(
+                    ["metric", "value"],
+                    [[k, f"{v:g}"] for k, v in sorted(record.metrics.items())],
+                    title="metrics (drift-gated)",
+                )
+            )
+        if record.load_imbalance:
+            print()
+            print(
+                format_table(
+                    ["fan-out site", "max/mean"],
+                    [[k, f"{v:.3f}"] for k, v in sorted(record.load_imbalance.items())],
+                    title="load imbalance",
+                )
+            )
+        return EXIT_OK
+
+    if action == "diff":
+        try:
+            run_a = registry.get(args.run_a)
+            run_b = registry.get(args.run_b)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return EXIT_USAGE
+        result = diff_runs(run_a, run_b, tolerance=args.tolerance)
+        print(
+            render_comparison(
+                result, title=f"run diff ({run_a.run_id} -> {run_b.run_id})"
+            )
+        )
+        return EXIT_OK if result.ok else EXIT_DRIFT
+
+    if action == "drift":
+        run = None
+        if args.run_id is not None:
+            try:
+                run = registry.get(args.run_id)
+            except KeyError as error:
+                print(f"error: {error.args[0]}", file=sys.stderr)
+                return EXIT_USAGE
+        result = detect_drift(
+            registry, run=run, window=args.window, tolerance=args.tolerance
+        )
+        print(render_comparison(result, title=f"drift check ({registry.root})"))
+        return EXIT_OK if result.ok else EXIT_DRIFT
+
+    if action == "gc":
+        if args.max_age_days is None and args.max_count is None:
+            print(
+                "error: provide --max-age-days and/or --max-count",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        kept, removed = registry.gc(
+            max_age_days=args.max_age_days, max_count=args.max_count
+        )
+        print(f"runs gc: kept {kept}, removed {removed} ({registry.root})")
+        return EXIT_OK
+
+    raise AssertionError(f"unhandled runs action {action!r}")
 
 
 def cmd_stats(args) -> int:
@@ -521,9 +742,26 @@ def _add_channel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--coverage", type=int, default=10)
 
 
+def _add_record_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip appending this run to the run registry",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        metavar="DIR",
+        default=None,
+        help="run registry location (default $REPRO_RUNS_DIR or .repro/runs)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description="DNA Storage Toolkit command line"
+        prog="repro",
+        description="DNA Storage Toolkit command line",
+        epilog=_EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -587,6 +825,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(render with `repro why PATH`)",
     )
     _add_workers_argument(pipeline)
+    _add_record_arguments(pipeline)
+    pipeline.add_argument(
+        "--sample-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sample counters/gauges/RSS every SECONDS in a background "
+        "thread; the time-series lands in the recorded RunRecord",
+    )
     pipeline.set_defaults(handler=cmd_pipeline)
 
     density = commands.add_parser("density", help="information-density report")
@@ -603,7 +850,17 @@ def build_parser() -> argparse.ArgumentParser:
     trace = commands.add_parser(
         "trace", help="render a saved trace (latency + counters report)"
     )
-    trace.add_argument("input", help="JSONL trace written by --trace")
+    trace.add_argument(
+        "input", nargs="?", default=None, help="JSONL trace written by --trace"
+    )
+    trace.add_argument(
+        "--from",
+        dest="from_file",
+        metavar="FILE",
+        default=None,
+        help="render the saved JSONL trace at FILE (alias for the "
+        "positional PATH; provide exactly one)",
+    )
     trace.add_argument(
         "--chrome",
         metavar="PATH",
@@ -651,7 +908,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=2,
         metavar=("BASELINE", "NEW"),
         default=None,
-        help="compare two bench reports; exits 1 on regression",
+        help="compare two bench reports; exits 3 on regression",
     )
     bench.add_argument(
         "--max-latency-ratio",
@@ -679,14 +936,110 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list suites and their workloads"
     )
     _add_workers_argument(bench)
+    _add_record_arguments(bench)
     bench.set_defaults(handler=cmd_bench)
+
+    runs = commands.add_parser(
+        "runs",
+        help="browse the run registry, diff runs, gate on drift, prune",
+        epilog=_EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    runs_commands = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_commands.add_parser(
+        "list", help="recorded runs, newest first"
+    )
+    runs_list.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="show only the newest N runs (default: all)",
+    )
+    runs_list.add_argument(
+        "--json", action="store_true", help="emit the records as JSON"
+    )
+
+    runs_show = runs_commands.add_parser(
+        "show", help="one record in full (accepts a unique id prefix)"
+    )
+    runs_show.add_argument("run_id", help="run id or unique prefix")
+    runs_show.add_argument(
+        "--json", action="store_true", help="emit the record as JSON"
+    )
+
+    runs_diff = runs_commands.add_parser(
+        "diff", help="diff two runs' metric maps (exits 4 past tolerance)"
+    )
+    runs_diff.add_argument("run_a", help="baseline run id (or unique prefix)")
+    runs_diff.add_argument("run_b", help="new run id (or unique prefix)")
+    runs_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative tolerance applied to every metric (default 0.10)",
+    )
+
+    runs_drift = runs_commands.add_parser(
+        "drift",
+        help="gate the newest run against its trailing same-fingerprint "
+        "window (exits 4 on drift; OK with a warning when no history)",
+    )
+    runs_drift.add_argument(
+        "--run",
+        dest="run_id",
+        default=None,
+        metavar="RUN_ID",
+        help="check this run instead of the newest record",
+    )
+    runs_drift.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        metavar="N",
+        help="trailing same-fingerprint runs to average (default 8)",
+    )
+    runs_drift.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative tolerance applied to every metric (default 0.10)",
+    )
+
+    runs_gc = runs_commands.add_parser(
+        "gc", help="prune old records by age and/or count"
+    )
+    runs_gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="drop records older than DAYS",
+    )
+    runs_gc.add_argument(
+        "--max-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the newest N records",
+    )
+
+    for runs_sub in (runs_list, runs_show, runs_diff, runs_drift, runs_gc):
+        runs_sub.add_argument(
+            "--dir",
+            metavar="DIR",
+            default=None,
+            help="registry location (default $REPRO_RUNS_DIR or .repro/runs)",
+        )
+    runs.set_defaults(handler=cmd_runs)
 
     # Global observability flags: every subcommand (except the renderers
     # and the bench harness, which manage their own tracers) can record
     # its run as a JSONL trace and/or a Chrome (Perfetto) timeline, and
     # opt into per-stage resource profiling.
     for name, subparser in commands.choices.items():
-        if name not in ("trace", "why", "bench"):
+        if name not in ("trace", "why", "bench", "runs"):
             subparser.add_argument(
                 "--trace",
                 metavar="PATH",
@@ -710,8 +1063,13 @@ def build_parser() -> argparse.ArgumentParser:
             )
 
     # Global logging flags: the CLI defaults to info-level diagnostics;
-    # -v raises to debug, --log-level overrides outright.
-    for subparser in commands.choices.values():
+    # -v raises to debug, --log-level overrides outright.  The `runs`
+    # sub-subcommands get their own copies so the flags work after the
+    # action word too (`repro runs list -v`).
+    logging_parsers = list(commands.choices.values()) + [
+        runs_list, runs_show, runs_diff, runs_drift, runs_gc
+    ]
+    for subparser in logging_parsers:
         subparser.add_argument(
             "--log-level",
             choices=("debug", "info", "warning", "error"),

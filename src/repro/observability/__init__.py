@@ -94,6 +94,19 @@ from repro.observability.forensics import (
     render_why_summary,
 )
 from repro.observability.log import configure_logging, get_logger, resolve_level
+from repro.observability.sampler import TelemetrySampler, current_rss_bytes
+from repro.observability.runs import (
+    RUNS_SCHEMA_VERSION,
+    RunRecord,
+    RunRegistry,
+    bench_run_record,
+    config_fingerprint,
+    default_runs_dir,
+    detect_drift,
+    diff_runs,
+    flatten_metrics,
+    pipeline_run_record,
+)
 
 __all__ = [
     "Counter",
@@ -151,4 +164,16 @@ __all__ = [
     "configure_logging",
     "get_logger",
     "resolve_level",
+    "TelemetrySampler",
+    "current_rss_bytes",
+    "RUNS_SCHEMA_VERSION",
+    "RunRecord",
+    "RunRegistry",
+    "bench_run_record",
+    "config_fingerprint",
+    "default_runs_dir",
+    "detect_drift",
+    "diff_runs",
+    "flatten_metrics",
+    "pipeline_run_record",
 ]

@@ -12,10 +12,20 @@ returns the same instrument, so call sites never need to coordinate.  A
 shared no-op registry (:data:`NULL_REGISTRY`) backs the no-op tracer:
 its instruments discard every update, keeping disabled instrumentation
 free of memory growth.
+
+The registry and its instruments are thread-safe: a registry-wide lock is
+shared by every instrument it creates, so a stage thread updating counters
+can race the :class:`~repro.observability.sampler.TelemetrySampler` thread
+calling :meth:`MetricsRegistry.snapshot` without torn reads or
+``RuntimeError: dictionary changed size during iteration``.  The lock is
+dropped on pickling (instruments cross no process boundary; worker-side
+metrics travel as the plain-data
+:class:`~repro.observability.trace.WorkerTracer` export).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 LabelsKey = Tuple[Tuple[str, str], ...]
@@ -45,114 +55,223 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
 
-class Counter:
+class _Locked:
+    """Mixin: a (possibly shared) lock that pickling drops and recreates."""
+
+    __slots__ = ()
+
+    def __getstate__(self):
+        return {
+            slot: getattr(self, slot)
+            for cls in type(self).__mro__
+            for slot in getattr(cls, "__slots__", ())
+            if slot != "_lock"
+        }
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._lock = threading.RLock()
+
+
+class Counter(_Locked):
     """A monotonically increasing count."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: Optional[threading.RLock] = None) -> None:
         self.value = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
-class Gauge:
+class Gauge(_Locked):
     """A point-in-time value (last write wins)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: Optional[threading.RLock] = None) -> None:
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
-class Histogram:
+class Histogram(_Locked):
     """A distribution summarised by count/sum/min/max and p50/p90/p99."""
 
-    __slots__ = ("observations",)
+    __slots__ = ("observations", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: Optional[threading.RLock] = None) -> None:
         self.observations: List[float] = []
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value: float) -> None:
-        self.observations.append(float(value))
+        with self._lock:
+            self.observations.append(float(value))
 
     @property
     def count(self) -> int:
         return len(self.observations)
 
     def quantile(self, q: float) -> float:
-        return percentile(self.observations, q)
+        with self._lock:
+            return percentile(self.observations, q)
 
     def summary(self) -> Dict[str, float]:
         """The exported shape: count, sum, min/max, mean and percentiles."""
-        if not self.observations:
+        with self._lock:
+            observations = list(self.observations)
+        if not observations:
             return {"count": 0, "sum": 0.0}
         return {
-            "count": self.count,
-            "sum": sum(self.observations),
-            "min": min(self.observations),
-            "max": max(self.observations),
-            "mean": sum(self.observations) / self.count,
-            "p50": self.quantile(50),
-            "p90": self.quantile(90),
-            "p99": self.quantile(99),
+            "count": len(observations),
+            "sum": sum(observations),
+            "min": min(observations),
+            "max": max(observations),
+            "mean": sum(observations) / len(observations),
+            "p50": percentile(observations, 50),
+            "p90": percentile(observations, 90),
+            "p99": percentile(observations, 99),
         }
 
 
+def render_key(name: str, labels: Dict[str, str]) -> str:
+    """Flat ``name{label=value,...}`` key used by snapshots and samples."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
 class MetricsRegistry:
-    """Get-or-create home for every instrument in a run."""
+    """Get-or-create home for every instrument in a run.
+
+    One :class:`threading.RLock` guards the instrument tables *and* is
+    shared by every instrument the registry hands out, so
+    :meth:`snapshot` sees a consistent point in time even while other
+    threads are incrementing and observing.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._counters: Dict[Tuple[str, LabelsKey], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelsKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelsKey], Histogram] = {}
 
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     # -- instrument accessors ------------------------------------------
 
     def counter(self, name: str, **labels: object) -> Counter:
-        return self._counters.setdefault((name, _labels_key(labels)), Counter())
+        key = (name, _labels_key(labels))
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter(self._lock)
+            return instrument
 
     def gauge(self, name: str, **labels: object) -> Gauge:
-        return self._gauges.setdefault((name, _labels_key(labels)), Gauge())
+        key = (name, _labels_key(labels))
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge(self._lock)
+            return instrument
 
     def histogram(self, name: str, **labels: object) -> Histogram:
-        return self._histograms.setdefault(
-            (name, _labels_key(labels)), Histogram()
-        )
+        key = (name, _labels_key(labels))
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(self._lock)
+            return instrument
 
     # -- iteration (sorted for stable reports) -------------------------
 
     def counters(self) -> Iterator[Tuple[str, Dict[str, str], Counter]]:
-        for (name, labels), counter in sorted(self._counters.items()):
+        with self._lock:
+            items = sorted(self._counters.items())
+        for (name, labels), counter in items:
             yield name, dict(labels), counter
 
     def gauges(self) -> Iterator[Tuple[str, Dict[str, str], Gauge]]:
-        for (name, labels), gauge in sorted(self._gauges.items()):
+        with self._lock:
+            items = sorted(self._gauges.items())
+        for (name, labels), gauge in items:
             yield name, dict(labels), gauge
 
     def histograms(self) -> Iterator[Tuple[str, Dict[str, str], Histogram]]:
-        for (name, labels), histogram in sorted(self._histograms.items()):
+        with self._lock:
+            items = sorted(self._histograms.items())
+        for (name, labels), histogram in items:
             yield name, dict(labels), histogram
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges) + len(self._histograms)
+        with self._lock:
+            return (
+                len(self._counters) + len(self._gauges) + len(self._histograms)
+            )
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A consistent point-in-time copy of every instrument.
+
+        Returns a JSON-ready mapping::
+
+            {"counters":   {"name{label=v}": int},
+             "gauges":     {"name{label=v}": float},
+             "histograms": {"name{label=v}": {"count": ..., "p50": ...}}}
+
+        Taken under the registry lock, so no instrument moves while the
+        copy is built — this is what the telemetry sampler thread calls.
+        """
+        with self._lock:
+            counters = {
+                render_key(name, dict(labels)): counter.value
+                for (name, labels), counter in sorted(self._counters.items())
+            }
+            gauges = {
+                render_key(name, dict(labels)): gauge.value
+                for (name, labels), gauge in sorted(self._gauges.items())
+            }
+            histograms = {
+                render_key(name, dict(labels)): histogram.summary()
+                for (name, labels), histogram in sorted(self._histograms.items())
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold *other*'s instruments into this registry (sums/extends)."""
-        for (key, counter) in other._counters.items():
-            self._counters.setdefault(key, Counter()).value += counter.value
-        for (key, gauge) in other._gauges.items():
-            self._gauges.setdefault(key, Gauge()).value = gauge.value
-        for (key, histogram) in other._histograms.items():
-            self._histograms.setdefault(key, Histogram()).observations.extend(
-                histogram.observations
-            )
+        with self._lock:
+            for (key, counter) in other._counters.items():
+                mine = self._counters.get(key)
+                if mine is None:
+                    mine = self._counters[key] = Counter(self._lock)
+                mine.value += counter.value
+            for (key, gauge) in other._gauges.items():
+                mine = self._gauges.get(key)
+                if mine is None:
+                    mine = self._gauges[key] = Gauge(self._lock)
+                mine.value = gauge.value
+            for (key, histogram) in other._histograms.items():
+                mine = self._histograms.get(key)
+                if mine is None:
+                    mine = self._histograms[key] = Histogram(self._lock)
+                mine.observations.extend(histogram.observations)
 
 
 class _NullInstrument:

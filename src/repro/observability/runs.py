@@ -1,0 +1,627 @@
+"""The flight recorder: a persistent, append-only registry of runs.
+
+Single-run observability (spans, metrics, quality, provenance) answers
+"what happened in *this* run"; this module answers "how does this run
+compare to the last hundred".  Every recorded ``repro pipeline`` /
+``repro bench`` invocation appends one :class:`RunRecord` to an on-disk
+registry (default ``.repro/runs/``, override with ``--runs-dir`` or the
+``REPRO_RUNS_DIR`` environment variable):
+
+* ``runs.jsonl`` — one schema-versioned record per line, append-only, so
+  concurrent invocations interleave without corrupting each other (the
+  append happens under an advisory file lock and as a single ``write``);
+* ``index.json`` — a small derived summary (count, fingerprint tally,
+  last run id) rebuilt on every append, cheap to read without scanning
+  the log.
+
+Each record carries a **config fingerprint**: the sha256 of the
+canonicalized configuration (:func:`config_fingerprint`).  Records with
+equal fingerprints ran the same configuration, which is what makes
+longitudinal comparison meaningful: :func:`detect_drift` takes the newest
+run and diffs its deterministic quality metrics against the trailing
+window of same-fingerprint history, reusing the tolerance machinery of
+:mod:`repro.benchmarking.compare`.  Seeded runs are bit-reproducible, so
+*any* metric movement at a fixed fingerprint means the code changed
+behaviour — the same argument the bench gate makes, now across every
+recorded invocation instead of only explicit bench runs.
+
+Latency lives in ``timings`` (informational; machine-dependent) and is
+never drift-gated; the gated ``metrics`` map holds only deterministic
+quality values (decode success, RS row fates, observed channel rates,
+verdict counts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # deferred at runtime: benchmarking imports the pipeline
+    from repro.benchmarking.compare import ComparisonResult
+
+#: Version of the RunRecord shape (bumped on breaking change).
+RUNS_SCHEMA_VERSION = 1
+
+#: ``kind`` values a record may carry.
+RUN_KINDS = ("pipeline", "bench")
+
+#: Environment variable overriding the default registry location.
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_RUNS_DIR = ".repro/runs"
+
+
+def default_runs_dir() -> Path:
+    """``$REPRO_RUNS_DIR`` when set, else ``.repro/runs``."""
+    return Path(os.environ.get(RUNS_DIR_ENV) or DEFAULT_RUNS_DIR)
+
+
+# ----------------------------------------------------------------------
+# Config canonicalization + fingerprint
+# ----------------------------------------------------------------------
+
+
+def canonicalize(value: object) -> object:
+    """Reduce *value* to a JSON-stable plain structure.
+
+    Dataclasses and plain objects become ``{"__type__": qualified name,
+    **fields}`` so two configs differing only in *which* channel /
+    reconstructor / layout class they use fingerprint differently even
+    when the field values coincide.  Containers recurse; callables and
+    classes reduce to their qualified name; anything else falls back to
+    ``repr`` (stable for the value objects used in configs).
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (bytes, bytearray)):
+        return hashlib.sha256(bytes(value)).hexdigest()
+    if isinstance(value, dict):
+        return {str(key): canonicalize(val) for key, val in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(repr(canonicalize(item)) for item in value)
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return canonicalize(value.tolist())
+    if isinstance(value, type) or callable(value):
+        return f"{getattr(value, '__module__', '?')}.{getattr(value, '__qualname__', repr(value))}"
+    type_name = f"{type(value).__module__}.{type(value).__qualname__}"
+    if dataclasses.is_dataclass(value):
+        fields = {
+            f.name: canonicalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__type__": type_name, **fields}
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        return {
+            "__type__": type_name,
+            **{
+                str(key): canonicalize(val)
+                for key, val in sorted(state.items())
+                if not str(key).startswith("_")
+            },
+        }
+    return {"__type__": type_name, "repr": repr(value)}
+
+
+def config_fingerprint(config: object) -> str:
+    """sha256 over the canonicalized *config* — equal iff configs match.
+
+    Works for a :class:`~repro.pipeline.config.PipelineConfig`, a suite
+    parameter dict, or any nested structure of the above.  Changing any
+    field (seed, error rate, worker count, layout class, ...) changes the
+    fingerprint; re-building an identical config reproduces it.
+    """
+    blob = json.dumps(
+        canonicalize(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# RunRecord
+# ----------------------------------------------------------------------
+
+
+def new_run_id(now: Optional[float] = None) -> str:
+    """A sortable, collision-free run id: UTC timestamp + random suffix."""
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime(now))
+    return f"{stamp}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclass
+class RunRecord:
+    """One recorded invocation, as persisted in ``runs.jsonl``."""
+
+    run_id: str
+    #: "pipeline" or "bench"
+    kind: str
+    #: seconds since the epoch, UTC
+    created_unix: float
+    #: commit recorded at run time, or "unknown"
+    git_sha: str
+    #: sha256 of the canonicalized configuration (:func:`config_fingerprint`)
+    fingerprint: str
+    #: human handle: the input file (pipeline) or suite name (bench)
+    label: str = ""
+    seed: Optional[int] = None
+    workers: int = 1
+    schema_version: int = RUNS_SCHEMA_VERSION
+    #: wall-clock seconds — per stage for pipelines, per workload for
+    #: benches; machine-dependent, never drift-gated
+    timings: Dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    #: deterministic quality metrics, flat dotted keys; the drift gate
+    #: compares exactly this map across same-fingerprint runs
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: worst max/mean chunk duration per fan-out site (1.0 = balanced)
+    load_imbalance: Dict[str, float] = field(default_factory=dict)
+    peak_rss_bytes: int = 0
+    #: telemetry time-series from ``--sample-interval`` (may be empty)
+    samples: List[Dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in RUN_KINDS:
+            raise ValueError(f"kind must be one of {RUN_KINDS}, got {self.kind!r}")
+
+    @property
+    def created_iso(self) -> str:
+        return time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.created_unix)
+        )
+
+    def as_dict(self) -> Dict:
+        """A JSON-ready dict (``from_dict`` inverts it)."""
+        payload = dataclasses.asdict(self)
+        # schema_version leads so raw JSONL lines are self-describing.
+        return {"schema_version": payload.pop("schema_version"), **payload}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunRecord":
+        """Rebuild a record written by :meth:`as_dict`."""
+        payload = dict(payload)
+        version = payload.get("schema_version")
+        if not isinstance(version, int) or version < 1:
+            raise ValueError(f"bad run record schema_version {version!r}")
+        if version > RUNS_SCHEMA_VERSION:
+            raise ValueError(
+                f"run record schema {version} is newer than supported "
+                f"({RUNS_SCHEMA_VERSION})"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: val for key, val in payload.items() if key in known})
+
+
+def flatten_metrics(node: object, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested dict as flat ``a.b.c`` keys.
+
+    Booleans become 0/1, strings/None are skipped, and ``schema_version``
+    keys are dropped (they describe the shape, not the run).
+    """
+    flat: Dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key == "schema_version":
+                continue
+            path = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_metrics(value, path))
+    elif isinstance(node, bool):
+        flat[prefix] = 1.0 if node else 0.0
+    elif isinstance(node, (int, float)):
+        flat[prefix] = float(node)
+    return flat
+
+
+def _peak_rss_bytes() -> int:
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    scale = 1 if sys.platform == "darwin" else 1024
+    own = resource.getrusage(resource.RUSAGE_SELF)
+    children = resource.getrusage(resource.RUSAGE_CHILDREN)
+    return max(own.ru_maxrss, children.ru_maxrss) * scale
+
+
+def pipeline_run_record(
+    config,
+    result,
+    *,
+    data_bytes: int,
+    label: str = "",
+    git_sha: Optional[str] = None,
+    samples: Sequence[Dict] = (),
+    tracer=None,
+    run_id: Optional[str] = None,
+    now: Optional[float] = None,
+) -> RunRecord:
+    """Build the RunRecord for one finished pipeline run.
+
+    *config* is the :class:`~repro.pipeline.config.PipelineConfig` that
+    produced *result* (a :class:`~repro.pipeline.pipeline.PipelineResult`);
+    pass the run's tracer to also capture per-fan-out load imbalance.
+    """
+    from repro.benchmarking.report import current_git_sha
+
+    metrics: Dict[str, float] = {
+        "success": 1.0 if result.success else 0.0,
+        "data_bytes": float(data_bytes),
+    }
+    if result.quality is not None:
+        metrics.update(flatten_metrics(result.quality.as_dict(), "quality"))
+    elif result.decode_report is not None:
+        report = result.decode_report
+        metrics.update(
+            {
+                "decode.clean_rows": float(report.clean_rows),
+                "decode.corrected_rows": float(report.corrected_rows),
+                "decode.failed_rows": float(report.failed_rows),
+            }
+        )
+    imbalance: Dict[str, float] = {}
+    if tracer is not None and getattr(tracer, "metrics", None) is not None:
+        for name, labels, gauge in tracer.metrics.gauges():
+            if name == "worker_load_imbalance":
+                imbalance[labels.get("span", "-")] = round(gauge.value, 4)
+    timestamp = time.time() if now is None else now
+    return RunRecord(
+        run_id=run_id or new_run_id(timestamp),
+        kind="pipeline",
+        created_unix=timestamp,
+        git_sha=git_sha if git_sha is not None else current_git_sha(),
+        fingerprint=config_fingerprint(config),
+        label=label,
+        seed=config.seed,
+        workers=config.workers,
+        timings={
+            stage: round(seconds, 6)
+            for stage, seconds in result.timings.as_dict().items()
+        },
+        total_seconds=round(result.timings.total, 6),
+        metrics=metrics,
+        load_imbalance=imbalance,
+        peak_rss_bytes=_peak_rss_bytes(),
+        samples=list(samples),
+    )
+
+
+def bench_run_record(
+    report: Dict,
+    *,
+    samples: Sequence[Dict] = (),
+    run_id: Optional[str] = None,
+    now: Optional[float] = None,
+) -> RunRecord:
+    """Build the RunRecord for one ``repro bench --suite`` invocation.
+
+    The fingerprint covers the suite's identity — name plus every
+    workload's declared params/sizes — so record streams from different
+    suites never mix in the drift window.
+    """
+    rows = report.get("workloads", [])
+    fingerprint_basis = {
+        "suite": report.get("suite"),
+        "workloads": [
+            {
+                "name": row.get("name"),
+                "params": row.get("params"),
+                "data_bytes": row.get("data_bytes"),
+                "repeats": row.get("repeats"),
+                "workers": row.get("workers"),
+            }
+            for row in rows
+        ],
+    }
+    metrics: Dict[str, float] = {}
+    timings: Dict[str, float] = {}
+    total = 0.0
+    for row in rows:
+        name = row.get("name", "?")
+        metrics[f"{name}.success_rate"] = float(row.get("success_rate", 0.0))
+        quality = row.get("quality")
+        if quality:
+            metrics.update(flatten_metrics(quality, f"{name}.quality"))
+        p50 = (row.get("latency_s") or {}).get("total", {}).get("p50")
+        if p50 is not None:
+            timings[f"{name}.total_p50"] = round(float(p50), 6)
+            total += float(p50)
+    timestamp = time.time() if now is None else now
+    return RunRecord(
+        run_id=run_id or new_run_id(timestamp),
+        kind="bench",
+        created_unix=timestamp,
+        git_sha=str(report.get("git_sha", "unknown")),
+        fingerprint=config_fingerprint(fingerprint_basis),
+        label=str(report.get("suite", "")),
+        seed=None,
+        workers=int(rows[0].get("workers", 1)) if rows else 1,
+        timings=timings,
+        total_seconds=round(total, 6),
+        metrics=metrics,
+        load_imbalance={},
+        peak_rss_bytes=_peak_rss_bytes(),
+        samples=list(samples),
+    )
+
+
+# ----------------------------------------------------------------------
+# RunRegistry — the on-disk store
+# ----------------------------------------------------------------------
+
+
+class RunRegistry:
+    """Append-only JSONL registry under one directory.
+
+    Appends are multi-process safe: the record line is written in a
+    single ``write`` call to a file opened in append mode, under an
+    advisory ``flock`` (where the platform provides one) so the derived
+    ``index.json`` rebuild never races another writer.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_runs_dir()
+
+    @property
+    def records_path(self) -> Path:
+        return self.root / "runs.jsonl"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / ".lock"
+
+    def exists(self) -> bool:
+        return self.records_path.exists()
+
+    # -- locking -------------------------------------------------------
+
+    @contextmanager
+    def _locked(self):
+        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(self.lock_path, "a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, record: RunRecord) -> RunRecord:
+        """Append *record* and rebuild the index; returns the record."""
+        line = json.dumps(record.as_dict(), sort_keys=False) + "\n"
+        with self._locked():
+            with open(self.records_path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+            self._rebuild_index()
+        return record
+
+    def _rebuild_index(self) -> None:
+        records = self._read_records()
+        fingerprints: Dict[str, int] = {}
+        for record in records:
+            fingerprints[record.fingerprint] = (
+                fingerprints.get(record.fingerprint, 0) + 1
+            )
+        index = {
+            "schema_version": RUNS_SCHEMA_VERSION,
+            "count": len(records),
+            "updated_unix": int(time.time()),
+            "last_run_id": records[-1].run_id if records else None,
+            "fingerprints": fingerprints,
+        }
+        self.index_path.write_text(json.dumps(index, indent=2) + "\n")
+
+    # -- reading -------------------------------------------------------
+
+    def _read_records(self) -> List[RunRecord]:
+        if not self.records_path.exists():
+            return []
+        records = []
+        for line in self.records_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if line:
+                records.append(RunRecord.from_dict(json.loads(line)))
+        return records
+
+    def records(self) -> List[RunRecord]:
+        """Every record, oldest first (file order == append order)."""
+        return self._read_records()
+
+    def index(self) -> Dict:
+        """The derived index document ({} when the registry is empty)."""
+        if not self.index_path.exists():
+            return {}
+        return json.loads(self.index_path.read_text())
+
+    def get(self, run_id: str) -> RunRecord:
+        """The record whose id equals or uniquely starts with *run_id*."""
+        matches = [
+            record
+            for record in self._read_records()
+            if record.run_id == run_id or record.run_id.startswith(run_id)
+        ]
+        exact = [record for record in matches if record.run_id == run_id]
+        if exact:
+            return exact[-1]
+        if not matches:
+            raise KeyError(f"no run matches {run_id!r}")
+        if len(matches) > 1:
+            ids = ", ".join(record.run_id for record in matches)
+            raise KeyError(f"run id {run_id!r} is ambiguous ({ids})")
+        return matches[0]
+
+    def latest(self, kind: Optional[str] = None) -> Optional[RunRecord]:
+        """The newest record (optionally of one *kind*), or None."""
+        for record in reversed(self._read_records()):
+            if kind is None or record.kind == kind:
+                return record
+        return None
+
+    def trailing(
+        self,
+        fingerprint: str,
+        kind: str,
+        before: Optional[str] = None,
+        window: int = 8,
+    ) -> List[RunRecord]:
+        """Up to *window* same-fingerprint records preceding run *before*.
+
+        Newest last.  *before* (a run id) excludes the target run itself
+        and anything appended after it; None means "use all history".
+        """
+        records = self._read_records()
+        if before is not None:
+            cut = next(
+                (i for i, r in enumerate(records) if r.run_id == before),
+                len(records),
+            )
+            records = records[:cut]
+        matching = [
+            record
+            for record in records
+            if record.fingerprint == fingerprint and record.kind == kind
+        ]
+        return matching[-window:] if window > 0 else matching
+
+    # -- retention -----------------------------------------------------
+
+    def gc(
+        self,
+        max_age_days: Optional[float] = None,
+        max_count: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Prune old records; returns ``(kept, removed)``.
+
+        ``max_age_days`` drops records older than the cutoff;
+        ``max_count`` then keeps only the newest N.  The log is rewritten
+        atomically (temp file + rename) under the registry lock.
+        """
+        if max_age_days is None and max_count is None:
+            raise ValueError("gc needs max_age_days and/or max_count")
+        if max_age_days is not None and max_age_days < 0:
+            raise ValueError("max_age_days must be non-negative")
+        if max_count is not None and max_count < 0:
+            raise ValueError("max_count must be non-negative")
+        timestamp = time.time() if now is None else now
+        with self._locked():
+            records = self._read_records()
+            kept = records
+            if max_age_days is not None:
+                cutoff = timestamp - max_age_days * 86400.0
+                kept = [r for r in kept if r.created_unix >= cutoff]
+            if max_count is not None and len(kept) > max_count:
+                kept = kept[len(kept) - max_count :]
+            removed = len(records) - len(kept)
+            if removed:
+                tmp = self.records_path.with_suffix(".jsonl.tmp")
+                tmp.write_text(
+                    "".join(
+                        json.dumps(r.as_dict(), sort_keys=False) + "\n"
+                        for r in kept
+                    ),
+                    encoding="utf-8",
+                )
+                tmp.replace(self.records_path)
+                self._rebuild_index()
+        return len(kept), removed
+
+
+# ----------------------------------------------------------------------
+# Drift detection
+# ----------------------------------------------------------------------
+
+
+def detect_drift(
+    registry: RunRegistry,
+    run: Optional[RunRecord] = None,
+    window: int = 8,
+    tolerance: float = 0.10,
+    slack: float = 1e-9,
+) -> ComparisonResult:
+    """Diff *run* (default: the newest record) against its trailing window.
+
+    The baseline for each metric is the mean over up to *window* earlier
+    records sharing the run's fingerprint and kind; a metric deviating
+    beyond ``max(tolerance * |baseline|, slack)`` in either direction is
+    a regression (seeded runs are deterministic, so *any* real movement
+    at a fixed fingerprint means behaviour changed).  With no history the
+    result is OK with a warning — the first run of a new configuration
+    cannot drift.
+    """
+    from repro.benchmarking.compare import ComparisonResult, diff_metric_maps
+
+    if run is None:
+        run = registry.latest()
+    result = ComparisonResult()
+    if run is None:
+        result.warnings.append("registry is empty: nothing to check")
+        return result
+    history = registry.trailing(
+        run.fingerprint, run.kind, before=run.run_id, window=window
+    )
+    if not history:
+        result.warnings.append(
+            f"no earlier runs share fingerprint {run.fingerprint[:12]}: "
+            "first run of this configuration, nothing to drift against"
+        )
+        return result
+    baseline: Dict[str, float] = {}
+    for key in sorted({k for record in history for k in record.metrics}):
+        values = [r.metrics[key] for r in history if key in r.metrics]
+        baseline[key] = sum(values) / len(values)
+    return diff_metric_maps(
+        baseline,
+        run.metrics,
+        tolerance=tolerance,
+        slack=slack,
+        workload=run.run_id,
+        baseline_name=f"trailing {len(history)} run(s)",
+    )
+
+
+def diff_runs(
+    a: RunRecord,
+    b: RunRecord,
+    tolerance: float = 0.10,
+    slack: float = 1e-9,
+) -> ComparisonResult:
+    """Diff two records' metric maps (A as baseline, B as new)."""
+    from repro.benchmarking.compare import diff_metric_maps
+
+    result = diff_metric_maps(
+        a.metrics,
+        b.metrics,
+        tolerance=tolerance,
+        slack=slack,
+        workload=b.run_id,
+        baseline_name=a.run_id,
+    )
+    if a.fingerprint != b.fingerprint:
+        result.warnings.append(
+            f"fingerprints differ ({a.fingerprint[:12]} vs "
+            f"{b.fingerprint[:12]}): comparing different configurations"
+        )
+    return result

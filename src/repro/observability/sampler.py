@@ -1,0 +1,150 @@
+"""Live telemetry sampling: a background thread snapshotting the metrics.
+
+Spans tell you where the time went *after* a run; the sampler records how
+the run looked *while it happened*.  A :class:`TelemetrySampler` wraps a
+(thread-safe) :class:`~repro.observability.metrics.MetricsRegistry` and a
+sampling interval: between :meth:`~TelemetrySampler.start` and
+:meth:`~TelemetrySampler.stop` a daemon thread calls
+:meth:`MetricsRegistry.snapshot` every ``interval`` seconds and pairs it
+with the process's current resident set size, producing a monotonic
+time-series of samples::
+
+    {"t": 0.153, "rss_bytes": 48734208,
+     "counters": {"clusters_formed": 12, ...},
+     "gauges": {"worker_load_imbalance{span=...}": 1.08, ...}}
+
+One sample is always taken at start and one at stop, so even runs shorter
+than the interval yield a two-point series.  The samples attach to the
+:class:`~repro.observability.runs.RunRecord` of a recorded run (CLI
+``--sample-interval``), giving ``repro runs show`` an in-flight view —
+counter ramps, RSS growth — instead of only end-of-run totals.
+
+The sampler owns no instrumentation of its own: it is a pure reader, and
+the registry's internal lock makes the reads race-free against the
+pipeline thread (see :mod:`repro.observability.metrics`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.observability.metrics import MetricsRegistry
+
+
+def current_rss_bytes() -> int:
+    """The process's resident set size right now, in bytes (0 if unknown).
+
+    Linux exposes the live value in ``/proc/self/status`` (``VmRSS``);
+    elsewhere fall back to :func:`resource.getrusage`'s *peak* RSS, which
+    is at least monotone, and 0 where neither exists.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        import sys
+
+        scale = 1 if sys.platform == "darwin" else 1024
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * scale
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+
+
+class TelemetrySampler:
+    """Periodic counter/gauge/RSS snapshots on a background thread.
+
+    Usage mirrors the tracer's opt-in pattern::
+
+        sampler = TelemetrySampler(tracer.metrics, interval=0.05)
+        result = Pipeline(config).run(data, tracer=tracer, sampler=sampler)
+        series = sampler.samples          # already stopped by the pipeline
+
+    ``start``/``stop`` are also safe to call directly (stop is idempotent
+    and returns the collected series).  Sample timestamps are seconds
+    since ``start`` and strictly increasing.
+    """
+
+    def __init__(self, metrics: MetricsRegistry, interval: float = 0.05):
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval}")
+        self.metrics = metrics
+        self.interval = float(interval)
+        self._samples: List[Dict] = []
+        self._samples_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._epoch: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def samples(self) -> List[Dict]:
+        """The series collected so far (a copy; safe while running)."""
+        with self._samples_lock:
+            return list(self._samples)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "TelemetrySampler":
+        """Take the first sample and launch the sampling thread."""
+        if self._thread is not None:
+            raise RuntimeError("sampler is already running")
+        if self._epoch is None:
+            self._epoch = time.monotonic()
+        self._take_sample()
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-telemetry-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> List[Dict]:
+        """Stop the thread, take a final sample, return the full series."""
+        thread = self._thread
+        if thread is not None:
+            self._stop_event.set()
+            thread.join()
+            self._thread = None
+            self._take_sample()
+        return self.samples
+
+    def __enter__(self) -> "TelemetrySampler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        # Event.wait doubles as the sleep: setting the stop event wakes
+        # the thread immediately instead of finishing a full interval.
+        while not self._stop_event.wait(self.interval):
+            self._take_sample()
+
+    def _take_sample(self) -> None:
+        snapshot = self.metrics.snapshot()
+        elapsed = time.monotonic() - (self._epoch or time.monotonic())
+        sample = {
+            "t": elapsed,
+            "rss_bytes": current_rss_bytes(),
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+        }
+        with self._samples_lock:
+            if self._samples and sample["t"] <= self._samples[-1]["t"]:
+                # Clock resolution can tie consecutive samples; nudge so
+                # the exported series stays strictly monotonic.
+                sample["t"] = self._samples[-1]["t"] + 1e-9
+            sample["t"] = round(sample["t"], 9)
+            self._samples.append(sample)

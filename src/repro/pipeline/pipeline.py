@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import inspect
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.clustering.metrics import cluster_quality
 from repro.clustering.rashtchian import ClusteringResult, RashtchianClusterer
@@ -52,6 +53,9 @@ from repro.pipeline.stats import StageTimings
 from repro.simulation.coverage import SequencingRun, sequence_pool
 from repro.simulation.observed import observe_channel_quality
 from repro.wetlab.preprocess import WetlabPreprocessor
+
+if TYPE_CHECKING:
+    from repro.observability.sampler import TelemetrySampler
 
 
 @dataclass
@@ -105,6 +109,7 @@ class Pipeline:
         data: bytes,
         tracer: Optional[Tracer] = None,
         ledger: Optional[ProvenanceLedger] = None,
+        sampler: Optional["TelemetrySampler"] = None,
     ) -> PipelineResult:
         """Encode *data*, simulate the wetlab, and recover the file.
 
@@ -117,6 +122,12 @@ class Pipeline:
         opt-in pattern as *tracer*).  Lineage needs the read->origin
         pairing, which primer preprocessing destroys, so the ledger is
         ignored on primer-wrapped configurations.
+
+        Pass a :class:`~repro.observability.TelemetrySampler` (built on
+        *tracer*'s metrics registry) to collect a live counter/gauge/RSS
+        time-series covering exactly this run: it is started as the run
+        begins and stopped — even on an exception — before ``run``
+        returns, so ``sampler.samples`` is complete afterwards.
         """
         config = self.config
         tracer = as_tracer(tracer)
@@ -132,7 +143,12 @@ class Pipeline:
         )
         timings = StageTimings()
 
-        with tracer.span("pipeline.run", input_bytes=len(data)), WorkerPool(
+        # The sampler is a context manager (start on enter, stop on exit),
+        # so its series brackets exactly the pipeline.run span — including
+        # the final sample after the last stage — even when a stage raises.
+        with (
+            sampler if sampler is not None else nullcontext()
+        ), tracer.span("pipeline.run", input_bytes=len(data)), WorkerPool(
             config.workers, tracer=tracer
         ) as pool:
             with tracer.span("pipeline.encoding") as span:

@@ -8,6 +8,7 @@ from repro.benchmarking import (
     CompareThresholds,
     compare_kernel_reports,
     compare_reports,
+    diff_metric_maps,
     render_comparison,
 )
 from tests.benchmarking.test_report import bench_report
@@ -242,3 +243,45 @@ class TestKernelGate:
     def test_invalid_ratio_raises(self):
         with pytest.raises(ValueError):
             compare_kernel_reports(kernel_report(), kernel_report(), 0)
+
+
+class TestDiffMetricMaps:
+    def test_identical_maps_pass(self):
+        result = diff_metric_maps({"a": 1.0, "b": 0.5}, {"a": 1.0, "b": 0.5})
+        assert result.ok
+        assert len(result.deltas) == 2
+
+    def test_movement_past_tolerance_is_regression_both_directions(self):
+        for new_value in (0.7, 1.3):
+            result = diff_metric_maps({"a": 1.0}, {"a": new_value}, tolerance=0.1)
+            assert not result.ok
+            assert any("drifted" in line for line in result.regressions)
+
+    def test_movement_within_tolerance_passes(self):
+        assert diff_metric_maps({"a": 1.0}, {"a": 1.05}, tolerance=0.1).ok
+
+    def test_slack_absorbs_absolute_noise_near_zero(self):
+        assert diff_metric_maps({"a": 0.0}, {"a": 1e-12}, slack=1e-9).ok
+        assert not diff_metric_maps({"a": 0.0}, {"a": 1e-6}, slack=1e-9).ok
+
+    def test_new_key_warns_but_passes(self):
+        result = diff_metric_maps({}, {"fresh": 1.0})
+        assert result.ok
+        assert any("no history" in warning for warning in result.warnings)
+
+    def test_missing_key_is_regression(self):
+        result = diff_metric_maps({"gone": 1.0}, {})
+        assert not result.ok
+
+    def test_message_names_workload_and_baseline(self):
+        result = diff_metric_maps(
+            {"a": 1.0}, {"a": 2.0}, workload="run-42", baseline_name="trailing 3"
+        )
+        assert any(
+            "run-42" in line and "trailing 3" in line
+            for line in result.regressions
+        )
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_metric_maps({}, {}, tolerance=-0.1)

@@ -22,3 +22,25 @@ class TestRunWorkload:
         row = run_workload(workload)
         assert set(row["latency_s"]) == set(STAGES)
         validate_bench_report(build_bench_report("smoke", [row], git_sha="test"))
+
+
+class TestRunSuiteRecording:
+    def test_suite_run_appends_one_bench_record(self, tmp_path):
+        from repro.benchmarking.runner import run_suite
+        from repro.observability.runs import RunRegistry
+
+        registry = RunRegistry(tmp_path / "runs")
+        report = run_suite("smoke", git_sha="test", registry=registry)
+        (record,) = registry.records()
+        assert record.kind == "bench"
+        assert record.label == "smoke"
+        names = {row["name"] for row in report["workloads"]}
+        assert {key.split(".")[0] for key in record.timings} == names
+        assert all(
+            record.metrics[f"{name}.success_rate"] == 1.0 for name in names
+        )
+        # Re-running the same suite lands in the same drift stream.
+        run_suite("smoke", git_sha="test", registry=registry)
+        first, second = registry.records()
+        assert first.fingerprint == second.fingerprint
+        assert first.metrics == second.metrics  # seeded: bit-reproducible

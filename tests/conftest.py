@@ -20,3 +20,13 @@ settings.load_profile("toolkit")
 def rng():
     """A deterministic random generator per test."""
     return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Point the run registry at a per-test directory.
+
+    ``repro pipeline`` / ``repro bench`` record by default; without this
+    every CLI test would append to ``.repro/runs`` in the checkout.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs-registry"))

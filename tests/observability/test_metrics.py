@@ -128,6 +128,109 @@ class TestRegistryIteration:
         assert left.histogram("h").count == 1
 
 
+class TestThreadSafety:
+    def test_concurrent_counter_increments_sum_exactly(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def work():
+            for _ in range(5000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 20000
+
+    def test_concurrent_histogram_observes_keep_every_sample(self):
+        import threading
+
+        histogram = MetricsRegistry().histogram("latency")
+
+        def work():
+            for value in range(3000):
+                histogram.observe(float(value))
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert histogram.count == 12000
+        assert histogram.summary()["count"] == 12000
+
+    def test_instrument_creation_races_snapshot(self):
+        # A writer thread creating fresh instruments must never corrupt a
+        # concurrent snapshot (the classic RuntimeError: dict changed size
+        # during iteration without the registry lock).
+        import threading
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                registry.counter(f"c{i % 50}", shard=str(i % 7)).inc()
+                registry.gauge(f"g{i % 50}").set(i)
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    registry.snapshot()
+            except Exception as error:  # pragma: no cover - the failure mode
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_snapshot_is_a_consistent_copy(self):
+        registry = MetricsRegistry()
+        registry.counter("reads", stage="clustering").inc(3)
+        registry.gauge("depth").set(2.5)
+        registry.histogram("lat").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"reads{stage=clustering}": 3}
+        assert snap["gauges"] == {"depth": 2.5}
+        assert snap["histograms"]["lat"]["count"] == 1
+        # Mutations after the snapshot must not leak into it.
+        registry.counter("reads", stage="clustering").inc()
+        assert snap["counters"]["reads{stage=clustering}"] == 3
+
+    def test_null_registry_snapshot_is_empty(self):
+        from repro.observability import NULL_REGISTRY
+
+        snap = NULL_REGISTRY.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_registry_survives_pickling(self):
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.counter("n").inc(2)
+        registry.histogram("h").observe(1.5)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.counter("n").value == 2
+        clone.counter("n").inc()  # the recreated lock must work
+        assert clone.counter("n").value == 3
+        assert clone.histogram("h").count == 1
+
+
 class TestProcessGauges:
     def test_records_rss_and_cpu(self):
         from repro.observability import emit_process_gauges

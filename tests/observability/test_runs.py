@@ -1,0 +1,339 @@
+"""Run registry: records, fingerprints, concurrency, drift, retention."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.clustering import ClusteringConfig
+from repro.codec import EncodingParameters
+from repro.observability import TelemetrySampler, Tracer
+from repro.observability.runs import (
+    RUNS_SCHEMA_VERSION,
+    RunRecord,
+    RunRegistry,
+    bench_run_record,
+    canonicalize,
+    config_fingerprint,
+    detect_drift,
+    diff_runs,
+    flatten_metrics,
+    new_run_id,
+    pipeline_run_record,
+)
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.simulation import ConstantCoverage, IIDChannel
+
+
+def make_record(run_id, fingerprint="f" * 64, metrics=None, kind="pipeline",
+                created_unix=1_000_000.0, **overrides):
+    fields = dict(
+        run_id=run_id,
+        kind=kind,
+        created_unix=created_unix,
+        git_sha="deadbeef",
+        fingerprint=fingerprint,
+        label="payload.bin",
+        seed=0,
+        workers=1,
+        timings={"total": 1.0},
+        total_seconds=1.0,
+        metrics=metrics or {"success": 1.0, "quality.exact": 0.9},
+    )
+    fields.update(overrides)
+    return RunRecord(**fields)
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        encoding=EncodingParameters(
+            payload_bytes=12, data_columns=16, parity_columns=8, index_bytes=2
+        ),
+        channel=IIDChannel.from_total_rate(0.03),
+        coverage=ConstantCoverage(8),
+        clustering=ClusteringConfig(rounds=12, num_grams=48, seed=1),
+        seed=7,
+    )
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+class TestRunRecord:
+    def test_json_round_trip(self):
+        record = make_record(
+            "20260101T000000Z-aaaa0000",
+            load_imbalance={"pipeline.clustering": 1.08},
+            peak_rss_bytes=123456,
+            samples=[{"t": 0.0, "rss_bytes": 1, "counters": {}, "gauges": {}}],
+        )
+        clone = RunRecord.from_dict(json.loads(json.dumps(record.as_dict())))
+        assert clone == record
+
+    def test_schema_version_leads_the_serialized_form(self):
+        payload = make_record("r1").as_dict()
+        assert next(iter(payload)) == "schema_version"
+        assert payload["schema_version"] == RUNS_SCHEMA_VERSION
+
+    def test_from_dict_rejects_newer_schema(self):
+        payload = make_record("r1").as_dict()
+        payload["schema_version"] = RUNS_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer than supported"):
+            RunRecord.from_dict(payload)
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = make_record("r1").as_dict()
+        payload["future_field"] = "whatever"
+        assert RunRecord.from_dict(payload).run_id == "r1"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            make_record("r1", kind="mystery")
+
+    def test_run_ids_are_unique_and_sortable(self):
+        ids = {new_run_id(1_700_000_000.0) for _ in range(32)}
+        assert len(ids) == 32
+        assert all(run_id.startswith("2023") for run_id in ids)
+
+
+class TestFingerprint:
+    def test_identical_configs_fingerprint_equal(self):
+        assert config_fingerprint(fast_config()) == config_fingerprint(fast_config())
+
+    def test_seed_change_changes_fingerprint(self):
+        assert config_fingerprint(fast_config()) != config_fingerprint(
+            fast_config(seed=8)
+        )
+
+    def test_channel_class_is_part_of_the_fingerprint(self):
+        from repro.simulation import SOLQCChannel
+
+        assert config_fingerprint(fast_config()) != config_fingerprint(
+            fast_config(channel=SOLQCChannel())
+        )
+
+    def test_dict_key_order_is_canonicalized(self):
+        assert config_fingerprint({"a": 1, "b": 2.5}) == config_fingerprint(
+            {"b": 2.5, "a": 1}
+        )
+
+    def test_canonicalize_tags_object_types(self):
+        canon = canonicalize(fast_config())
+        assert canon["__type__"].endswith("PipelineConfig")
+        assert canon["encoding"]["__type__"].endswith("EncodingParameters")
+
+
+class TestFlattenMetrics:
+    def test_nested_numeric_leaves(self):
+        flat = flatten_metrics(
+            {"a": {"b": 2, "ok": True}, "s": "skip", "schema_version": 9}
+        )
+        assert flat == {"a.b": 2.0, "a.ok": 1.0}
+
+
+class TestRegistry:
+    def test_append_and_read_back(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.append(make_record("r1"))
+        registry.append(make_record("r2"))
+        assert [r.run_id for r in registry.records()] == ["r1", "r2"]
+        index = registry.index()
+        assert index["count"] == 2
+        assert index["last_run_id"] == "r2"
+        assert index["fingerprints"] == {"f" * 64: 2}
+
+    def test_get_by_unique_prefix(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.append(make_record("20260101T000000Z-aaaa0000"))
+        registry.append(make_record("20260102T000000Z-bbbb0000"))
+        assert registry.get("20260102").run_id == "20260102T000000Z-bbbb0000"
+        with pytest.raises(KeyError, match="ambiguous"):
+            registry.get("2026")
+        with pytest.raises(KeyError, match="no run"):
+            registry.get("zzz")
+
+    def test_latest_filters_by_kind(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.append(make_record("p1"))
+        registry.append(make_record("b1", kind="bench"))
+        assert registry.latest().run_id == "b1"
+        assert registry.latest(kind="pipeline").run_id == "p1"
+
+    def test_trailing_window_same_fingerprint_only(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        for i in range(5):
+            registry.append(make_record(f"a{i}", fingerprint="a" * 64))
+        registry.append(make_record("other", fingerprint="b" * 64))
+        trailing = registry.trailing("a" * 64, "pipeline", before="a4", window=3)
+        assert [r.run_id for r in trailing] == ["a1", "a2", "a3"]
+
+    def test_two_process_concurrent_append(self, tmp_path):
+        root = tmp_path / "runs"
+
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_append_many, args=(str(root), label, 10))
+            for label in ("p", "q")
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+        assert all(proc.exitcode == 0 for proc in procs)
+        registry = RunRegistry(root)
+        records = registry.records()  # every line parses: no torn writes
+        assert len(records) == 20
+        assert {r.run_id for r in records} == {
+            f"{label}{i}" for label in ("p", "q") for i in range(10)
+        }
+        assert registry.index()["count"] == 20
+
+    def test_gc_by_count_keeps_newest(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        for i in range(6):
+            registry.append(make_record(f"r{i}", created_unix=1000.0 + i))
+        kept, removed = registry.gc(max_count=2)
+        assert (kept, removed) == (2, 4)
+        assert [r.run_id for r in registry.records()] == ["r4", "r5"]
+        assert registry.index()["count"] == 2
+
+    def test_gc_by_age(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        day = 86400.0
+        registry.append(make_record("old", created_unix=0.0))
+        registry.append(make_record("new", created_unix=9 * day))
+        kept, removed = registry.gc(max_age_days=2, now=10 * day)
+        assert (kept, removed) == (1, 1)
+        assert registry.records()[0].run_id == "new"
+
+    def test_gc_requires_a_policy(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunRegistry(tmp_path / "runs").gc()
+
+
+def _append_many(root, label, count):
+    registry = RunRegistry(root)
+    for i in range(count):
+        registry.append(make_record(f"{label}{i}"))
+
+
+class TestDrift:
+    def test_empty_registry_is_ok_with_warning(self, tmp_path):
+        result = detect_drift(RunRegistry(tmp_path / "runs"))
+        assert result.ok
+        assert "empty" in result.warnings[0]
+
+    def test_first_run_of_a_fingerprint_cannot_drift(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.append(make_record("r1"))
+        result = detect_drift(registry)
+        assert result.ok
+        assert "first run" in result.warnings[0]
+
+    def test_stable_history_passes(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        for i in range(4):
+            registry.append(make_record(f"r{i}"))
+        assert detect_drift(registry).ok
+
+    def test_injected_regression_fails(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        for i in range(3):
+            registry.append(make_record(f"r{i}"))
+        registry.append(
+            make_record("bad", metrics={"success": 1.0, "quality.exact": 0.5})
+        )
+        result = detect_drift(registry)
+        assert not result.ok
+        assert any("quality.exact" in r for r in result.regressions)
+
+    def test_small_drift_within_tolerance_passes(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.append(make_record("r0"))
+        registry.append(
+            make_record("r1", metrics={"success": 1.0, "quality.exact": 0.94})
+        )
+        assert detect_drift(registry, tolerance=0.10).ok
+        assert not detect_drift(registry, tolerance=0.01).ok
+
+    def test_different_fingerprint_history_is_ignored(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.append(
+            make_record("other", fingerprint="b" * 64, metrics={"success": 0.0})
+        )
+        registry.append(make_record("r1"))
+        result = detect_drift(registry)
+        assert result.ok
+        assert "first run" in result.warnings[0]
+
+    def test_diff_runs_warns_on_fingerprint_mismatch(self):
+        a = make_record("a", fingerprint="a" * 64)
+        b = make_record("b", fingerprint="b" * 64)
+        result = diff_runs(a, b)
+        assert result.ok  # same metrics: no drift, just the warning
+        assert any("fingerprints differ" in w for w in result.warnings)
+
+
+class TestRecordBuilders:
+    def test_bench_run_record_from_report(self):
+        report = {
+            "suite": "smoke",
+            "git_sha": "cafebabe",
+            "workloads": [
+                {
+                    "name": "w1",
+                    "params": {"coverage": 8},
+                    "data_bytes": 500,
+                    "repeats": 1,
+                    "workers": 1,
+                    "success_rate": 1.0,
+                    "latency_s": {"total": {"p50": 0.25}},
+                    "quality": {"decoding": {"clean_rows": 4}},
+                }
+            ],
+        }
+        record = bench_run_record(report, now=1_700_000_000.0)
+        assert record.kind == "bench"
+        assert record.label == "smoke"
+        assert record.metrics["w1.success_rate"] == 1.0
+        assert record.metrics["w1.quality.decoding.clean_rows"] == 4.0
+        assert record.timings["w1.total_p50"] == 0.25
+        # The fingerprint covers suite identity, not measured outcomes.
+        report2 = json.loads(json.dumps(report))
+        report2["workloads"][0]["success_rate"] = 0.0
+        assert bench_run_record(report2).fingerprint == record.fingerprint
+        report3 = json.loads(json.dumps(report))
+        report3["workloads"][0]["params"]["coverage"] = 9
+        assert bench_run_record(report3).fingerprint != record.fingerprint
+
+    def test_pipeline_run_record_end_to_end(self):
+        config = fast_config()
+        data = b"flight recorder" * 8
+        tracer = Tracer()
+        with TelemetrySampler(tracer.metrics, interval=0.01) as sampler:
+            result = Pipeline(config).run(data, tracer=tracer, sampler=None)
+        record = pipeline_run_record(
+            config,
+            result,
+            data_bytes=len(data),
+            label="inline",
+            samples=sampler.samples,
+            tracer=tracer,
+        )
+        assert record.kind == "pipeline"
+        assert record.seed == config.seed
+        assert record.fingerprint == config_fingerprint(fast_config())
+        assert record.metrics["success"] == 1.0
+        assert record.metrics["data_bytes"] == float(len(data))
+        assert any(key.startswith("quality.") for key in record.metrics)
+        assert set(record.timings) >= {"encoding", "decoding", "total"}
+        assert record.total_seconds > 0
+        assert record.peak_rss_bytes > 0
+        assert len(record.samples) >= 2
+        # Same config, fresh run: the fingerprint is reproducible, so the
+        # record lands in the same drift stream.
+        result2 = Pipeline(fast_config()).run(data)
+        record2 = pipeline_run_record(
+            fast_config(), result2, data_bytes=len(data)
+        )
+        assert record2.fingerprint == record.fingerprint
+        assert record2.metrics == record.metrics  # seeded: bit-reproducible

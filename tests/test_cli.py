@@ -507,7 +507,8 @@ class TestBenchCompare:
         new = tmp_path / "new.json"
         base.write_text(json.dumps(self._kernel_doc()))
         new.write_text(json.dumps(new_doc))
-        assert run("bench", "--compare", base, new) == 1
+        # Exit 3 is the bench-regression code, distinct from runs drift (4).
+        assert run("bench", "--compare", base, new) == 3
 
     def test_mixed_kinds_rejected(self, tmp_path, capsys):
         kernel = tmp_path / "kernel.json"
@@ -516,3 +517,161 @@ class TestBenchCompare:
         pipeline.write_text(json.dumps({"suite": "smoke", "workloads": []}))
         assert run("bench", "--compare", kernel, pipeline) == 2
         assert "cannot compare" in capsys.readouterr().err
+
+
+PIPELINE_ARGS = (*ENCODING_ARGS, "--coverage", 6)
+
+
+class TestTraceFromFlag:
+    def _record_trace(self, payload, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            run("pipeline", payload, tmp_path / "out.bin", *PIPELINE_ARGS,
+                "--trace", trace_path) == 0
+        )
+        capsys.readouterr()
+        return trace_path
+
+    def test_from_flag_renders_saved_trace(self, payload, tmp_path, capsys):
+        trace_path = self._record_trace(payload, tmp_path, capsys)
+        assert run("trace", "--from", trace_path) == 0
+        assert "span latency" in capsys.readouterr().out
+
+    def test_positional_and_from_together_is_usage_error(
+        self, payload, tmp_path, capsys
+    ):
+        trace_path = self._record_trace(payload, tmp_path, capsys)
+        assert run("trace", trace_path, "--from", trace_path) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_no_source_is_usage_error(self, capsys):
+        assert run("trace") == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestRunsRegistryCommands:
+    """`pipeline` records by default (conftest points $REPRO_RUNS_DIR at a
+    per-test directory); `repro runs` works the resulting registry."""
+
+    def _pipeline(self, payload, tmp_path, registry, *extra):
+        return run(
+            "pipeline", payload, tmp_path / "out.bin", *PIPELINE_ARGS,
+            "--runs-dir", registry, *extra,
+        )
+
+    def test_identical_runs_share_a_fingerprint_and_drift_passes(
+        self, payload, tmp_path, capsys
+    ):
+        registry = tmp_path / "registry"
+        assert self._pipeline(payload, tmp_path, registry) == 0
+        assert self._pipeline(payload, tmp_path, registry) == 0
+        capsys.readouterr()
+        assert run("runs", "list", "--dir", registry, "--json") == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2
+        assert len({record["fingerprint"] for record in records}) == 1
+        assert run("runs", "drift", "--dir", registry) == 0
+        assert "OK (no regressions)" in capsys.readouterr().out
+
+    def test_seed_change_makes_a_new_fingerprint(
+        self, payload, tmp_path, capsys
+    ):
+        registry = tmp_path / "registry"
+        assert self._pipeline(payload, tmp_path, registry) == 0
+        assert self._pipeline(payload, tmp_path, registry, "--seed", 9) == 0
+        capsys.readouterr()
+        run("runs", "list", "--dir", registry, "--json")
+        records = json.loads(capsys.readouterr().out)
+        assert len({record["fingerprint"] for record in records}) == 2
+        # The perturbed run has no same-fingerprint history: OK + warning.
+        assert run("runs", "drift", "--dir", registry) == 0
+        assert "first run of this configuration" in capsys.readouterr().out
+
+    def test_injected_regression_exits_drift_code(
+        self, payload, tmp_path, capsys
+    ):
+        registry = tmp_path / "registry"
+        assert self._pipeline(payload, tmp_path, registry) == 0
+        capsys.readouterr()
+        # Corrupt the newest record's quality in place: the drift gate
+        # must flag it against the (identical-fingerprint) history.
+        assert self._pipeline(payload, tmp_path, registry) == 0
+        log = registry / "runs.jsonl"
+        lines = log.read_text().splitlines()
+        doctored = json.loads(lines[-1])
+        doctored["metrics"]["success"] = 0.0
+        lines[-1] = json.dumps(doctored)
+        log.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert run("runs", "drift", "--dir", registry) == 4
+        assert "regression(s)" in capsys.readouterr().out
+
+    def test_no_record_skips_the_registry(self, payload, tmp_path):
+        registry = tmp_path / "registry"
+        assert self._pipeline(payload, tmp_path, registry, "--no-record") == 0
+        assert not (registry / "runs.jsonl").exists()
+
+    def test_sample_interval_attaches_series(self, payload, tmp_path, capsys):
+        registry = tmp_path / "registry"
+        assert (
+            self._pipeline(
+                payload, tmp_path, registry, "--sample-interval", "0.01"
+            ) == 0
+        )
+        capsys.readouterr()
+        run("runs", "list", "--dir", registry, "--json")
+        (record,) = json.loads(capsys.readouterr().out)
+        samples = record["samples"]
+        assert len(samples) >= 2
+        times = [sample["t"] for sample in samples]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_show_and_diff_and_gc(self, payload, tmp_path, capsys):
+        registry = tmp_path / "registry"
+        assert self._pipeline(payload, tmp_path, registry) == 0
+        assert self._pipeline(payload, tmp_path, registry) == 0
+        capsys.readouterr()
+        run("runs", "list", "--dir", registry, "--json")
+        records = json.loads(capsys.readouterr().out)
+        a, b = records[1]["run_id"], records[0]["run_id"]
+        assert run("runs", "show", a[:17], "--dir", registry) == 0
+        assert "drift-gated" in capsys.readouterr().out
+        assert run("runs", "diff", a, b, "--dir", registry) == 0
+        assert "OK (no regressions)" in capsys.readouterr().out
+        assert run("runs", "gc", "--max-count", 1, "--dir", registry) == 0
+        assert "kept 1, removed 1" in capsys.readouterr().out
+        run("runs", "list", "--dir", registry, "--json")
+        assert len(json.loads(capsys.readouterr().out)) == 1
+
+    def test_unknown_run_id_is_usage_error(self, tmp_path, capsys):
+        registry = tmp_path / "registry"
+        assert run("runs", "show", "nope", "--dir", registry) == 2
+        assert "no run matches" in capsys.readouterr().err
+
+    def test_gc_without_policy_is_usage_error(self, tmp_path, capsys):
+        assert run("runs", "gc", "--dir", tmp_path / "registry") == 2
+        assert "max-age-days" in capsys.readouterr().err
+
+    def test_empty_registry_lists_cleanly(self, tmp_path, capsys):
+        assert run("runs", "list", "--dir", tmp_path / "registry") == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_default_dir_comes_from_environment(self, payload, tmp_path, capsys):
+        # conftest sets $REPRO_RUNS_DIR; recording without --runs-dir and
+        # reading without --dir must agree on that location.
+        assert (
+            run("pipeline", payload, tmp_path / "out.bin", *PIPELINE_ARGS) == 0
+        )
+        capsys.readouterr()
+        assert run("runs", "list", "--json") == 0
+        assert len(json.loads(capsys.readouterr().out)) == 1
+
+
+class TestExitCodeEpilog:
+    def test_help_documents_the_contract(self, capsys):
+        with pytest.raises(SystemExit):
+            run("--help")
+        output = capsys.readouterr().out
+        assert "exit codes:" in output
+        assert "bench regression" in output
+        assert "run-registry drift" in output
