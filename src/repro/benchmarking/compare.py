@@ -276,6 +276,8 @@ _KERNEL_SECTIONS = (
     ("distance", "kernels", "kernel"),
     ("signatures", "flavours", "flavour"),
     ("reed_solomon", "kernels", "kernel"),
+    ("edit_verdict_batch", "kernels", "kernel"),
+    ("consensus", "kernels", "kernel"),
 )
 
 

@@ -14,6 +14,14 @@ visible without the noise of the surrounding stages:
 * **reed_solomon** — the outer-code plane: batched GF(256) encode,
   clean-row syndrome screen and erasure-only direct solve vs the scalar
   per-row codec (which doubles as the correctness oracle).
+* **edit_verdict_batch** (schema 3) — the columnar gray-zone plane: one
+  representative swept against many candidates at once, comparing the
+  per-pair scalar loop against masks-built-once reuse and the
+  uint64-lane :func:`~repro.dna.distance_batch.myers_levenshtein_batch`
+  kernel over a :class:`~repro.dna.readpool.ReadPool`.
+* **consensus** (schema 3) — matrix consensus: the scalar per-cluster
+  ``Counter`` reconstructors vs the stacked
+  ``reconstruct_batch``/bincount kernels for majority vote and BMA.
 
 Every non-reference row carries a boolean correctness field
 (``matches_oracle`` / ``matches_scalar`` / ``verdicts_match_reference``)
@@ -41,14 +49,20 @@ from repro.benchmarking.report import current_git_sha
 from repro.codec.reed_solomon import ReedSolomonCodec
 from repro.dna.alphabet import BASES
 from repro.dna.distance import (
+    _pattern_masks,
     banded_levenshtein,
     levenshtein_distance,
     levenshtein_reference,
+    myers_levenshtein_fixed,
 )
+from repro.dna.distance_batch import myers_levenshtein_batch
 from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
+from repro.dna.readpool import ReadPool
+from repro.reconstruction.bma import BMAReconstructor
+from repro.reconstruction.majority import MajorityVoteReconstructor
 
 KERNEL_BENCH_KIND = "repro-kernel-bench"
-KERNEL_BENCH_SCHEMA_VERSION = 2
+KERNEL_BENCH_SCHEMA_VERSION = 3
 
 
 def _mutate(strand: str, edits: int, rng: random.Random) -> str:
@@ -303,6 +317,133 @@ def _reed_solomon_section(
     }
 
 
+def _edit_verdict_batch_section(
+    lanes: int, length: int, edits: int, seed: int
+) -> Dict:
+    """Columnar gray-zone verdicts: one representative vs many candidates.
+
+    The clustering hot loop groups gray-zone pairs by representative, so
+    the realistic workload is one pattern swept against a block of
+    candidate texts.  The scalar baseline is the per-pair
+    :func:`~repro.dna.distance.levenshtein_distance` call the clusterer
+    used to make; ``masks_reuse`` builds the pattern's Myers masks once
+    per block, and ``uint64_lanes`` is the packed numpy kernel over a
+    :class:`~repro.dna.readpool.ReadPool`.
+    """
+    rng = random.Random(seed)
+    pattern = "".join(rng.choice(BASES) for _ in range(length))
+    texts = []
+    for index in range(lanes):
+        if index % 2 == 0:
+            texts.append(_mutate(pattern, edits, rng))
+        else:
+            texts.append("".join(rng.choice(BASES) for _ in range(length)))
+    text_pool = ReadPool.from_strings(texts)
+    bound = max(4, int(0.33 * length))  # the clusterer's default threshold
+
+    scalar_seconds, scalar_distances = _timed(
+        lambda: [levenshtein_distance(pattern, text, bound=bound) for text in texts]
+    )
+
+    def masks_reuse() -> List[int]:
+        masks = _pattern_masks(pattern)
+        return [
+            myers_levenshtein_fixed(pattern, text, bound=bound, masks=masks)
+            for text in texts
+        ]
+
+    def uint64_lanes() -> List[int]:
+        return myers_levenshtein_batch(pattern, text_pool, bound=bound).tolist()
+
+    rows = []
+    for name, fn in (("masks_reuse", masks_reuse), ("uint64_lanes", uint64_lanes)):
+        batched_seconds, distances = _timed(fn)
+        rows.append(
+            {
+                "kernel": name,
+                "scalar_seconds": scalar_seconds,
+                "batched_seconds": batched_seconds,
+                "lanes": lanes,
+                "speedup": (
+                    scalar_seconds / batched_seconds if batched_seconds > 0 else 0.0
+                ),
+                "matches_scalar": list(distances) == scalar_distances,
+            }
+        )
+    return {
+        "workload": {
+            "lanes": lanes,
+            "strand_nt": length,
+            "edits": edits,
+            "bound": bound,
+            "seed": seed,
+        },
+        "kernels": rows,
+    }
+
+
+def _consensus_section(
+    clusters: int, reads_per_cluster: int, length: int, edits: int, seed: int
+) -> Dict:
+    """Matrix consensus vs the scalar per-cluster reconstructors.
+
+    The workload is a pool of noisy clusters stacked as
+    :class:`~repro.dna.readpool.ReadPoolView` rows — the exact shape the
+    pipeline hands ``reconstruct_batch``.  The scalar loop over
+    ``reconstruct`` is both the baseline timing and the oracle.
+    """
+    rng = random.Random(seed)
+    reads: List[str] = []
+    boundaries = [0]
+    for _ in range(clusters):
+        reference = "".join(rng.choice(BASES) for _ in range(length))
+        reads.extend(
+            _mutate(reference, edits, rng) for _ in range(reads_per_cluster)
+        )
+        boundaries.append(len(reads))
+    read_pool = ReadPool.from_strings(reads)
+    views = [
+        read_pool.view(range(boundaries[index], boundaries[index + 1]))
+        for index in range(clusters)
+    ]
+
+    rows = []
+    for name, maker in (
+        ("majority", MajorityVoteReconstructor),
+        ("bma", lambda: BMAReconstructor(lookahead=2)),
+    ):
+        scalar_rec = maker()
+        scalar_seconds, scalar_consensus = _timed(
+            lambda: [scalar_rec.reconstruct(view, length) for view in views]
+        )
+        batched_rec = maker()
+        batched_seconds, batched_consensus = _timed(
+            lambda: batched_rec.reconstruct_batch(views, length)
+        )
+        rows.append(
+            {
+                "kernel": name,
+                "scalar_seconds": scalar_seconds,
+                "batched_seconds": batched_seconds,
+                "clusters": clusters,
+                "speedup": (
+                    scalar_seconds / batched_seconds if batched_seconds > 0 else 0.0
+                ),
+                "matches_scalar": list(batched_consensus) == list(scalar_consensus),
+            }
+        )
+    return {
+        "workload": {
+            "clusters": clusters,
+            "reads_per_cluster": reads_per_cluster,
+            "strand_nt": length,
+            "edits": edits,
+            "seed": seed,
+        },
+        "kernels": rows,
+    }
+
+
 def run_kernel_bench(
     git_sha: Optional[str] = None,
     pairs: int = 300,
@@ -310,6 +451,8 @@ def run_kernel_bench(
     edits: int = 12,
     reads: int = 3000,
     rs_rows: int = 1024,
+    verdict_lanes: int = 1024,
+    consensus_clusters: int = 200,
     seed: int = 29,
 ) -> Dict:
     """Run the kernel microbenchmarks; returns the report document."""
@@ -322,6 +465,10 @@ def run_kernel_bench(
         "distance": _distance_section(pairs, strand_nt, edits, seed),
         "signatures": _signature_section(reads, strand_nt, 96, seed),
         "reed_solomon": _reed_solomon_section(rs_rows, 60, 20, 8, seed),
+        "edit_verdict_batch": _edit_verdict_batch_section(
+            verdict_lanes, strand_nt, edits, seed
+        ),
+        "consensus": _consensus_section(consensus_clusters, 12, strand_nt, 8, seed),
     }
 
 
@@ -341,7 +488,10 @@ def validate_kernel_bench(report: Dict) -> None:
             f"kernel bench schema {version} is newer than supported "
             f"({KERNEL_BENCH_SCHEMA_VERSION})"
         )
-    for section in ("distance", "signatures"):
+    required = ["distance", "signatures"]
+    if version >= 3:
+        required += ["edit_verdict_batch", "consensus"]
+    for section in required:
         if section not in report:
             raise ValueError(f"kernel bench report is missing {section!r}")
 
@@ -388,6 +538,34 @@ def render_kernel_bench(report: Dict) -> str:
         )
         for row in reed_solomon["kernels"]:
             oracle = "ok" if row.get("matches_oracle") else "MISMATCH"
+            lines.append(
+                f"  {row['kernel']:<15} scalar {row['scalar_seconds']:6.3f}s  "
+                f"batched {row['batched_seconds']:7.4f}s  "
+                f"{row['speedup']:6.1f}x  oracle {oracle}"
+            )
+    verdict_batch = report.get("edit_verdict_batch")
+    if verdict_batch is not None:
+        workload = verdict_batch["workload"]
+        lines.append(
+            f"batched edit verdicts: 1 representative x {workload['lanes']} "
+            f"candidates of ~{workload['strand_nt']} nt, bound {workload['bound']}"
+        )
+        for row in verdict_batch["kernels"]:
+            oracle = "ok" if row.get("matches_scalar") else "MISMATCH"
+            lines.append(
+                f"  {row['kernel']:<15} scalar {row['scalar_seconds']:6.3f}s  "
+                f"batched {row['batched_seconds']:7.4f}s  "
+                f"{row['speedup']:6.1f}x  oracle {oracle}"
+            )
+    consensus = report.get("consensus")
+    if consensus is not None:
+        workload = consensus["workload"]
+        lines.append(
+            f"matrix consensus: {workload['clusters']} clusters x "
+            f"{workload['reads_per_cluster']} reads of ~{workload['strand_nt']} nt"
+        )
+        for row in consensus["kernels"]:
+            oracle = "ok" if row.get("matches_scalar") else "MISMATCH"
             lines.append(
                 f"  {row['kernel']:<15} scalar {row['scalar_seconds']:6.3f}s  "
                 f"batched {row['batched_seconds']:7.4f}s  "

@@ -27,8 +27,10 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dna.alphabet import random_sequence
-from repro.dna.distance import levenshtein_distance
+from repro.dna.distance import _pattern_masks, levenshtein_distance, myers_levenshtein_fixed
+from repro.dna.distance_batch import myers_levenshtein_batch
 from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
+from repro.dna.readpool import ReadPool, as_read_pool
 from repro.observability.trace import Tracer, as_tracer, worker_span
 from repro.parallel import WorkerPool, as_pool
 from repro.clustering.thresholds import (
@@ -117,13 +119,65 @@ def _compute_signatures_chunk(reads, extra):
         return scheme.compute_batch(reads)
 
 
+#: below this many texts sharing a representative, the masks-reuse scalar
+#: kernel beats the lane setup cost of the batched one
+_BATCH_MIN_LANES = 64
+
+
+def _verdict_block(pattern: str, texts, threshold: int) -> List[bool]:
+    """Gray-zone verdicts of one representative against many candidates.
+
+    Wide blocks sweep all candidates through the uint64-lane batch kernel;
+    narrow ones run the scalar kernel with the pattern masks built once for
+    the whole block.  Either way each verdict equals
+    ``levenshtein_distance(pattern, text, bound=threshold) <= threshold``.
+    """
+    if len(texts) >= _BATCH_MIN_LANES:
+        distances = myers_levenshtein_batch(pattern, texts, bound=threshold)
+        return [bool(distance <= threshold) for distance in distances]
+    masks = _pattern_masks(pattern)
+    return [
+        myers_levenshtein_fixed(pattern, text, bound=threshold, masks=masks)
+        <= threshold
+        for text in texts
+    ]
+
+
+def _grouped_verdicts(pairs, lookup, threshold: int) -> List[bool]:
+    """Evaluate (left, right) pairs grouped by their left representative."""
+    groups: dict = {}
+    for position, (left, right) in enumerate(pairs):
+        groups.setdefault(left, []).append((position, right))
+    verdicts = [False] * len(pairs)
+    for left, entries in groups.items():
+        block = _verdict_block(
+            lookup(left), [lookup(right) for _, right in entries], threshold
+        )
+        for (position, _), verdict in zip(entries, block):
+            verdicts[position] = verdict
+    return verdicts
+
+
 def _edit_verdicts_chunk(pairs, threshold):
     """Worker entry point for parallel gray-zone edit-distance checks."""
     with worker_span("clustering.edit_verdicts_chunk", pairs=len(pairs)):
-        return [
-            levenshtein_distance(left, right, bound=threshold) <= threshold
-            for left, right in pairs
-        ]
+        return _grouped_verdicts(pairs, lambda read: read, threshold)
+
+
+def _edit_verdict_indices_chunk(pairs, extra):
+    """Index-pair variant: reads live in a shipped columnar sub-pool."""
+    subpool, threshold = extra
+    with worker_span("clustering.edit_verdicts_chunk", pairs=len(pairs)):
+        groups: dict = {}
+        for position, (left, right) in enumerate(pairs):
+            groups.setdefault(left, []).append((position, right))
+        verdicts = [False] * len(pairs)
+        for left, entries in groups.items():
+            texts = subpool.view([right for _, right in entries])
+            block = _verdict_block(subpool[left], texts, threshold)
+            for (position, _), verdict in zip(entries, block):
+                verdicts[position] = verdict
+        return verdicts
 
 
 class RashtchianClusterer:
@@ -165,6 +219,12 @@ class RashtchianClusterer:
         config = self.config
         tracer = as_tracer(tracer)
         rng = random.Random(config.seed)
+        # Columnar plane: reads normalise to a ReadPool (zero-copy when the
+        # caller already built one), so signatures batch over the flat code
+        # array and gray-zone verdicts ship compact index pairs.  Reads
+        # outside latin-1 stay on the string path with identical results.
+        read_pool = reads if isinstance(reads, ReadPool) else as_read_pool(reads)
+        texts = read_pool.to_strings() if read_pool is not None else reads
         grams = sample_grams(config.num_grams, config.gram_length, rng)
         if config.signature == "qgram":
             scheme = QGramSignature(grams)
@@ -176,7 +236,9 @@ class RashtchianClusterer:
         with tracer.span(
             "clustering.signatures", reads=len(reads), flavour=config.signature
         ) as signature_span:
-            signatures = self._compute_signatures(reads, grams, pool)
+            signatures = self._compute_signatures(
+                read_pool if read_pool is not None else reads, grams, pool
+            )
             signature_span.set("shards", pool.last_shards)
 
         with tracer.span("clustering.merge") as merge_span:
@@ -203,7 +265,7 @@ class RashtchianClusterer:
                 span.set("theta_low", theta_low)
                 span.set("theta_high", theta_high)
 
-            lengths = sorted(len(read) for read in reads)
+            lengths = sorted(len(read) for read in texts)
             edit_threshold = config.edit_threshold
             if edit_threshold is None:
                 edit_threshold = max(4, int(0.33 * lengths[len(lengths) // 2]))
@@ -225,7 +287,8 @@ class RashtchianClusterer:
             with tracer.span("clustering.rounds", rounds=config.rounds) as span:
                 for _ in range(config.rounds):
                     self._run_round(
-                        reads,
+                        texts,
+                        read_pool,
                         signatures,
                         distance,
                         union,
@@ -246,7 +309,7 @@ class RashtchianClusterer:
                         break
                     merges_before = result.merges
                     self._final_sweep(
-                        reads,
+                        texts,
                         signatures,
                         distance,
                         union,
@@ -340,7 +403,7 @@ class RashtchianClusterer:
     def _compute_signatures(
         self, reads: Sequence[str], grams: List[str], pool: WorkerPool
     ) -> List[np.ndarray]:
-        if not isinstance(reads, (list, tuple)):
+        if not isinstance(reads, (list, tuple, ReadPool)):
             reads = list(reads)  # sliceable for the pool's chunking
         return pool.map_chunks(
             _compute_signatures_chunk, reads, (self.config.signature, grams)
@@ -349,6 +412,7 @@ class RashtchianClusterer:
     def _run_round(
         self,
         reads: Sequence[str],
+        read_pool: Optional[ReadPool],
         signatures: List[np.ndarray],
         distance: Callable,
         union: UnionFind,
@@ -408,7 +472,7 @@ class RashtchianClusterer:
         # fanned out over worker processes (the paper's distributed mode:
         # edit distance dominates clustering cost at realistic error rates).
         verdicts = self._gray_zone_verdicts(
-            reads, gray, edit_threshold, result, edit_memo, pool
+            reads, read_pool, gray, edit_threshold, result, edit_memo, pool
         )
         for (root_i, root_j, _, _), verdict in zip(gray, verdicts):
             if not verdict or union.connected(root_i, root_j):
@@ -419,6 +483,7 @@ class RashtchianClusterer:
     def _gray_zone_verdicts(
         self,
         reads: Sequence[str],
+        read_pool: Optional[ReadPool],
         gray: List[tuple],
         edit_threshold: int,
         result: ClusteringResult,
@@ -439,8 +504,19 @@ class RashtchianClusterer:
         if not unresolved:
             return [bool(v) for v in verdicts]
 
-        pairs = [(reads[a], reads[b]) for _, a, b in unresolved]
-        resolved = pool.map_chunks(_edit_verdicts_chunk, pairs, edit_threshold)
+        if read_pool is not None:
+            # Columnar mode: ship one compact sub-pool of the involved
+            # representatives plus int index pairs instead of string pairs.
+            unique = sorted({rep for _, a, b in unresolved for rep in (a, b)})
+            remap = {read_index: position for position, read_index in enumerate(unique)}
+            subpool = read_pool.subset(unique)
+            index_pairs = [(remap[a], remap[b]) for _, a, b in unresolved]
+            resolved = pool.map_chunks(
+                _edit_verdict_indices_chunk, index_pairs, (subpool, edit_threshold)
+            )
+        else:
+            pairs = [(reads[a], reads[b]) for _, a, b in unresolved]
+            resolved = pool.map_chunks(_edit_verdicts_chunk, pairs, edit_threshold)
 
         for (index, a, b), verdict in zip(unresolved, resolved):
             edit_memo[(a, b)] = verdict

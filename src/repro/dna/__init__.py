@@ -23,8 +23,11 @@ from repro.dna.distance import (
     levenshtein_reference,
     levenshtein_row,
     myers_levenshtein,
+    myers_levenshtein_fixed,
     prefix_edit_distance,
 )
+from repro.dna.distance_batch import myers_levenshtein_batch
+from repro.dna.readpool import PAD_CODE, ReadPool, ReadPoolView, as_read_pool
 from repro.dna.alignment import NWAligner, align_pair, edit_operations
 from repro.dna.poa import PartialOrderGraph, poa_consensus
 from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
@@ -48,6 +51,12 @@ __all__ = [
     "levenshtein_reference",
     "levenshtein_row",
     "myers_levenshtein",
+    "myers_levenshtein_fixed",
+    "myers_levenshtein_batch",
+    "PAD_CODE",
+    "ReadPool",
+    "ReadPoolView",
+    "as_read_pool",
     "prefix_edit_distance",
     "NWAligner",
     "align_pair",

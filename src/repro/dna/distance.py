@@ -97,16 +97,19 @@ def _pattern_masks(pattern: str) -> Dict[str, int]:
     return masks
 
 
-def _myers_columns(pattern: str, text: str):
+def _myers_columns(pattern: str, text: str, masks: Optional[Dict[str, int]] = None):
     """Yield ``D[len(pattern)][j]`` for ``j = 1 .. len(text)``.
 
     One iteration advances the whole DP column with a constant number of
     bitwise operations on ``len(pattern)``-bit integers (Hyyrö's variant of
     Myers' algorithm).  The generator form lets both the full-distance and
-    the best-prefix consumers share the kernel.
+    the best-prefix consumers share the kernel.  *masks* lets callers that
+    sweep one pattern against many texts pass :func:`_pattern_masks` output
+    computed once instead of re-deriving it per text.
     """
     length = len(pattern)
-    masks = _pattern_masks(pattern)
+    if masks is None:
+        masks = _pattern_masks(pattern)
     mask = (1 << length) - 1
     high = 1 << (length - 1)
     vertical_pos = mask  # VP: every cell starts one above its upper neighbour
@@ -158,6 +161,44 @@ def myers_levenshtein(left: str, right: str, bound: Optional[int] = None) -> int
     if bound is not None and score > bound:
         return bound + 1
     return score
+
+
+def myers_levenshtein_fixed(
+    pattern: str,
+    text: str,
+    bound: Optional[int] = None,
+    masks: Optional[Dict[str, int]] = None,
+) -> int:
+    """Bounded edit distance with a *fixed* pattern and reusable masks.
+
+    Semantically identical to :func:`levenshtein_distance` (same clamp to
+    ``bound + 1``, same shortcuts), but never swaps its arguments: the
+    pattern stays the pattern, so callers comparing one representative
+    against many candidates can build :func:`_pattern_masks` once and pass
+    it in, skipping the per-pair mask derivation.  Levenshtein distance is
+    symmetric, so skipping the shorter-side swap changes cost, not results.
+    """
+    if bound is not None and bound < 0:
+        raise ValueError(f"bound must be non-negative, got {bound}")
+    if pattern == text:
+        return 0
+    if bound is not None and abs(len(pattern) - len(text)) > bound:
+        return bound + 1
+    if not pattern:
+        distance = len(text)
+    elif not text:
+        distance = len(pattern)
+    else:
+        remaining = len(text)
+        score = len(pattern)
+        for score in _myers_columns(pattern, text, masks=masks):
+            remaining -= 1
+            if bound is not None and score - remaining > bound:
+                return bound + 1
+        distance = score
+    if bound is not None and distance > bound:
+        return bound + 1
+    return distance
 
 
 # ----------------------------------------------------------------------

@@ -141,23 +141,37 @@ class _GramSet:
         if self._gram_values is None:
             return None
         gram_length = self._gram_length
-        codes_list = []
-        for sequence in sequences:
-            codes = _encode_acgt(sequence)
-            if codes is None:
+        from repro.dna.readpool import ReadPool
+
+        if isinstance(sequences, ReadPool):
+            # Columnar input: the pool *is* the concatenated radix encoding
+            # this path otherwise builds — reuse it without re-encoding.
+            if not sequences.is_acgt:
                 return None
-            codes_list.append(codes)
-        lengths = np.fromiter(
-            (codes.shape[0] for codes in codes_list),
-            dtype=np.int64,
-            count=len(codes_list),
-        )
+            codes_all = sequences.codes
+            lengths = sequences.lengths
+        else:
+            codes_list = []
+            for sequence in sequences:
+                codes = _encode_acgt(sequence)
+                if codes is None:
+                    return None
+                codes_list.append(codes)
+            lengths = np.fromiter(
+                (codes.shape[0] for codes in codes_list),
+                dtype=np.int64,
+                count=len(codes_list),
+            )
+            codes_all = (
+                np.concatenate(codes_list)
+                if codes_list
+                else np.empty(0, dtype=np.uint8)
+            )
         empty = np.empty(0, dtype=np.int64)
         window_counts = np.maximum(lengths - gram_length + 1, 0)
         total_windows = int(window_counts.sum())
         if total_windows == 0:
             return empty, empty, empty, lengths
-        codes_all = np.concatenate(codes_list)
         values = _window_values(codes_all, gram_length)
         read_ids = np.repeat(np.arange(len(sequences), dtype=np.int64), window_counts)
         first_window = np.cumsum(window_counts) - window_counts

@@ -293,7 +293,10 @@ class ProvenanceLedger:
         """Record read origins and per-read edit distances for *run*.
 
         The alignment of every read against its origin reference is the
-        ledger's one expensive pass; it shards over *pool* and, because
+        ledger's one expensive pass; it rides the columnar plane (reads
+        grouped by origin, one uint64-lane Myers sweep per reference over
+        the run's :class:`~repro.dna.readpool.ReadPool`), shards over
+        *pool* and, because
         :meth:`~repro.parallel.WorkerPool.map_chunks` preserves item
         order, merges back deterministically at any worker count.
         """

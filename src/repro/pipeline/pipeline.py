@@ -32,6 +32,7 @@ from repro.clustering.rashtchian import ClusteringResult, RashtchianClusterer
 from repro.codec.decoder import DecodeReport, DNADecoder
 from repro.codec.encoder import DNAEncoder, EncodedPool
 from repro.dna.alphabet import reverse_complement
+from repro.dna.readpool import as_read_pool
 from repro.observability.log import get_logger
 from repro.observability.metrics import emit_process_gauges
 from repro.observability.provenance import (
@@ -305,15 +306,22 @@ class Pipeline:
         with tracer.span("pipeline.clustering", reads=len(reads)) as span:
             clustering = None
             kept_clusters: List[List[int]] = []
-            clusters_reads: List[List[str]] = []
+            clusters_reads: List[Sequence[str]] = []
             if reads:
+                # One columnar pool for the whole recovery: clustering reuses
+                # its radix codes for signatures and batched edit verdicts,
+                # and each kept cluster becomes a zero-copy view into it for
+                # the matrix-consensus reconstructors.  Reads that cannot be
+                # pooled (non-latin-1) keep the list-of-str path throughout.
+                read_pool = as_read_pool(reads)
+                cluster_input = read_pool if read_pool is not None else reads
                 clusterer = config.clusterer or RashtchianClusterer(config.clustering)
                 kwargs = {}
                 if _accepts_kwarg(clusterer.cluster, "tracer"):
                     kwargs["tracer"] = tracer
                 if pool is not None and _accepts_kwarg(clusterer.cluster, "pool"):
                     kwargs["pool"] = pool
-                clustering = clusterer.cluster(reads, **kwargs)
+                clustering = clusterer.cluster(cluster_input, **kwargs)
                 kept_ids = [
                     cluster_id
                     for cluster_id, cluster in enumerate(clustering.clusters)
@@ -323,9 +331,15 @@ class Pipeline:
                     clustering.clusters[cluster_id] for cluster_id in kept_ids
                 ]
                 ledger.record_clustering(clustering.clusters, kept_ids)
-                clusters_reads = [
-                    [reads[index] for index in cluster] for cluster in kept_clusters
-                ]
+                if read_pool is not None:
+                    clusters_reads = [
+                        read_pool.view(cluster) for cluster in kept_clusters
+                    ]
+                else:
+                    clusters_reads = [
+                        [reads[index] for index in cluster]
+                        for cluster in kept_clusters
+                    ]
                 discarded = len(reads) - sum(len(c) for c in clusters_reads)
                 span.set("clusters", len(clustering.clusters))
                 span.set("kept_clusters", len(clusters_reads))

@@ -22,10 +22,7 @@ def _reconstruct_chunk(clusters, extra):
         f"reconstruction.{type(reconstructor).__name__}_chunk",
         clusters=len(clusters),
     ):
-        consensus = [
-            reconstructor.reconstruct(cluster, expected_length)
-            for cluster in clusters
-        ]
+        consensus = reconstructor.reconstruct_batch(clusters, expected_length)
     return consensus, reconstructor.drain_counters()
 
 
@@ -75,9 +72,7 @@ class Reconstructor(ABC):
             if not isinstance(clusters, (list, tuple)):
                 clusters = list(clusters)  # sliceable for the pool's chunking
             if pool is None:
-                consensus = [
-                    self.reconstruct(cluster, expected_length) for cluster in clusters
-                ]
+                consensus = self.reconstruct_batch(clusters, expected_length)
                 counters = self.drain_counters()
             else:
                 consensus = []
@@ -100,6 +95,18 @@ class Reconstructor(ABC):
         for name, value in counters.items():
             metrics.counter(name).inc(value)
         return consensus
+
+    def reconstruct_batch(
+        self, clusters: Sequence[Sequence[str]], expected_length: int
+    ) -> List[str]:
+        """Reconstruct a batch of clusters; the hook batched kernels override.
+
+        The default simply loops :meth:`reconstruct`.  Subclasses with a
+        columnar fast path (majority vote, BMA) override this to stack the
+        whole batch into one code matrix; they must stay byte-identical to
+        the scalar loop, which remains the oracle.
+        """
+        return [self.reconstruct(cluster, expected_length) for cluster in clusters]
 
     def drain_counters(self) -> Dict[str, int]:
         """Return and reset any internal event counts (hook for subclasses).

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 from repro.dna.alphabet import BASES
 from repro.reconstruction.base import Reconstructor
+from repro.reconstruction.matrix import bma_consensus_batch, stack_clusters
 
 
 def _plurality(symbols: Sequence[str]) -> Optional[str]:
@@ -60,6 +61,25 @@ class BMAReconstructor(Reconstructor):
     def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
         reads = self._validate(cluster)
         return self._run(reads, expected_length)
+
+    def reconstruct_batch(
+        self, clusters: Sequence[Sequence[str]], expected_length: int
+    ) -> List[str]:
+        """All clusters advanced in lockstep on one stacked code matrix.
+
+        Byte-identical to looping :meth:`reconstruct` (the scalar oracle),
+        including the ``bma_lookahead_invocations`` count; clusters off the
+        ACGT alphabet fall back to that loop.
+        """
+        stacked = stack_clusters(clusters)
+        if stacked is None:
+            return super().reconstruct_batch(clusters, expected_length)
+        matrix, lengths, starts = stacked
+        consensus, invocations = bma_consensus_batch(
+            matrix, lengths, starts, expected_length, self.lookahead
+        )
+        self._lookahead_invocations += invocations
+        return consensus
 
     def _run(self, reads: List[str], expected_length: int) -> str:
         pointers = [0] * len(reads)

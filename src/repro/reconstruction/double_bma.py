@@ -11,10 +11,15 @@ that motivates the Gini and DNAMapper layouts.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.reconstruction.base import Reconstructor
 from repro.reconstruction.bma import BMAReconstructor
+from repro.reconstruction.matrix import (
+    bma_consensus_batch,
+    reverse_matrix,
+    stack_clusters,
+)
 
 
 class DoubleSidedBMAReconstructor(Reconstructor):
@@ -25,6 +30,35 @@ class DoubleSidedBMAReconstructor(Reconstructor):
 
     def drain_counters(self):
         return self._forward.drain_counters()
+
+    def reconstruct_batch(
+        self, clusters: Sequence[Sequence[str]], expected_length: int
+    ) -> List[str]:
+        """Both halves of every cluster on stacked code matrices.
+
+        Byte-identical to looping :meth:`reconstruct` (the scalar oracle):
+        the right half runs on the per-read reversed matrix, so no strings
+        are materialised between the halves.  Falls back to the scalar
+        loop off the ACGT alphabet.
+        """
+        stacked = stack_clusters(clusters)
+        if stacked is None:
+            return super().reconstruct_batch(clusters, expected_length)
+        matrix, lengths, starts = stacked
+        left_length = expected_length - expected_length // 2
+        right_length = expected_length // 2
+        lookahead = self._forward.lookahead
+        lefts, invocations = bma_consensus_batch(
+            matrix, lengths, starts, left_length, lookahead
+        )
+        self._forward._lookahead_invocations += invocations
+        if right_length == 0:
+            return lefts
+        rights, invocations = bma_consensus_batch(
+            reverse_matrix(matrix, lengths), lengths, starts, right_length, lookahead
+        )
+        self._forward._lookahead_invocations += invocations
+        return [left + right[::-1] for left, right in zip(lefts, rights)]
 
     def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
         reads = self._validate(cluster)

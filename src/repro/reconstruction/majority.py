@@ -11,10 +11,25 @@ from collections import Counter
 from typing import List, Sequence
 
 from repro.reconstruction.base import Reconstructor
+from repro.reconstruction.matrix import majority_consensus_batch, stack_clusters
 
 
 class MajorityVoteReconstructor(Reconstructor):
     """Column-wise plurality over unaligned reads."""
+
+    def reconstruct_batch(
+        self, clusters: Sequence[Sequence[str]], expected_length: int
+    ) -> List[str]:
+        """Batched column votes over one stacked code matrix.
+
+        Byte-identical to looping :meth:`reconstruct` (the scalar oracle);
+        clusters off the ACGT alphabet fall back to that loop.
+        """
+        stacked = stack_clusters(clusters)
+        if stacked is None:
+            return super().reconstruct_batch(clusters, expected_length)
+        matrix, lengths, starts = stacked
+        return majority_consensus_batch(matrix, lengths, starts, expected_length)
 
     def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
         reads = self._validate(cluster)

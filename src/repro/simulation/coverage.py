@@ -16,6 +16,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.dna.readpool import ReadPool, as_read_pool
 from repro.observability.trace import worker_span
 from repro.parallel import WorkerPool, derive_seed
 from repro.simulation.channel import Channel
@@ -137,6 +138,20 @@ class SequencingRun:
         for read_index, origin in enumerate(self.origins):
             clusters.setdefault(origin, []).append(read_index)
         return clusters
+
+    def read_pool(self) -> Optional[ReadPool]:
+        """Columnar :class:`~repro.dna.readpool.ReadPool` over ``reads``.
+
+        Built lazily and cached against the identity of the current read
+        list, so the batched consumers (per-read edit distances, quality
+        estimation) share one encoding pass.  ``None`` when the reads
+        cannot be pooled (non-latin-1 payloads).
+        """
+        cached = getattr(self, "_read_pool_cache", None)
+        if cached is None or cached[0] is not self.reads:
+            cached = (self.reads, as_read_pool(self.reads))
+            self._read_pool_cache = cached
+        return cached[1]
 
 
 def _sequence_chunk(indexed_references, extra):

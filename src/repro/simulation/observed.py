@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 
 from repro.dna.alignment import edit_operations
 from repro.dna.distance import levenshtein_distance
+from repro.dna.distance_batch import myers_levenshtein_batch
 from repro.observability.quality import ChannelQuality
 from repro.parallel import WorkerPool
 from repro.simulation.coverage import SequencingRun
@@ -36,6 +37,21 @@ def _read_edit_chunk(pairs, _extra) -> List[int]:
     return [levenshtein_distance(read, reference) for read, reference in pairs]
 
 
+def _origin_edit_chunk(groups, _extra) -> List[List[int]]:
+    """Worker entry point: batched edit distances for (reference, reads) groups.
+
+    Each group shares one reference, so its Myers bitvector masks are
+    packed once and every read of that origin is swept in uint64 lanes.
+    ``myers_levenshtein_batch`` is exact (identical to
+    :func:`~repro.dna.distance.levenshtein_distance` per pair), so the
+    merged result matches the scalar pair loop byte for byte.
+    """
+    return [
+        myers_levenshtein_batch(reference, reads).tolist()
+        for reference, reads in groups
+    ]
+
+
 def per_read_edit_distances(
     run: SequencingRun, pool: Optional[WorkerPool] = None
 ) -> List[int]:
@@ -43,17 +59,35 @@ def per_read_edit_distances(
 
     Where :func:`observe_channel_quality` samples reads to estimate rates,
     this aligns the full run — it feeds the provenance ledger, which needs
-    a per-read number, not an aggregate.  The computation shards over
-    *pool*; :meth:`~repro.parallel.WorkerPool.map_chunks` preserves item
-    order, so the result is identical at any worker count.
+    a per-read number, not an aggregate.  Reads are grouped by origin so
+    each reference's Myers masks are built once and its reads are compared
+    in one batched uint64-lane sweep; groups shard over *pool*
+    (:meth:`~repro.parallel.WorkerPool.map_chunks` preserves item order)
+    and results scatter back to read order, so the output is identical at
+    any worker count.
     """
-    pairs = [
-        (read, run.references[origin])
-        for read, origin in zip(run.reads, run.origins)
-    ]
+    positions_by_origin: "dict[int, List[int]]" = {}
+    for position, origin in enumerate(run.origins):
+        positions_by_origin.setdefault(origin, []).append(position)
+    read_pool = run.read_pool()
+    groups = []
+    for origin, positions in positions_by_origin.items():
+        if read_pool is not None:
+            reads: Sequence[str] = read_pool.view(positions)
+        else:
+            reads = [run.reads[position] for position in positions]
+        groups.append((run.references[origin], reads))
     if pool is None:
-        return _read_edit_chunk(pairs, None)
-    return pool.map_chunks(_read_edit_chunk, pairs, None)
+        per_group = _origin_edit_chunk(groups, None)
+    else:
+        per_group = pool.map_chunks(_origin_edit_chunk, groups, None)
+    distances = [0] * len(run.reads)
+    for (_, positions), group_distances in zip(
+        positions_by_origin.items(), per_group
+    ):
+        for position, distance in zip(positions, group_distances):
+            distances[position] = distance
+    return distances
 
 
 def observe_channel_quality(

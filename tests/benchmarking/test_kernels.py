@@ -16,7 +16,15 @@ from repro.benchmarking.kernels import (
 
 def tiny_report():
     return run_kernel_bench(
-        git_sha="test", pairs=10, strand_nt=40, edits=4, reads=30, rs_rows=32, seed=3
+        git_sha="test",
+        pairs=10,
+        strand_nt=40,
+        edits=4,
+        reads=30,
+        rs_rows=32,
+        verdict_lanes=24,
+        consensus_clusters=6,
+        seed=3,
     )
 
 
@@ -58,11 +66,39 @@ class TestKernelBench:
             assert row["speedup"] > 0
             assert row["rows"] > 0
 
+    def test_edit_verdict_batch_section(self):
+        report = tiny_report()
+        section = report["edit_verdict_batch"]
+        assert section["workload"]["lanes"] == 24
+        rows = {row["kernel"]: row for row in section["kernels"]}
+        assert set(rows) == {"masks_reuse", "uint64_lanes"}
+        for row in rows.values():
+            assert row["matches_scalar"] is True
+            assert row["scalar_seconds"] > 0
+            assert row["batched_seconds"] > 0
+            assert row["speedup"] > 0
+            assert row["lanes"] == 24
+
+    def test_consensus_section(self):
+        report = tiny_report()
+        section = report["consensus"]
+        assert section["workload"]["clusters"] == 6
+        rows = {row["kernel"]: row for row in section["kernels"]}
+        assert set(rows) == {"majority", "bma"}
+        for row in rows.values():
+            assert row["matches_scalar"] is True
+            assert row["scalar_seconds"] > 0
+            assert row["batched_seconds"] > 0
+            assert row["speedup"] > 0
+            assert row["clusters"] == 6
+
     def test_render_mentions_kernels(self):
         rendered = render_kernel_bench(tiny_report())
         assert "myers" in rendered
         assert "qgram" in rendered
         assert "erasure_solve" in rendered
+        assert "uint64_lanes" in rendered
+        assert "majority" in rendered
         assert "oracle ok" in rendered
 
 
@@ -91,8 +127,23 @@ class TestValidateAndLoad:
     def test_v1_documents_without_rs_section_still_load(self):
         report = tiny_report()
         del report["reed_solomon"]
+        del report["edit_verdict_batch"]
+        del report["consensus"]
         report["schema_version"] = 1
         validate_kernel_bench(report)
+
+    def test_v2_documents_without_v3_sections_still_load(self):
+        report = tiny_report()
+        del report["edit_verdict_batch"]
+        del report["consensus"]
+        report["schema_version"] = 2
+        validate_kernel_bench(report)
+
+    def test_v3_requires_new_sections(self):
+        report = tiny_report()
+        del report["consensus"]
+        with pytest.raises(ValueError):
+            validate_kernel_bench(report)
 
     def test_load_roundtrip(self, tmp_path):
         report = tiny_report()

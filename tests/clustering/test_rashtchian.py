@@ -128,3 +128,34 @@ class TestParallelSignatures:
             ClusteringConfig(seed=3, workers=2, **FAST)
         ).cluster(run.reads)
         assert serial.clusters == parallel.clusters
+
+
+class TestColumnarInput:
+    """A ReadPool input must be indistinguishable from the list of reads."""
+
+    def test_pool_matches_list_any_worker_count(self, rng):
+        from repro.dna.readpool import ReadPool
+
+        run = make_run(rng, clusters=20, coverage=7, error=0.08)
+        baseline = RashtchianClusterer(ClusteringConfig(seed=3, **FAST)).cluster(
+            run.reads
+        )
+        for workers in (1, 4):
+            result = RashtchianClusterer(
+                ClusteringConfig(seed=3, workers=workers, **FAST)
+            ).cluster(ReadPool.from_strings(run.reads))
+            assert result.clusters == baseline.clusters
+            assert result.edit_comparisons == baseline.edit_comparisons
+            assert result.signature_comparisons == baseline.signature_comparisons
+
+    def test_non_acgt_reads_still_cluster(self, rng):
+        # Reads off the ACGT alphabet keep the scalar string path end to
+        # end; they must cluster, not crash.
+        reads = ["ACGTNACGT", "ACGTNACGT", "TTTTTTTTT", "TTTTTTTTT"]
+        result = RashtchianClusterer(ClusteringConfig(seed=3, **FAST)).cluster(reads)
+        assert sorted(index for cluster in result.clusters for index in cluster) == [
+            0,
+            1,
+            2,
+            3,
+        ]

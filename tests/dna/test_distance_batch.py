@@ -1,0 +1,124 @@
+"""uint64-lane Myers batch vs the scalar Levenshtein oracle."""
+
+import random
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dna.alphabet import BASES
+from repro.dna.distance import levenshtein_distance, myers_levenshtein_fixed
+from repro.dna.distance_batch import myers_levenshtein_batch
+from repro.dna.readpool import ReadPool
+
+acgt = st.text(alphabet="ACGT", max_size=150)
+bounds = st.one_of(st.none(), st.integers(min_value=0, max_value=40))
+
+
+def _mutated(reference, rng, edits):
+    sequence = list(reference)
+    for _ in range(edits):
+        kind = rng.choice(("sub", "ins", "del"))
+        if kind == "del" and sequence:
+            del sequence[rng.randrange(len(sequence))]
+        elif kind == "ins":
+            sequence.insert(rng.randrange(len(sequence) + 1), rng.choice(BASES))
+        elif sequence:
+            sequence[rng.randrange(len(sequence))] = rng.choice(BASES)
+    return "".join(sequence)
+
+
+class TestAgainstScalarOracle:
+    @given(
+        pattern=acgt,
+        texts=st.lists(acgt, max_size=12),
+        bound=bounds,
+    )
+    def test_matches_levenshtein_distance(self, pattern, texts, bound):
+        result = myers_levenshtein_batch(pattern, texts, bound=bound)
+        expected = [
+            levenshtein_distance(pattern, text, bound=bound) for text in texts
+        ]
+        assert result.tolist() == expected
+        assert result.dtype == np.int64
+
+    def test_multiword_patterns_cross_word_boundaries(self, rng):
+        # Word widths 1..5: the carry/shift plumbing between uint64 words
+        # is exactly what these lengths exercise.
+        for length in (63, 64, 65, 127, 128, 129, 200, 300):
+            pattern = "".join(rng.choice(BASES) for _ in range(length))
+            texts = [
+                _mutated(pattern, rng, edits)
+                for edits in (0, 1, 3, 10, 40)
+            ] + ["".join(rng.choice(BASES) for _ in range(length)) for _ in range(3)]
+            for bound in (None, 0, 3, 12, 500):
+                result = myers_levenshtein_batch(pattern, texts, bound=bound)
+                expected = [
+                    levenshtein_distance(pattern, text, bound=bound)
+                    for text in texts
+                ]
+                assert result.tolist() == expected, (length, bound)
+
+    def test_mixed_text_lengths_and_empties(self, rng):
+        pattern = "".join(rng.choice(BASES) for _ in range(90))
+        texts = ["", "A", pattern, pattern[:40], pattern * 2]
+        result = myers_levenshtein_batch(pattern, texts, bound=25)
+        expected = [levenshtein_distance(pattern, t, bound=25) for t in texts]
+        assert result.tolist() == expected
+
+    def test_empty_pattern(self):
+        result = myers_levenshtein_batch("", ["", "AC", "ACGT"], bound=3)
+        assert result.tolist() == [0, 2, 3 + 1]
+
+    def test_empty_texts(self):
+        result = myers_levenshtein_batch("ACGT", [])
+        assert result.tolist() == []
+
+
+class TestInputPaths:
+    def test_read_pool_input_matches_list(self, rng):
+        pattern = "".join(rng.choice(BASES) for _ in range(110))
+        texts = [_mutated(pattern, rng, 8) for _ in range(30)]
+        pool = ReadPool.from_strings(texts)
+        assert np.array_equal(
+            myers_levenshtein_batch(pattern, pool, bound=12),
+            myers_levenshtein_batch(pattern, texts, bound=12),
+        )
+
+    def test_view_input_matches_list(self, rng):
+        pattern = "".join(rng.choice(BASES) for _ in range(80))
+        texts = [_mutated(pattern, rng, 5) for _ in range(10)]
+        pool = ReadPool.from_strings(texts)
+        view = pool.view([7, 2, 2, 9])
+        expected = [
+            levenshtein_distance(pattern, texts[index], bound=9)
+            for index in (7, 2, 2, 9)
+        ]
+        assert myers_levenshtein_batch(pattern, view, bound=9).tolist() == expected
+
+    def test_non_acgt_pattern_falls_back(self):
+        result = myers_levenshtein_batch("ACNT", ["ACGT", "ANT"], bound=3)
+        expected = [
+            levenshtein_distance("ACNT", text, bound=3) for text in ["ACGT", "ANT"]
+        ]
+        assert result.tolist() == expected
+
+    def test_non_acgt_texts_fall_back(self):
+        texts = ["ACGT", "AC-T", "acgt"]
+        result = myers_levenshtein_batch("ACGT", texts)
+        expected = [levenshtein_distance("ACGT", text) for text in texts]
+        assert result.tolist() == expected
+
+
+class TestMasksReuse:
+    def test_fixed_with_shared_masks_matches(self, rng):
+        from repro.dna.distance import _pattern_masks
+
+        pattern = "".join(rng.choice(BASES) for _ in range(70))
+        masks = _pattern_masks(pattern)
+        for _ in range(20):
+            text = _mutated(pattern, rng, rng.randrange(12))
+            for bound in (None, 4, 20):
+                assert myers_levenshtein_fixed(
+                    pattern, text, bound=bound, masks=masks
+                ) == levenshtein_distance(pattern, text, bound=bound)

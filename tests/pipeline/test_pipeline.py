@@ -118,3 +118,32 @@ class TestWorkerDeterminism:
     def test_workers_validation(self):
         with pytest.raises(ValueError):
             PipelineConfig(workers=0)
+
+
+class TestColumnarPlane:
+    """The pipeline must hand pooled reads and cluster views downstream."""
+
+    def test_clusterer_and_reconstructor_see_columnar_inputs(self):
+        from repro.clustering import RashtchianClusterer
+        from repro.dna.readpool import ReadPool, ReadPoolView
+
+        seen = {}
+
+        class SpyClusterer:
+            def cluster(self, reads):
+                seen["cluster_input"] = type(reads)
+                return RashtchianClusterer(FAST_CLUSTERING).cluster(reads)
+
+        class SpyReconstructor(BMAReconstructor):
+            def reconstruct_batch(self, clusters, expected_length):
+                seen["cluster_types"] = {type(c) for c in clusters}
+                return super().reconstruct_batch(clusters, expected_length)
+
+        data = random.Random(3).randbytes(100)
+        config = fast_config(
+            clusterer=SpyClusterer(), reconstructor=SpyReconstructor()
+        )
+        result = Pipeline(config).run(data)
+        assert result.data == data
+        assert issubclass(seen["cluster_input"], ReadPool)
+        assert seen["cluster_types"] == {ReadPoolView}

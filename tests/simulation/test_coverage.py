@@ -151,6 +151,33 @@ class TestPerReadEditDistances:
         assert sharded == serial
         assert any(distance > 0 for distance in serial)
 
+    def test_batched_matches_scalar_pair_loop(self, rng):
+        # The origin-grouped uint64-lane path must reproduce the old
+        # per-pair levenshtein loop exactly, in read order.
+        from repro.dna.distance import levenshtein_distance
+        from repro.simulation.observed import per_read_edit_distances
+
+        references = [random_sequence(70, rng) for _ in range(15)]
+        run = sequence_pool(
+            references, IIDChannel.from_total_rate(0.1), ConstantCoverage(5), rng
+        )
+        expected = [
+            levenshtein_distance(read, run.references[origin])
+            for read, origin in zip(run.reads, run.origins)
+        ]
+        assert per_read_edit_distances(run) == expected
+
+    def test_read_pool_cached_on_run(self, rng):
+        references = [random_sequence(30, rng) for _ in range(4)]
+        run = sequence_pool(references, IdentityChannel(), ConstantCoverage(2), rng)
+        pool = run.read_pool()
+        assert pool is not None
+        assert pool.to_strings() == run.reads
+        assert run.read_pool() is pool
+        # Mutating the read list invalidates the cache.
+        run.reads = list(run.reads)
+        assert run.read_pool() is not pool
+
 
 class TestSequencePoolSharding:
     def test_pool_does_not_change_results(self, rng):
