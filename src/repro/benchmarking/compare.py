@@ -266,10 +266,12 @@ _KERNEL_CORRECTNESS_FIELDS = (
     "matches_oracle",
     "matches_scalar",
     "verdicts_match_reference",
+    "within_tolerance",
+    "workers_invariant",
 )
 
 #: Speedup fields of kernel-bench rows: machine-dependent, so drops only warn.
-_KERNEL_SPEED_FIELDS = ("speedup", "speedup_vs_reference")
+_KERNEL_SPEED_FIELDS = ("speedup", "speedup_vs_reference", "speedup_vs_scalar")
 
 #: Sections of a kernel-bench document and the key naming their rows.
 _KERNEL_SECTIONS = (
@@ -278,6 +280,7 @@ _KERNEL_SECTIONS = (
     ("reed_solomon", "kernels", "kernel"),
     ("edit_verdict_batch", "kernels", "kernel"),
     ("consensus", "kernels", "kernel"),
+    ("consensus_poa", "kernels", "kernel"),
 )
 
 

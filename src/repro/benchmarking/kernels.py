@@ -22,12 +22,23 @@ visible without the noise of the surrounding stages:
 * **consensus** (schema 3) — matrix consensus: the scalar per-cluster
   ``Counter`` reconstructors vs the stacked
   ``reconstruct_batch``/bincount kernels for majority vote and BMA.
+* **consensus_poa** (schema 4) — POA consensus: the exact full-width
+  :class:`~repro.reconstruction.nw_consensus.NWConsensusReconstructor`
+  vs its banded variant and the windowed, batched
+  :class:`~repro.reconstruction.windowed.WindowedPOAReconstructor`, on a
+  short suite (where the windowed path delegates and must match the
+  scalar bytes exactly) and a kb-scale suite (where approximate kernels
+  must stay within an edit-distance tolerance of the scalar oracle, and
+  the windowed kernel carries the ≥5x speedup this module exists to
+  witness).
 
 Every non-reference row carries a boolean correctness field
-(``matches_oracle`` / ``matches_scalar`` / ``verdicts_match_reference``)
-asserting the fast kernel reproduced the oracle's results on the bench
-workload; the ``--compare`` gate requires those fields to stay exactly
-true while timing drift only warns.
+(``matches_oracle`` / ``matches_scalar`` / ``verdicts_match_reference`` /
+``within_tolerance`` / ``workers_invariant``) asserting the fast kernel
+reproduced — or, for the approximate POA kernels, stayed within a quality
+tolerance of — the oracle's results on the bench workload; the
+``--compare`` gate requires those fields to stay exactly true while
+timing drift only warns.
 
 The output is a ``BENCH_kernels.json`` document with its own ``kind``
 (``repro-kernel-bench``) — it deliberately does not pretend to be a
@@ -58,11 +69,14 @@ from repro.dna.distance import (
 from repro.dna.distance_batch import myers_levenshtein_batch
 from repro.dna.qgram import QGramSignature, WGramSignature, sample_grams
 from repro.dna.readpool import ReadPool
+from repro.parallel import WorkerPool
 from repro.reconstruction.bma import BMAReconstructor
 from repro.reconstruction.majority import MajorityVoteReconstructor
+from repro.reconstruction.nw_consensus import NWConsensusReconstructor
+from repro.reconstruction.windowed import WindowedPOAReconstructor
 
 KERNEL_BENCH_KIND = "repro-kernel-bench"
-KERNEL_BENCH_SCHEMA_VERSION = 3
+KERNEL_BENCH_SCHEMA_VERSION = 4
 
 
 def _mutate(strand: str, edits: int, rng: random.Random) -> str:
@@ -444,6 +458,124 @@ def _consensus_section(
     }
 
 
+def _consensus_poa_section(
+    short_clusters: int,
+    long_clusters: int,
+    reads_per_cluster: int,
+    short_nt: int,
+    long_nt: int,
+    seed: int,
+    poa_workers: int = 0,
+) -> Dict:
+    """Scalar vs banded vs windowed POA consensus, short and kb-scale.
+
+    The scalar full-width :class:`NWConsensusReconstructor` is both the
+    baseline timing and the quality oracle.  The short suite sits inside
+    one window, so the windowed reconstructor delegates to the scalar
+    path and must reproduce its bytes exactly (``matches_scalar``).  The
+    kb-scale suite is where banding and windowing change the alignment:
+    those kernels are approximate, so their gate is ``within_tolerance``
+    — mean edit distance to the true reference strand no worse than the
+    scalar oracle's by more than a small slack.  With ``poa_workers >= 2``
+    the kb windowed run is repeated through a process pool and
+    ``workers_invariant`` asserts the fanned-out bytes equal the serial
+    ones.
+    """
+    rng = random.Random(seed)
+    rows: List[Dict] = []
+    suites = (
+        ("short", short_clusters, short_nt),
+        ("kb", long_clusters, long_nt),
+    )
+    for suite, count, length in suites:
+        edits = max(2, round(0.02 * length))
+        references: List[str] = []
+        clusters: List[List[str]] = []
+        for _ in range(count):
+            reference = "".join(rng.choice(BASES) for _ in range(length))
+            references.append(reference)
+            clusters.append(
+                [_mutate(reference, edits, rng) for _ in range(reads_per_cluster)]
+            )
+
+        def mean_edit(consensus: List[str]) -> float:
+            return sum(
+                levenshtein_distance(estimate, reference, bound=length)
+                for estimate, reference in zip(consensus, references)
+            ) / len(references)
+
+        scalar = NWConsensusReconstructor(max_cluster=64)
+        scalar_seconds, scalar_consensus = _timed(
+            lambda: [scalar.reconstruct(cluster, length) for cluster in clusters]
+        )
+        scalar_ed = mean_edit(scalar_consensus)
+        tolerance = max(2.0, 0.005 * length)
+
+        band = max(24, length // 32)
+        banded = NWConsensusReconstructor(max_cluster=64, band=band)
+        banded_seconds, banded_consensus = _timed(
+            lambda: [banded.reconstruct(cluster, length) for cluster in clusters]
+        )
+        banded_ed = mean_edit(banded_consensus)
+        rows.append(
+            {
+                "kernel": f"banded_{suite}",
+                "scalar_seconds": scalar_seconds,
+                "batched_seconds": banded_seconds,
+                "clusters": count,
+                "speedup_vs_scalar": (
+                    scalar_seconds / banded_seconds if banded_seconds > 0 else 0.0
+                ),
+                "mean_edit_distance": banded_ed,
+                "scalar_mean_edit_distance": scalar_ed,
+                "within_tolerance": banded_ed <= scalar_ed + tolerance,
+            }
+        )
+
+        windowed = WindowedPOAReconstructor()
+        windowed_seconds, windowed_consensus = _timed(
+            lambda: [windowed.reconstruct(cluster, length) for cluster in clusters]
+        )
+        windowed_ed = mean_edit(windowed_consensus)
+        row = {
+            "kernel": f"windowed_{suite}",
+            "scalar_seconds": scalar_seconds,
+            "batched_seconds": windowed_seconds,
+            "clusters": count,
+            "speedup_vs_scalar": (
+                scalar_seconds / windowed_seconds if windowed_seconds > 0 else 0.0
+            ),
+            "mean_edit_distance": windowed_ed,
+            "scalar_mean_edit_distance": scalar_ed,
+        }
+        if suite == "short":
+            # Short strands delegate to the scalar path: exact bytes.
+            row["matches_scalar"] = list(windowed_consensus) == list(
+                scalar_consensus
+            )
+        else:
+            row["within_tolerance"] = windowed_ed <= scalar_ed + tolerance
+            if poa_workers >= 2:
+                with WorkerPool(poa_workers) as pool:
+                    fanned = WindowedPOAReconstructor().reconstruct_all(
+                        clusters, length, pool=pool
+                    )
+                row["workers_invariant"] = fanned == windowed_consensus
+        rows.append(row)
+    return {
+        "workload": {
+            "short_clusters": short_clusters,
+            "long_clusters": long_clusters,
+            "reads_per_cluster": reads_per_cluster,
+            "short_nt": short_nt,
+            "long_nt": long_nt,
+            "poa_workers": poa_workers,
+            "seed": seed,
+        },
+        "kernels": rows,
+    }
+
+
 def run_kernel_bench(
     git_sha: Optional[str] = None,
     pairs: int = 300,
@@ -453,6 +585,10 @@ def run_kernel_bench(
     rs_rows: int = 1024,
     verdict_lanes: int = 1024,
     consensus_clusters: int = 200,
+    poa_short_clusters: int = 8,
+    poa_long_clusters: int = 3,
+    poa_long_nt: int = 2000,
+    poa_workers: int = 2,
     seed: int = 29,
 ) -> Dict:
     """Run the kernel microbenchmarks; returns the report document."""
@@ -469,6 +605,15 @@ def run_kernel_bench(
             verdict_lanes, strand_nt, edits, seed
         ),
         "consensus": _consensus_section(consensus_clusters, 12, strand_nt, 8, seed),
+        "consensus_poa": _consensus_poa_section(
+            poa_short_clusters,
+            poa_long_clusters,
+            8,
+            strand_nt,
+            poa_long_nt,
+            seed,
+            poa_workers=poa_workers,
+        ),
     }
 
 
@@ -491,6 +636,8 @@ def validate_kernel_bench(report: Dict) -> None:
     required = ["distance", "signatures"]
     if version >= 3:
         required += ["edit_verdict_batch", "consensus"]
+    if version >= 4:
+        required += ["consensus_poa"]
     for section in required:
         if section not in report:
             raise ValueError(f"kernel bench report is missing {section!r}")
@@ -570,5 +717,28 @@ def render_kernel_bench(report: Dict) -> str:
                 f"  {row['kernel']:<15} scalar {row['scalar_seconds']:6.3f}s  "
                 f"batched {row['batched_seconds']:7.4f}s  "
                 f"{row['speedup']:6.1f}x  oracle {oracle}"
+            )
+    consensus_poa = report.get("consensus_poa")
+    if consensus_poa is not None:
+        workload = consensus_poa["workload"]
+        lines.append(
+            f"POA consensus: short {workload['short_clusters']} clusters x "
+            f"{workload['short_nt']} nt, kb {workload['long_clusters']} "
+            f"clusters x {workload['long_nt']} nt"
+        )
+        for row in consensus_poa["kernels"]:
+            if "matches_scalar" in row:
+                oracle = "exact ok" if row["matches_scalar"] else "MISMATCH"
+            else:
+                oracle = (
+                    f"ed {row['mean_edit_distance']:.1f} vs "
+                    f"{row['scalar_mean_edit_distance']:.1f}"
+                    if row.get("within_tolerance")
+                    else "TOLERANCE EXCEEDED"
+                )
+            lines.append(
+                f"  {row['kernel']:<15} scalar {row['scalar_seconds']:6.3f}s  "
+                f"kernel {row['batched_seconds']:7.4f}s  "
+                f"{row['speedup_vs_scalar']:6.1f}x  {oracle}"
             )
     return "\n".join(lines)

@@ -11,6 +11,15 @@ Consensus (Section VII-C of the paper) takes a majority vote in every column
 of the implied multiple sequence alignment; when the result exceeds the
 expected strand length, the surplus columns with the most indel alignments
 are omitted.
+
+The alignment DP supports an optional **band**: each graph row only
+evaluates read positions within ``band`` columns of the backbone diagonal
+(row rank scaled to read length).  Reads produced by DNA storage channels
+drift from the backbone only by their accumulated indels, so a band a few
+dozen columns wide almost always contains the optimal path; when the
+traceback touches the band boundary — the signal that the path may have
+been clipped — the alignment transparently falls back to the exact
+full-width DP and the graph counts a ``band_saturations`` event.
 """
 
 from __future__ import annotations
@@ -36,6 +45,15 @@ class PartialOrderGraph:
         When true (the default) reads may start and end anywhere in the
         graph without terminal gap penalties, which makes the alignment
         robust to truncated reads.
+    band:
+        Half-width of the alignment band around the backbone diagonal, or
+        ``None`` (the default) for the exact full-width DP.  Banded
+        alignments that touch the band boundary during traceback are
+        recomputed exactly, so a band can only ever cost accuracy when the
+        optimal path leaves the band without its in-band substitute
+        grazing the edge — rare in practice, and bounded by the
+        ``band_saturations`` counter plus the kernel bench's
+        ``matches_scalar`` gate.
     """
 
     def __init__(
@@ -44,11 +62,15 @@ class PartialOrderGraph:
         mismatch: int = -2,
         gap: int = -2,
         free_graph_ends: bool = True,
+        band: Optional[int] = None,
     ):
+        if band is not None and band < 1:
+            raise ValueError(f"band must be positive when given, got {band}")
         self.match = match
         self.mismatch = mismatch
         self.gap = gap
         self.free_graph_ends = free_graph_ends
+        self.band = band
         self.bases: List[str] = []
         self.preds: List[List[int]] = []
         self.succs: List[List[int]] = []
@@ -56,6 +78,9 @@ class PartialOrderGraph:
         self.group_members: Dict[int, List[int]] = {}
         self.paths: List[List[int]] = []
         self._next_group = 0
+        #: banded alignments that touched the band edge and were redone
+        #: exactly (drained into metrics by the NW reconstructors)
+        self.band_saturations = 0
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -119,48 +144,111 @@ class PartialOrderGraph:
         tuples with op in {"diag", "vert", "horiz"}; node_id is -1 for
         "horiz" (insertions attach to the path, not to an existing node).
         """
+        if self.band is not None:
+            result = self._align_dp(sequence, self.band)
+            if result is not None:
+                return result
+            self.band_saturations += 1
+        result = self._align_dp(sequence, None)
+        if result is None:  # pragma: no cover - unbanded traceback is total
+            raise RuntimeError("POA traceback failed; this is a bug")
+        return result
+
+    def _align_dp(
+        self, sequence: str, band: Optional[int]
+    ) -> Optional[List[Tuple[str, int, int]]]:
+        """One DP + traceback pass, full-width (``band=None``) or banded.
+
+        Returns ``None`` when the banded pass is unreliable: no in-band
+        path reached the end, or the traceback touched the band boundary
+        (the optimal path may have been clipped).
+        """
         order = self.topological_order()
         rank = {node: index + 1 for index, node in enumerate(order)}
         n, m = len(order), len(sequence)
         gap = self.gap
         read_codes = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
         positions = np.arange(m + 1, dtype=np.int32)
+        insert_cost = positions * gap
 
-        score = np.empty((n + 1, m + 1), dtype=np.int32)
-        score[0] = positions * gap  # virtual start: read prefix is insertions
-        for row, node in enumerate(order, start=1):
-            base_code = ord(self.bases[node])
-            match_scores = np.where(
-                read_codes == base_code, self.match, self.mismatch
+        # Per-base match-score rows, built once per alignment instead of
+        # one np.where per graph row (graphs hold only a handful of
+        # distinct bases).
+        match_rows: Dict[int, np.ndarray] = {}
+        for base in set(self.bases):
+            code = ord(base)
+            match_rows[code] = np.where(
+                read_codes == code, self.match, self.mismatch
             ).astype(np.int32)
+
+        if band is None:
+            lo = np.zeros(n + 1, dtype=np.int64)
+            hi = np.full(n + 1, m, dtype=np.int64)
+        else:
+            # Band centre: row rank scaled onto the read — the diagonal a
+            # read that spans the whole graph would follow.
+            centers = np.round(
+                np.arange(n + 1, dtype=np.float64) * (m / max(n, 1))
+            ).astype(np.int64)
+            lo = np.maximum(centers - band, 0)
+            hi = np.minimum(centers + band, m)
+
+        score = np.full((n + 1, m + 1), _NEG_INF, dtype=np.int32)
+        score[0, lo[0] : hi[0] + 1] = insert_cost[lo[0] : hi[0] + 1]
+        for row, node in enumerate(order, start=1):
+            row_lo, row_hi = int(lo[row]), int(hi[row])
+            width = row_hi - row_lo + 1
+            match_scores = match_rows[ord(self.bases[node])]
             pred_rows = [rank[p] for p in self.preds[node]]
             if not pred_rows or self.free_graph_ends:
                 pred_rows = pred_rows + [0]
-            best = np.full(m + 1, _NEG_INF, dtype=np.int32)
+            best = np.full(width, _NEG_INF, dtype=np.int32)
             for pred_row in pred_rows:
                 prev = score[pred_row]
-                np.maximum(best[1:], prev[:-1] + match_scores, out=best[1:])
-                np.maximum(best, prev + gap, out=best)
+                if row_lo > 0:
+                    np.maximum(
+                        best,
+                        prev[row_lo - 1 : row_hi]
+                        + match_scores[row_lo - 1 : row_hi],
+                        out=best,
+                    )
+                else:
+                    np.maximum(
+                        best[1:],
+                        prev[row_lo : row_hi] + match_scores[row_lo:row_hi],
+                        out=best[1:],
+                    )
+                np.maximum(best, prev[row_lo : row_hi + 1] + gap, out=best)
             # Resolve the serial horizontal (insertion) chain with a prefix
             # max: row[j] = max(best[j], max_{k<j} best[k] + (j-k)*gap).
-            shifted = np.maximum.accumulate(best - positions * gap)
-            row_scores = best.copy()
+            window_cost = insert_cost[row_lo : row_hi + 1]
+            shifted = np.maximum.accumulate(best - window_cost)
+            row_scores = best
             np.maximum(
-                row_scores[1:], shifted[:-1] + positions[1:] * gap, out=row_scores[1:]
+                row_scores[1:], shifted[:-1] + window_cost[1:], out=row_scores[1:]
             )
-            score[row] = row_scores
+            score[row, row_lo : row_hi + 1] = row_scores
 
         if self.free_graph_ends:
             end_rows = list(range(1, n + 1))
         else:
             end_rows = [rank[node] for node in order if not self.succs[node]]
         end_row = max(end_rows, key=lambda r: score[r, m])
+        if score[end_row, m] <= _NEG_INF // 2:
+            return None  # no in-band path reaches the read's end
 
         # Traceback by re-checking which transition achieves each score.
         ops: List[Tuple[str, int, int]] = []
         row, j = end_row, m
         order_by_row = {rank[node]: node for node in order}
         while row != 0 or j != 0:
+            if band is not None:
+                # A path hugging the band edge may have been clipped by
+                # it; hand the alignment back for an exact re-run.  The
+                # j == 0 / j == m walls are genuine DP borders, not band
+                # clipping.
+                if (j == lo[row] and j > 0) or (j == hi[row] and j < m):
+                    return None
             if row == 0:
                 ops.append(("horiz", -1, j - 1))
                 j -= 1
@@ -195,6 +283,8 @@ class PartialOrderGraph:
                 ops.append(("horiz", -1, j - 1))
                 j -= 1
                 continue
+            if band is not None:
+                return None  # in-band scores are inconsistent: path clipped
             raise RuntimeError("POA traceback failed; this is a bug")
         ops.reverse()
         return ops
@@ -293,11 +383,12 @@ def poa_consensus(
     match: int = 2,
     mismatch: int = -2,
     gap: int = -2,
+    band: Optional[int] = None,
 ) -> str:
     """Build a POA graph over *reads* and return its majority consensus."""
     if not reads:
         raise ValueError("poa_consensus requires at least one read")
-    graph = PartialOrderGraph(match=match, mismatch=mismatch, gap=gap)
+    graph = PartialOrderGraph(match=match, mismatch=mismatch, gap=gap, band=band)
     for read in reads:
         if read:
             graph.add_sequence(read)

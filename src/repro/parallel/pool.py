@@ -129,12 +129,16 @@ class WorkerPool:
         fn: Callable[[Sequence[Item], object], ChunkResult],
         items: Sequence[Item],
         extra: object = None,
+        min_items: Optional[int] = None,
     ) -> List[ChunkResult]:
         """Apply *fn* to contiguous chunks of *items*; one result per chunk.
 
         The serial path (one worker, or fewer than ``min_items`` items)
         makes a single ``fn(items, extra)`` call, so worker functions see
-        the exact same interface either way.
+        the exact same interface either way.  *min_items* overrides the
+        pool-level threshold for this call only: stages whose items are
+        individually heavy (per-window POA tasks, kb-scale alignments)
+        pass a small value so even a handful of them fans out.
         """
         # Reset up front: a raising fn must not leave the previous
         # fan-out's values behind for span attributes to pick up.
@@ -143,8 +147,12 @@ class WorkerPool:
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
             tracer = None
+        if min_items is None:
+            min_items = self.min_items
+        elif min_items < 1:
+            raise ValueError(f"min_items must be at least 1, got {min_items}")
 
-        if self.workers <= 1 or len(items) < self.min_items:
+        if self.workers <= 1 or len(items) < min_items:
             if tracer is None:
                 result = fn(items, extra)
                 self.last_shards = 1
@@ -190,6 +198,7 @@ class WorkerPool:
         fn: Callable[[Sequence[Item], object], List],
         items: Sequence[Item],
         extra: object = None,
+        min_items: Optional[int] = None,
     ) -> List:
         """Like :meth:`run_chunks` but concatenates the per-chunk lists.
 
@@ -198,7 +207,7 @@ class WorkerPool:
         original item order.
         """
         results: List = []
-        for chunk_result in self.run_chunks(fn, items, extra):
+        for chunk_result in self.run_chunks(fn, items, extra, min_items=min_items):
             results.extend(chunk_result)
         return results
 

@@ -34,6 +34,10 @@ class PipelineConfig:
     #: when set it replaces the Rashtchian clusterer (and ``clustering`` is
     #: ignored) — e.g. :class:`repro.clustering.tree.TreeClusterer`
     clusterer: Optional[object] = None
+    #: consensus algorithm; for kb-scale strands prefer
+    #: :class:`~repro.reconstruction.windowed.WindowedPOAReconstructor`
+    #: (CLI ``--algorithm nww``), which windows the POA so per-alignment
+    #: cost stays bounded and fans individual windows out to workers
     reconstructor: Reconstructor = field(default_factory=NWConsensusReconstructor)
     #: probability a simulated read is reported in the 3'->5' orientation;
     #: only meaningful when the encoding carries a primer pair, because

@@ -11,6 +11,10 @@ Three algorithms are implemented, matching the paper:
 * :class:`~repro.reconstruction.nw_consensus.NWConsensusReconstructor` — the
   paper's novel approach: a Needleman-Wunsch-scored partial-order multiple
   sequence alignment followed by a per-column majority vote.
+* :class:`~repro.reconstruction.windowed.WindowedPOAReconstructor` — the NW
+  consensus extended to kb-scale strands: reads are anchored to backbone
+  coordinates, consensus runs in overlapping windows with a batched, banded
+  alignment kernel, and window consensuses are merged by overlap alignment.
 """
 
 from repro.reconstruction.base import Reconstructor
@@ -19,6 +23,7 @@ from repro.reconstruction.double_bma import DoubleSidedBMAReconstructor
 from repro.reconstruction.nw_consensus import NWConsensusReconstructor
 from repro.reconstruction.majority import MajorityVoteReconstructor
 from repro.reconstruction.trellis import TrellisMAPReconstructor
+from repro.reconstruction.windowed import WindowedPOAReconstructor
 
 __all__ = [
     "Reconstructor",
@@ -27,4 +32,5 @@ __all__ = [
     "NWConsensusReconstructor",
     "MajorityVoteReconstructor",
     "TrellisMAPReconstructor",
+    "WindowedPOAReconstructor",
 ]

@@ -85,6 +85,21 @@ class Reconstructor(ABC):
                     for name, value in chunk_counters.items():
                         counters[name] = counters.get(name, 0) + value
                 span.set("shards", pool.last_shards)
+        self._flush_batch_metrics(tracer, clusters, counters)
+        return consensus
+
+    def _flush_batch_metrics(
+        self,
+        tracer: Tracer,
+        clusters: Sequence[Sequence[str]],
+        counters: Dict[str, int],
+    ) -> None:
+        """Flush one batch's metrics (cluster counts, sizes, hot-loop counters).
+
+        Shared by :meth:`reconstruct_all` and subclasses that override it
+        with their own fan-out topology (e.g. the windowed reconstructor's
+        per-window task fan-out), so every batch reports the same series.
+        """
         metrics = tracer.metrics
         metrics.counter("clusters_reconstructed", algorithm=type(self).__name__).inc(
             len(clusters)
@@ -94,7 +109,6 @@ class Reconstructor(ABC):
             histogram.observe(len(cluster))
         for name, value in counters.items():
             metrics.counter(name).inc(value)
-        return consensus
 
     def reconstruct_batch(
         self, clusters: Sequence[Sequence[str]], expected_length: int

@@ -16,9 +16,9 @@ realignment, which makes it the fastest option at high coverage
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Optional, Sequence
 
-from repro.dna.poa import PartialOrderGraph, poa_consensus
+from repro.dna.poa import PartialOrderGraph
 from repro.reconstruction.base import Reconstructor
 
 
@@ -32,7 +32,19 @@ class NWConsensusReconstructor(Reconstructor):
     max_cluster:
         Upper bound on the number of reads folded into the graph; large
         clusters gain nothing from extra reads while alignment cost grows
-        linearly, so surplus reads are ignored (in read order).
+        linearly.  The cap is applied *after* the median-distance sort, so
+        the reads kept are the ones whose lengths are closest to the
+        cluster median — surplus outliers are the reads dropped.
+    two_pass:
+        Re-align every read against a graph seeded with the first-pass
+        consensus (the seed's own vote is removed), which eliminates most
+        residual single-indel frame shifts.
+    band:
+        Optional half-width for the banded alignment DP (see
+        :class:`~repro.dna.poa.PartialOrderGraph`); ``None`` keeps the
+        exact full-width alignment.  Banded alignments that saturate their
+        band are redone exactly and surface as the ``nw_band_saturations``
+        counter.
     """
 
     def __init__(
@@ -42,6 +54,7 @@ class NWConsensusReconstructor(Reconstructor):
         gap: int = -2,
         max_cluster: int = 20,
         two_pass: bool = True,
+        band: Optional[int] = None,
     ):
         if max_cluster <= 0:
             raise ValueError(f"max_cluster must be positive, got {max_cluster}")
@@ -50,50 +63,94 @@ class NWConsensusReconstructor(Reconstructor):
         self.gap = gap
         self.max_cluster = max_cluster
         self.two_pass = two_pass
+        self.band = band
         self._reads_folded = 0
         self._reads_capped = 0
+        self._band_saturations = 0
 
     def drain_counters(self):
         counts = {
             "nw_reads_folded": self._reads_folded,
             "nw_reads_capped": self._reads_capped,
+            "nw_band_saturations": self._band_saturations,
         }
         self._reads_folded = 0
         self._reads_capped = 0
+        self._band_saturations = 0
         return counts
 
-    def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
-        reads = self._validate(cluster)[: self.max_cluster]
-        self._reads_folded += len(reads)
-        self._reads_capped += max(0, len(cluster) - self.max_cluster)
-        # The first read becomes the graph backbone, so start from the read
-        # whose length is closest to the cluster median — an outlier
-        # backbone (truncated read) would distort every later alignment.
-        median = sorted(len(read) for read in reads)[len(reads) // 2]
-        reads = sorted(reads, key=lambda read: abs(len(read) - median))
-        consensus = poa_consensus(
-            reads,
-            expected_length=expected_length,
-            match=self.match,
-            mismatch=self.mismatch,
-            gap=self.gap,
+    # ------------------------------------------------------------------
+    # Read selection (shared with the windowed subclass)
+    # ------------------------------------------------------------------
+
+    def _select_reads(self, cluster: Sequence[str]) -> List[str]:
+        """Validate, order, and cap the cluster's reads.
+
+        The first read becomes the graph backbone, so ordering starts from
+        the read whose length is closest to the cluster median — an
+        outlier backbone (truncated read) would distort every later
+        alignment.  The sort key is explicit and total:
+        ``(abs(len - median), len, arrival order)`` — so backbone choice
+        (and therefore the consensus) is deterministic even when several
+        reads tie on median distance.  The ``max_cluster`` cap applies
+        *after* the sort: the reads kept are the closest-to-median ones,
+        and ``nw_reads_capped`` counts the non-empty reads dropped.
+        """
+        reads = self._validate(cluster)
+        keep = self._selection_order([len(read) for read in reads])
+        self._reads_capped += max(0, len(reads) - self.max_cluster)
+        return [reads[index] for index in keep]
+
+    def _selection_order(self, lengths: Sequence[int]) -> List[int]:
+        """Indices of the reads to keep, in backbone-first order.
+
+        Shared by the string path above and the windowed subclass's
+        zero-copy :class:`~repro.dna.readpool.ReadPoolView` path, so both
+        select byte-identical read sets.
+        """
+        median = sorted(lengths)[len(lengths) // 2]
+        order = sorted(
+            range(len(lengths)),
+            key=lambda i: (abs(int(lengths[i]) - median), int(lengths[i]), i),
         )
+        return order[: self.max_cluster]
+
+    # ------------------------------------------------------------------
+    # Consensus
+    # ------------------------------------------------------------------
+
+    def _new_graph(self) -> PartialOrderGraph:
+        return PartialOrderGraph(
+            match=self.match, mismatch=self.mismatch, gap=self.gap, band=self.band
+        )
+
+    def _consensus_core(self, reads: Sequence[str], expected_length: int) -> str:
+        """POA consensus over pre-selected *reads* (two-pass, padded)."""
+        graph = self._new_graph()
+        for read in reads:
+            graph.add_sequence(read)
+        consensus = graph.consensus(expected_length=expected_length)
+        self._band_saturations += graph.band_saturations
         if self.two_pass and consensus:
             # Second pass: re-align every read against a graph seeded with
             # the first-pass consensus.  The seed anchors the coordinate
             # frame (its own vote is removed), eliminating most residual
             # single-indel frame shifts in the consensus.
-            graph = PartialOrderGraph(
-                match=self.match, mismatch=self.mismatch, gap=self.gap
-            )
+            graph = self._new_graph()
             graph.add_sequence(consensus)
             for read in reads:
                 graph.add_sequence(read)
             graph.paths.pop(0)
             consensus = graph.consensus(expected_length=expected_length)
+            self._band_saturations += graph.band_saturations
         # The consensus may still be short when gaps win columns (heavy
         # deletions); pad deterministically so the decoder sees the nominal
         # length and treats the tail as substitutions.
         if len(consensus) < expected_length:
             consensus = consensus + "A" * (expected_length - len(consensus))
         return consensus
+
+    def reconstruct(self, cluster: Sequence[str], expected_length: int) -> str:
+        reads = self._select_reads(cluster)
+        self._reads_folded += len(reads)
+        return self._consensus_core(reads, expected_length)

@@ -169,6 +169,21 @@ def kernel_report():
                 {"kernel": "erasure_solve", "matches_oracle": True, "speedup": 20.0},
             ]
         },
+        "consensus_poa": {
+            "kernels": [
+                {
+                    "kernel": "windowed_short",
+                    "matches_scalar": True,
+                    "speedup_vs_scalar": 1.0,
+                },
+                {
+                    "kernel": "windowed_kb",
+                    "within_tolerance": True,
+                    "workers_invariant": True,
+                    "speedup_vs_scalar": 6.0,
+                },
+            ]
+        },
     }
 
 
@@ -230,6 +245,27 @@ class TestKernelGate:
         baseline["schema_version"] = 1
         result = compare_kernel_reports(baseline, kernel_report())
         assert result.ok
+
+    def test_tolerance_flip_is_regression(self):
+        new = kernel_report()
+        new["consensus_poa"]["kernels"][1]["within_tolerance"] = False
+        result = compare_kernel_reports(kernel_report(), new)
+        assert not result.ok
+        assert any("within_tolerance" in line for line in result.regressions)
+
+    def test_worker_invariance_flip_is_regression(self):
+        new = kernel_report()
+        new["consensus_poa"]["kernels"][1]["workers_invariant"] = False
+        result = compare_kernel_reports(kernel_report(), new)
+        assert not result.ok
+        assert any("workers_invariant" in line for line in result.regressions)
+
+    def test_poa_speedup_drop_warns_but_passes(self):
+        new = kernel_report()
+        new["consensus_poa"]["kernels"][1]["speedup_vs_scalar"] = 1.5
+        result = compare_kernel_reports(kernel_report(), new)
+        assert result.ok
+        assert any("speedup_vs_scalar" in line for line in result.warnings)
 
     def test_render_mentions_warnings(self):
         new = kernel_report()

@@ -24,6 +24,10 @@ def tiny_report():
         rs_rows=32,
         verdict_lanes=24,
         consensus_clusters=6,
+        poa_short_clusters=2,
+        poa_long_clusters=1,
+        poa_long_nt=400,
+        poa_workers=0,  # skip the process-pool invariance rerun in tests
         seed=3,
     )
 
@@ -92,6 +96,30 @@ class TestKernelBench:
             assert row["speedup"] > 0
             assert row["clusters"] == 6
 
+    def test_consensus_poa_section(self):
+        report = tiny_report()
+        section = report["consensus_poa"]
+        assert section["workload"]["long_nt"] == 400
+        rows = {row["kernel"]: row for row in section["kernels"]}
+        assert set(rows) == {
+            "banded_short",
+            "windowed_short",
+            "banded_kb",
+            "windowed_kb",
+        }
+        for row in rows.values():
+            assert row["scalar_seconds"] > 0
+            assert row["batched_seconds"] > 0
+            assert row["speedup_vs_scalar"] > 0
+        # Short strands delegate, so the windowed bytes are exact; the
+        # banded and kb rows gate on the edit-distance tolerance.
+        assert rows["windowed_short"]["matches_scalar"] is True
+        assert rows["banded_short"]["within_tolerance"] is True
+        assert rows["banded_kb"]["within_tolerance"] is True
+        assert rows["windowed_kb"]["within_tolerance"] is True
+        # poa_workers=0 skips the process-pool rerun entirely.
+        assert "workers_invariant" not in rows["windowed_kb"]
+
     def test_render_mentions_kernels(self):
         rendered = render_kernel_bench(tiny_report())
         assert "myers" in rendered
@@ -100,6 +128,8 @@ class TestKernelBench:
         assert "uint64_lanes" in rendered
         assert "majority" in rendered
         assert "oracle ok" in rendered
+        assert "windowed_kb" in rendered
+        assert "exact ok" in rendered
 
 
 class TestValidateAndLoad:
@@ -142,6 +172,18 @@ class TestValidateAndLoad:
     def test_v3_requires_new_sections(self):
         report = tiny_report()
         del report["consensus"]
+        with pytest.raises(ValueError):
+            validate_kernel_bench(report)
+
+    def test_v3_documents_without_poa_section_still_load(self):
+        report = tiny_report()
+        del report["consensus_poa"]
+        report["schema_version"] = 3
+        validate_kernel_bench(report)
+
+    def test_v4_requires_poa_section(self):
+        report = tiny_report()
+        del report["consensus_poa"]
         with pytest.raises(ValueError):
             validate_kernel_bench(report)
 

@@ -95,3 +95,56 @@ class TestConsensus:
     def test_consensus_is_dna(self, sequences):
         consensus = poa_consensus(sequences)
         assert set(consensus) <= set("ACGT")
+
+    def test_all_gap_columns_are_omitted(self):
+        # The majority skips the C column entirely: gap wins it and the
+        # consensus contracts to the common subsequence.
+        assert poa_consensus(["ACGT", "AGT", "AGT"]) == "AGT"
+
+    def test_anchored_ends_still_align_truncated_reads(self):
+        graph = PartialOrderGraph(free_graph_ends=False)
+        graph.add_sequence("ACGTACGT")
+        graph.add_sequence("ACGTACG")  # forces a real terminal gap
+        graph.add_sequence("ACGTACGT")
+        assert graph.consensus() == "ACGTACGT"
+
+    def test_anchored_ends_consensus_of_identical_reads(self):
+        graph = PartialOrderGraph(free_graph_ends=False)
+        for _ in range(3):
+            graph.add_sequence("GATTACA")
+        assert graph.consensus() == "GATTACA"
+
+
+class TestBandedAlignment:
+    def test_invalid_band_raises(self):
+        with pytest.raises(ValueError):
+            PartialOrderGraph(band=0)
+
+    def test_banded_matches_exact_on_noisy_clusters(self):
+        channel = IIDChannel.from_total_rate(0.04)
+        for seed in range(5):
+            rng = random.Random(seed)
+            reference = random_sequence(120, rng)
+            reads = [channel.transmit(reference, rng) for _ in range(8)]
+            exact = poa_consensus(reads, expected_length=120)
+            banded = poa_consensus(reads, expected_length=120, band=16)
+            assert banded == exact
+
+    def test_saturated_band_falls_back_to_exact(self):
+        rng = random.Random(11)
+        reference = random_sequence(80, rng)
+        graph = PartialOrderGraph(band=2)
+        graph.add_sequence(reference)
+        # A read missing its first 12 bases drifts far off the diagonal,
+        # so the 2-wide band must saturate; the fallback realigns exactly
+        # and the consensus still matches the full read.
+        graph.add_sequence(reference[12:])
+        graph.add_sequence(reference)
+        assert graph.band_saturations >= 1
+        assert graph.consensus() == reference
+
+    def test_band_saturations_zero_for_exact_graph(self):
+        graph = PartialOrderGraph()
+        graph.add_sequence("ACGTACGT")
+        graph.add_sequence("ACGTACGT")
+        assert graph.band_saturations == 0

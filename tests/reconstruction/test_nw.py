@@ -39,6 +39,44 @@ class TestBasics:
         assert len(result) == 50
 
 
+class TestReadSelection:
+    """Pin the deterministic backbone choice and the post-sort cap."""
+
+    def test_closest_to_median_leads(self):
+        # lengths 4, 6, 5: median 5, so read 2 becomes the backbone.
+        assert NWConsensusReconstructor()._selection_order([4, 6, 5]) == [2, 0, 1]
+
+    def test_median_distance_tie_prefers_shorter(self):
+        # 4 and 6 are both one off the median; the shorter read wins.
+        order = NWConsensusReconstructor()._selection_order([6, 4, 5])
+        assert order == [2, 1, 0]
+
+    def test_length_tie_prefers_arrival_order(self):
+        assert NWConsensusReconstructor()._selection_order([5, 5, 5]) == [0, 1, 2]
+
+    def test_cap_applies_after_median_sort(self):
+        # sorted lengths [5, 5, 9, 10] put the median at 9, so the reads
+        # kept under a cap of 2 are the ones *closest to 9* — not the
+        # first two by arrival.
+        order = NWConsensusReconstructor(max_cluster=2)._selection_order(
+            [10, 5, 5, 9]
+        )
+        assert order == [3, 0]
+
+    def test_capped_counter_counts_dropped_reads(self):
+        reconstructor = NWConsensusReconstructor(max_cluster=2)
+        reconstructor.reconstruct(["ACGTA"] * 5, 5)
+        counts = reconstructor.drain_counters()
+        assert counts["nw_reads_capped"] == 3
+        assert counts["nw_reads_folded"] == 2
+
+    def test_band_saturation_counter_drains(self):
+        reconstructor = NWConsensusReconstructor()
+        reconstructor.reconstruct(["ACGTACGT"] * 3, 8)
+        counts = reconstructor.drain_counters()
+        assert counts["nw_band_saturations"] == 0
+
+
 class TestQuality:
     def test_beats_naive_majority_on_indels(self, rng):
         channel = IIDChannel(p_ins=0.03, p_del=0.03, p_sub=0.0)

@@ -1,0 +1,164 @@
+"""Tests for the windowed, banded, batched POA reconstructor."""
+
+import numpy as np
+import pytest
+
+from repro.dna.alphabet import random_sequence
+from repro.dna.distance import levenshtein_distance
+from repro.dna.readpool import ReadPool
+from repro.parallel import WorkerPool
+from repro.reconstruction import NWConsensusReconstructor, WindowedPOAReconstructor
+from repro.simulation import IIDChannel
+
+
+def noisy_cluster(length, reads, rng, rate=0.03):
+    channel = IIDChannel.from_total_rate(rate)
+    reference = random_sequence(length, rng)
+    return reference, [channel.transmit(reference, rng) for _ in range(reads)]
+
+
+class TestValidation:
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            WindowedPOAReconstructor(window=0)
+
+    def test_overlap_must_be_inside_window(self):
+        with pytest.raises(ValueError):
+            WindowedPOAReconstructor(window=100, window_overlap=100)
+        with pytest.raises(ValueError):
+            WindowedPOAReconstructor(window=100, window_overlap=0)
+
+    def test_invalid_window_band_raises(self):
+        with pytest.raises(ValueError):
+            WindowedPOAReconstructor(window_band=0)
+
+    def test_invalid_max_window_reads_raises(self):
+        with pytest.raises(ValueError):
+            WindowedPOAReconstructor(max_window_reads=0)
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ValueError):
+            WindowedPOAReconstructor().reconstruct([], 100)
+
+    def test_all_empty_reads_raise(self):
+        with pytest.raises(ValueError):
+            WindowedPOAReconstructor().reconstruct(["", ""], 100)
+
+
+class TestShortDelegation:
+    def test_byte_identical_to_scalar_on_short_strands(self, rng):
+        for length in (60, 132, 180):
+            _, cluster = noisy_cluster(length, 8, rng)
+            scalar = NWConsensusReconstructor(max_cluster=64)
+            windowed = WindowedPOAReconstructor()
+            assert windowed.reconstruct(cluster, length) == scalar.reconstruct(
+                cluster, length
+            )
+
+    def test_short_delegation_counted(self, rng):
+        _, cluster = noisy_cluster(100, 4, rng)
+        reconstructor = WindowedPOAReconstructor()
+        reconstructor.reconstruct(cluster, 100)
+        counts = reconstructor.drain_counters()
+        assert counts["nww_short_delegated"] == 1
+        assert counts["nww_windows_planned"] == 0
+
+
+class TestLongStrands:
+    def test_recovers_kb_scale_reference(self, rng):
+        reference, cluster = noisy_cluster(1000, 8, rng)
+        consensus = WindowedPOAReconstructor().reconstruct(cluster, 1000)
+        assert len(consensus) == 1000
+        assert levenshtein_distance(consensus, reference) <= 10
+
+    def test_windows_planned_counted(self, rng):
+        _, cluster = noisy_cluster(600, 6, rng)
+        reconstructor = WindowedPOAReconstructor()
+        reconstructor.reconstruct(cluster, 600)
+        counts = reconstructor.drain_counters()
+        assert counts["nww_windows_planned"] >= 3
+        assert counts["nww_short_delegated"] == 0
+
+    def test_output_length_is_exact_under_heavy_noise(self, rng):
+        _, cluster = noisy_cluster(800, 6, rng, rate=0.09)
+        consensus = WindowedPOAReconstructor().reconstruct(cluster, 800)
+        assert len(consensus) == 800
+
+    def test_deletion_heavy_cluster_recovers(self, rng):
+        # Deletions are restored through insertion-run voting; global
+        # (not per-window) over-length trimming is what keeps the
+        # restored columns — pin that behaviour end to end.
+        channel = IIDChannel(p_ins=0.0, p_del=0.02, p_sub=0.0)
+        reference = random_sequence(900, rng)
+        cluster = [channel.transmit(reference, rng) for _ in range(8)]
+        consensus = WindowedPOAReconstructor().reconstruct(cluster, 900)
+        assert levenshtein_distance(consensus, reference) <= 8
+
+    def test_subsampling_bounds_window_reads(self, rng):
+        _, cluster = noisy_cluster(600, 12, rng)
+        reconstructor = WindowedPOAReconstructor(max_window_reads=4)
+        reconstructor.reconstruct(cluster, 600)
+        counts = reconstructor.drain_counters()
+        assert counts["nww_reads_subsampled"] > 0
+
+
+class TestDeterminism:
+    def test_worker_count_invariance(self, rng):
+        clusters = []
+        length = 700
+        for _ in range(3):
+            _, cluster = noisy_cluster(length, 6, rng)
+            clusters.append(cluster)
+        serial = WindowedPOAReconstructor().reconstruct_all(clusters, length)
+        with WorkerPool(2) as pool:
+            fanned = WindowedPOAReconstructor().reconstruct_all(
+                clusters, length, pool=pool
+            )
+        assert fanned == serial
+
+    def test_repeated_runs_are_identical(self, rng):
+        _, cluster = noisy_cluster(800, 8, rng)
+        first = WindowedPOAReconstructor().reconstruct(cluster, 800)
+        second = WindowedPOAReconstructor().reconstruct(cluster, 800)
+        assert first == second
+
+    def test_readpool_view_matches_string_clusters(self, rng):
+        clusters = []
+        length = 700
+        for _ in range(3):
+            _, cluster = noisy_cluster(length, 6, rng)
+            clusters.append(cluster)
+        from_strings = WindowedPOAReconstructor().reconstruct_all(clusters, length)
+        pool = ReadPool.from_strings([read for cluster in clusters for read in cluster])
+        views = []
+        cursor = 0
+        for cluster in clusters:
+            views.append(
+                pool.view(np.arange(cursor, cursor + len(cluster), dtype=np.int64))
+            )
+            cursor += len(cluster)
+        from_views = WindowedPOAReconstructor().reconstruct_all(views, length)
+        assert from_views == from_strings
+
+
+class TestCounters:
+    def test_counters_drain_to_zero(self, rng):
+        _, cluster = noisy_cluster(600, 6, rng)
+        reconstructor = WindowedPOAReconstructor()
+        reconstructor.reconstruct(cluster, 600)
+        reconstructor.drain_counters()
+        drained = reconstructor.drain_counters()
+        assert all(value == 0 for value in drained.values())
+
+    def test_counter_names_cover_scalar_and_windowed(self):
+        names = set(WindowedPOAReconstructor().drain_counters())
+        assert {
+            "nw_reads_folded",
+            "nw_reads_capped",
+            "nw_band_saturations",
+            "nww_windows_planned",
+            "nww_short_delegated",
+            "nww_window_reads_dropped",
+            "nww_merge_fallbacks",
+            "nww_reads_subsampled",
+        } <= names
